@@ -1,0 +1,45 @@
+"""Ablation: the duplex fail rule — "either" word (paper) vs "both" words.
+
+The paper's brace condition absorbs into FAIL when *either* replica
+exceeds capability.  The codec-level simulation (bench_xval_montecarlo)
+shows the physical arbiter usually survives one broken word, i.e. behaves
+closer to the "both" rule.  This bench quantifies the gap across the
+paper's SEU sweep.
+"""
+
+import numpy as np
+
+from repro.analysis import SEU_RATES_PER_BIT_DAY, render_ber_table
+from repro.memory import ber_curve, duplex_model
+
+
+def run_failrule_sweep(points=13):
+    times = np.linspace(0.0, 48.0, points)
+    curves = []
+    for rule in ("either", "both"):
+        for lam in SEU_RATES_PER_BIT_DAY:
+            curves.append(
+                ber_curve(
+                    duplex_model(18, 16, seu_per_bit_day=lam, fail_rule=rule),
+                    times,
+                    label=f"{rule}:{lam:.1E}",
+                )
+            )
+    return curves
+
+
+def test_failrule_ablation(benchmark, save_table):
+    curves = benchmark(run_failrule_sweep)
+    by_label = {c.label: c for c in curves}
+    for lam in SEU_RATES_PER_BIT_DAY:
+        either = by_label[f"either:{lam:.1E}"].final
+        both = by_label[f"both:{lam:.1E}"].final
+        assert both < either, "the both-words rule must be strictly kinder"
+        # for transients the either rule is roughly the union bound (~2x
+        # one word) while both-words is the quadratically smaller joint
+        assert both < either / 10
+    save_table(
+        "ablation_failrule",
+        "Ablation: duplex fail rule (either word vs both words), 48 h",
+        render_ber_table(curves),
+    )

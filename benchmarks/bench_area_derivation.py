@@ -1,0 +1,52 @@
+"""Extension bench: Section 6 area claims derived from gate counts.
+
+Builds the structural gate inventory of each decoder from exact GF(2^m)
+multiplier gate counts and checks both Section 6 area statements: one
+RS(36,16) decoder outweighs the duplex's two RS(18,16) decoders, and the
+total is linear in (n - k) to within a few percent.
+"""
+
+from repro.analysis.tables import _render
+from repro.rs import decoder_area, linearity_check
+
+
+def run_areas():
+    return {
+        "simplex RS(18,16)": decoder_area(18, 16),
+        "duplex RS(18,16) (x2)": decoder_area(18, 16),
+        "simplex RS(36,16)": decoder_area(36, 16),
+    }
+
+
+def test_area_derivation(benchmark, save_table):
+    areas = benchmark(run_areas)
+    one_big = areas["simplex RS(36,16)"].gate_equivalents
+    two_small = 2 * areas["simplex RS(18,16)"].gate_equivalents
+    assert one_big > two_small
+    deviation = linearity_check(m=8, k=16)
+    assert deviation < 0.05
+    rows = []
+    for name, area in areas.items():
+        mult = 2 if name.startswith("duplex") else 1
+        rows.append(
+            [
+                name,
+                str(area.syndrome_gates * mult),
+                str(area.key_equation_gates * mult),
+                str(area.chien_forney_gates * mult),
+                str(area.flipflops * mult),
+                f"{area.gate_equivalents * mult:.0f}",
+            ]
+        )
+    rows.append(
+        ["linearity in n-k", "-", "-", "-", "-", f"{deviation:.1%} max dev."]
+    )
+    save_table(
+        "area_derivation",
+        "Extension: structural decoder area (gates from exact GF "
+        "multiplier matrices)",
+        _render(
+            ["arrangement", "syndrome", "key eq", "chien+forney", "FFs", "GE"],
+            rows,
+        ),
+    )

@@ -1,0 +1,90 @@
+"""Extension bench: combined transient + permanent stress map.
+
+The paper evaluates transients (Figs. 5-7) and permanent faults
+(Figs. 8-10) separately; its conclusion claims the duplex handles both.
+This bench runs the mixed environment the figures never show: a grid of
+(SEU rate x permanent rate) with hourly scrubbing, reporting which
+arrangement wins each cell.  The crossover is itself a finding: in the
+transient-dominated corner the duplex (either-word fail rule) sits a
+factor ~2 above the simplex, and duplication only pays once permanent
+faults matter — the quantitative form of the paper's closing claim.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import _render, format_ber
+from repro.memory import duplex_model, simplex_model
+
+SEU_RATES = (7.3e-7, 1.7e-5)
+PERM_RATES = (1e-8, 1e-6, 1e-4)
+HORIZON_H = 24 * 730.0
+
+
+def run_grid():
+    rows = []
+    for seu in SEU_RATES:
+        for perm in PERM_RATES:
+            cells = {}
+            for name, factory in (
+                ("simplex RS(18,16)", simplex_model),
+                ("duplex RS(18,16)", duplex_model),
+            ):
+                model = factory(
+                    18,
+                    16,
+                    seu_per_bit_day=seu,
+                    erasure_per_symbol_day=perm,
+                    scrub_period_seconds=3600.0,
+                )
+                cells[name] = float(model.ber([HORIZON_H])[0])
+            s36 = simplex_model(
+                36,
+                16,
+                seu_per_bit_day=seu,
+                erasure_per_symbol_day=perm,
+                scrub_period_seconds=3600.0,
+            )
+            cells["simplex RS(36,16)"] = float(s36.ber([HORIZON_H])[0])
+            rows.append((seu, perm, cells))
+    return rows
+
+
+def test_combined_stress(benchmark, save_table):
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    table = []
+    for seu, perm, cells in rows:
+        simplex = cells["simplex RS(18,16)"]
+        duplex = cells["duplex RS(18,16)"]
+        if perm >= 1e-6:
+            # permanent faults in play: duplication pays (paper's claim)
+            assert duplex <= simplex
+        else:
+            # transient-dominated corner: duplex tracks simplex within the
+            # factor-2 union bound of Figs. 5-6 and may sit slightly above
+            assert duplex <= 2.0 * simplex
+        winner = min(cells, key=cells.get)
+        table.append(
+            [
+                f"{seu:.1e}",
+                f"{perm:.0e}",
+                format_ber(cells["simplex RS(18,16)"]),
+                format_ber(cells["duplex RS(18,16)"]),
+                format_ber(cells["simplex RS(36,16)"]),
+                winner,
+            ]
+        )
+    save_table(
+        "combined_stress",
+        "Extension: mixed SEU x permanent stress, hourly scrub, 24 months",
+        _render(
+            [
+                "SEU /bit/day",
+                "perm /sym/day",
+                "simplex 18,16",
+                "duplex 18,16",
+                "simplex 36,16",
+                "winner",
+            ],
+            table,
+        ),
+    )

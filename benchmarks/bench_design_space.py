@@ -1,0 +1,48 @@
+"""Extension bench: the Pareto front behind the paper's conclusion.
+
+Sweeps the RS(16 + 2t, 16) family for simplex and duplex arrangements
+under the paper's permanent-fault mission (24 months at 1e-6/symbol/day)
+and prints the non-dominated designs on (BER, decode cycles, area,
+storage).  The paper's three comparison points all survive the pruning,
+with duplex RS(18,16) as the fast-decode high-reliability member.
+"""
+
+from repro.analysis import enumerate_design_space, pareto_front
+from repro.analysis.tables import _render, format_ber
+
+
+def run_sweep():
+    points = enumerate_design_space(
+        k=16,
+        t_values=[1, 2, 4, 6, 10],
+        horizon_hours=24 * 730.0,
+        erasure_per_symbol_day=1e-6,
+    )
+    return points, pareto_front(points)
+
+
+def test_design_space(benchmark, save_table):
+    points, front = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    names = {p.name for p in front}
+    assert "duplex RS(18,16)" in names
+    assert "simplex RS(36,16)" in names
+    assert "simplex RS(18,16)" in names
+    rows = [
+        [
+            p.name,
+            format_ber(p.ber),
+            str(p.decode_cycles),
+            f"{p.area_gate_equivalents:.0f}",
+            f"{p.storage_overhead:.2f}",
+        ]
+        for p in front
+    ]
+    save_table(
+        "design_space",
+        "Extension: Pareto front of RS(16+2t,16) arrangements, permanent "
+        "faults 1e-6/symbol/day, 24 months",
+        _render(
+            ["design", "BER", "Td (cycles)", "area (GE)", "storage overhead"],
+            rows,
+        ),
+    )

@@ -1,0 +1,51 @@
+"""Extension bench: permanent-fault location latency (paper Section 2).
+
+The paper notes that until a permanent fault is located it degrades the
+code like a random error.  This bench quantifies that window on
+RS(36,16): read unreliability at 1 month versus the mean self-checking
+latency, bounded below by the paper's instantaneous-location chain.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import _render, format_ber
+from repro.memory import simplex_detection_model, simplex_model
+
+RATE_DAY = 1e-3
+LATENCIES_H = (0.01, 1.0, 10.0, 100.0, 1000.0)
+T = 730.0  # one month
+
+
+def run_latency_sweep():
+    rows = []
+    paper = simplex_model(36, 16, erasure_per_symbol_day=RATE_DAY)
+    baseline = paper.fail_probability([T])[0]
+    for latency in LATENCIES_H:
+        model = simplex_detection_model(
+            36, 16, erasure_per_symbol_day=RATE_DAY,
+            mean_detection_hours=latency,
+        )
+        inst = model.read_unreliability([T])[0]
+        rows.append((latency, inst, baseline))
+    return rows
+
+
+def test_detection_latency(benchmark, save_table):
+    rows = benchmark.pedantic(run_latency_sweep, rounds=1, iterations=1)
+    unreliabilities = [r[1] for r in rows]
+    # degrades monotonically with latency and never beats ideal location
+    assert all(a <= b * (1 + 1e-9) for a, b in zip(unreliabilities, unreliabilities[1:]))
+    assert all(u >= rows[0][2] * 0.99 for u in unreliabilities)
+    table = [
+        [f"{lat:g}", format_ber(inst), f"{inst / base:.1f}"]
+        for lat, inst, base in rows
+    ]
+    save_table(
+        "detection_latency",
+        "Extension: read unreliability vs permanent-fault location latency, "
+        "simplex RS(36,16), 1 month, lambda_e=1e-3/symbol/day",
+        _render(
+            ["mean latency (h)", "read unreliability", "vs ideal location"],
+            table,
+        ),
+    )

@@ -1,0 +1,71 @@
+"""Extension bench: the duplex advantage vs fault-location latency.
+
+The duplex arrangement's permanent-fault resilience (Figs. 8-9) comes
+entirely from *located* faults being maskable.  This bench sweeps the
+mean self-checking latency and shows the advantage over simplex eroding:
+with slow location the duplex degenerates toward a pair of unprotected
+words — quantifying how much of the paper's headline result is really a
+claim about the self-checking hardware of Section 2.
+"""
+
+from repro.analysis.tables import _render, format_ber
+from repro.memory import duplex_detection_model, duplex_model, simplex_model
+from repro.memory.analytic import simplex_fail_probability
+
+RATE = 1e-4  # permanent faults per symbol per day
+T = 17520.0  # 24 months
+LATENCIES_H = (0.01, 1.0, 24.0, 168.0, 1000.0)
+
+
+def run_latency_sweep():
+    ideal = duplex_model(18, 16, erasure_per_symbol_day=RATE)
+    p_ideal = float(ideal.fail_probability([T])[0])
+    simplex = simplex_model(18, 16, erasure_per_symbol_day=RATE)
+    p_simplex = float(simplex_fail_probability(simplex, [T])[0])
+    rows = []
+    for latency in LATENCIES_H:
+        model = duplex_detection_model(
+            18,
+            16,
+            erasure_per_symbol_day=RATE,
+            mean_detection_hours=latency,
+        )
+        rows.append((latency, float(model.read_unreliability([T])[0])))
+    return p_ideal, p_simplex, rows
+
+
+def test_duplex_detection(benchmark, save_table):
+    p_ideal, p_simplex, rows = benchmark.pedantic(
+        run_latency_sweep, rounds=1, iterations=1
+    )
+    values = [v for _latency, v in rows]
+    # degradation is monotone in latency, bounded below by the ideal chain
+    assert all(a <= b * (1 + 1e-9) for a, b in zip(values, values[1:]))
+    assert values[0] >= p_ideal * 0.99
+    # a week of location latency still beats simplex; the point is the gap
+    assert values[0] < p_simplex / 100
+    table = [
+        [
+            f"{latency:g}",
+            format_ber(value),
+            f"{value / p_ideal:.1f}",
+            f"{p_simplex / value:.2e}",
+        ]
+        for latency, value in rows
+    ]
+    table.append(["(ideal location)", format_ber(p_ideal), "1.0", f"{p_simplex / p_ideal:.2e}"])
+    table.append(["(simplex)", format_ber(p_simplex), "-", "1.0"])
+    save_table(
+        "duplex_detection",
+        "Extension: duplex read unreliability vs fault-location latency, "
+        "lambda_e=1e-4/symbol/day, 24 months",
+        _render(
+            [
+                "mean latency (h)",
+                "read unreliability",
+                "vs ideal duplex",
+                "advantage over simplex",
+            ],
+            table,
+        ),
+    )

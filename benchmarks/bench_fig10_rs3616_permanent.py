@@ -1,0 +1,23 @@
+"""Fig. 10 — BER of simplex RS(36,16) varying the permanent fault rate.
+
+Same sweep as Fig. 8 with the double-redundancy code: t = 10 symbol
+corrections drive BER to the 1e-200 scale the paper plots, which is why
+the harness uses the exact closed-form solver rather than a generic
+matrix method.
+"""
+
+from repro.analysis import fig10_rs3616_permanent, render_ber_table
+from repro.memory import HOURS_PER_MONTH
+
+
+def test_fig10_reproduction(benchmark, save_table):
+    result = benchmark(fig10_rs3616_permanent, points=25)
+    assert result.all_expectations_hold(), result.failed_expectations()
+    save_table(
+        "fig10",
+        "Fig. 10: BER of Simplex RS(36,16), permanent fault rate sweep "
+        "(/symbol/day)",
+        render_ber_table(
+            result.curves, time_label="months", time_scale=HOURS_PER_MONTH
+        ),
+    )

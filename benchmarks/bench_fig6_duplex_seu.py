@@ -1,0 +1,18 @@
+"""Fig. 6 — BER of duplex RS(18,16) under different SEU rates.
+
+Same sweep as Fig. 5 on the duplex arrangement.  The paper's observation:
+under transients only, duplex BER stays in the same range as simplex
+(duplication pays off against *permanent* faults, Figs. 8-9).
+"""
+
+from repro.analysis import fig6_duplex_seu, render_ber_table
+
+
+def test_fig6_reproduction(benchmark, save_table):
+    result = benchmark(fig6_duplex_seu, points=25)
+    assert result.all_expectations_hold(), result.failed_expectations()
+    save_table(
+        "fig6",
+        "Fig. 6: BER of Duplex RS(18,16), SEU rate sweep (errors/bit/day)",
+        render_ber_table(result.curves),
+    )

@@ -1,0 +1,23 @@
+"""Fig. 9 — BER of duplex RS(18,16) varying the permanent fault rate.
+
+Same sweep as Fig. 8 over 25 months.  Expected shape: the single-sided
+erasure masking of the arbiter squares the per-symbol erasure exposure,
+pushing BER tens of decades below the simplex of Fig. 8 (paper shows
+1e-60-scale floors vs 1e-30).
+"""
+
+from repro.analysis import fig9_duplex_permanent, render_ber_table
+from repro.memory import HOURS_PER_MONTH
+
+
+def test_fig9_reproduction(benchmark, save_table):
+    result = benchmark(fig9_duplex_permanent, points=25)
+    assert result.all_expectations_hold(), result.failed_expectations()
+    save_table(
+        "fig9",
+        "Fig. 9: BER of Duplex RS(18,16), permanent fault rate sweep "
+        "(/symbol/day)",
+        render_ber_table(
+            result.curves, time_label="months", time_scale=HOURS_PER_MONTH
+        ),
+    )

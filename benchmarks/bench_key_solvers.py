@@ -1,0 +1,31 @@
+"""Ablation: Berlekamp-Massey vs Euclidean key-equation solvers.
+
+The codec ships two structurally different key-equation solvers that are
+proven equivalent pattern-for-pattern (tests/test_rs_euclid.py); this
+bench times a full decode through each on the paper's heavy code,
+RS(36,16) carrying its maximum t = 10 random errors.
+"""
+
+import random
+
+import pytest
+
+from repro.rs import RSCode
+
+
+def make_case(key_solver):
+    rng = random.Random(7)
+    code = RSCode(36, 16, m=8, key_solver=key_solver)
+    data = [rng.randrange(256) for _ in range(16)]
+    cw = code.encode(data)
+    corrupted = list(cw)
+    for pos in rng.sample(range(36), 10):
+        corrupted[pos] ^= rng.randrange(1, 256)
+    return code, corrupted, cw
+
+
+@pytest.mark.parametrize("key_solver", ["bm", "euclid"])
+def test_key_solver_decode(benchmark, key_solver):
+    code, corrupted, cw = make_case(key_solver)
+    result = benchmark(code.decode, corrupted)
+    assert result.codeword == cw

@@ -1,0 +1,41 @@
+"""Extension bench: how many replicas are worth their area?
+
+Sweeps N-modular redundancy (per-symbol voting + RS(18,16)) over
+N = 1..5 under a mixed fault environment and prints reliability next to
+the decoder-area bill, exposing the even-N tie penalty that motivates
+the paper's flag-based duplex arbiter.
+"""
+
+from repro.analysis.tables import _render, format_ber
+from repro.memory import redundancy_sweep
+from repro.memory.rates import FaultRates
+from repro.rs import decoder_area_gates
+
+RATES = FaultRates.from_paper_units(
+    seu_per_bit_day=1.7e-5, erasure_per_symbol_day=1e-5
+)
+T = 48.0
+
+
+def run_sweep():
+    return redundancy_sweep(18, 16, RATES, T, max_modules=5)
+
+
+def test_nmr_sweep(benchmark, save_table):
+    sweep = benchmark(run_sweep)
+    by_n = dict(sweep)
+    # odd ladder improves strictly; even N pays the tie penalty
+    assert by_n[3] < by_n[1]
+    assert by_n[5] < by_n[3]
+    assert by_n[2] > by_n[1]
+    area_one = decoder_area_gates(8, 18, 16)
+    rows = [
+        [str(n), format_ber(p), f"{n * area_one:.0f}"]
+        for n, p in sweep
+    ]
+    save_table(
+        "nmr_sweep",
+        "Extension: N-modular redundancy with symbol voting, RS(18,16), "
+        "48 h read unreliability",
+        _render(["modules", "read unreliability", "decoder area (gates)"], rows),
+    )

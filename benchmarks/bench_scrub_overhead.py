@@ -1,0 +1,60 @@
+"""Extension bench: the cost side of Fig. 7.
+
+The paper notes scrubbing costs availability and power but does not
+quantify them.  For each Fig. 7 period this bench reports BER next to
+availability, scrub bandwidth and duty cycle for a 1M-word duplex memory
+on a 50 MHz controller, closing the BER-vs-cost tradeoff loop.
+"""
+
+from repro.analysis import SCRUB_PERIODS_SECONDS, WORST_CASE_SEU_PER_BIT_DAY
+from repro.analysis.tables import _render, format_ber
+from repro.memory import duplex_model, scrub_overhead
+
+WORDS = 1 << 20
+
+
+def run_cost_table():
+    rows = []
+    for period in SCRUB_PERIODS_SECONDS:
+        model = duplex_model(
+            18,
+            16,
+            seu_per_bit_day=WORST_CASE_SEU_PER_BIT_DAY,
+            scrub_period_seconds=period,
+        )
+        ber = model.ber([48.0])[0]
+        cost = scrub_overhead(
+            18, 16, num_words=WORDS, scrub_period_seconds=period,
+            num_decoders=2,
+        )
+        rows.append((period, ber, cost))
+    return rows
+
+
+def test_scrub_overhead(benchmark, save_table):
+    rows = benchmark.pedantic(run_cost_table, rounds=1, iterations=1)
+    # the tradeoff must be real: faster scrubbing lowers BER, costs duty
+    bers = [r[1] for r in rows]
+    duties = [r[2].duty_cycle for r in rows]
+    assert bers == sorted(bers)
+    assert duties == sorted(duties, reverse=True)
+    assert all(cost.availability > 0.99 for _p, _b, cost in rows)
+    table = [
+        [
+            f"{int(period)}",
+            format_ber(ber),
+            f"{cost.availability:.6f}",
+            f"{cost.scrub_bandwidth_bits_per_s / 8e3:.1f}",
+            f"{cost.duty_cycle:.2e}",
+        ]
+        for period, ber, cost in rows
+    ]
+    save_table(
+        "scrub_overhead",
+        "Extension: BER vs scrubbing cost, duplex RS(18,16), 1M words, "
+        "50 MHz controller",
+        _render(
+            ["Tsc (s)", "BER(48h)", "availability", "bandwidth (kB/s)", "duty"],
+            table,
+        ),
+    )

@@ -1,0 +1,24 @@
+"""Section 6 decoder complexity table — Td and area of the arrangements.
+
+Paper arithmetic: Td(RS(18,16)) = 74 cycles, Td(RS(36,16)) = 308 cycles
+(a >4x access-latency penalty for the stronger simplex code), and one
+RS(36,16) decoder outweighs the duplex's two RS(18,16) decoders in gates.
+"""
+
+from repro.analysis import render_cost_table, table_decoder_complexity
+
+
+def test_complexity_table(benchmark, save_table):
+    costs = benchmark(table_decoder_complexity)
+    by_name = {c.name: c for c in costs}
+    assert by_name["simplex RS(18,16)"].decode_cycles == 74
+    assert by_name["simplex RS(36,16)"].decode_cycles == 308
+    assert (
+        by_name["simplex RS(36,16)"].area_gates
+        > by_name["duplex RS(18,16)"].area_gates
+    )
+    save_table(
+        "table_complexity",
+        "Section 6: decoder complexity of the three arrangements",
+        render_cost_table(costs),
+    )

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one evaluation artifact of the paper (a figure's
+series or a table), times the solve via pytest-benchmark, verifies the
+paper's qualitative expectations, and writes the rendered ASCII table to
+``benchmarks/results/`` — the inputs from which EXPERIMENTS.md is kept
+honest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_table(results_dir):
+    """Persist a rendered table and echo it to the terminal report."""
+
+    def _save(name: str, title: str, table: str) -> None:
+        text = f"{title}\n{'=' * len(title)}\n{table}\n"
+        (results_dir / f"{name}.txt").write_text(text)
+        print(f"\n{text}")
+
+    return _save

@@ -1,0 +1,88 @@
+"""Exploring the code/arrangement design space beyond the paper's 3 points.
+
+The paper compares simplex RS(18,16), duplex RS(18,16) and simplex
+RS(36,16).  Those are three points in the family RS(16 + 2t, 16) x
+{simplex, duplex}; this explorer sweeps the family and reports:
+
+1. the Pareto front on (BER, decode latency, decoder area, storage);
+2. the cheapest design for several BER budgets;
+3. the hardware detail behind each front member (pipeline stage budgets
+   and structural gate counts);
+4. the mis-correction exposure of the t = 1 codes (why the duplex
+   arbiter matters most exactly where the paper puts it).
+
+Run:  python examples/code_design_explorer.py
+"""
+
+from repro.analysis import (
+    cheapest_meeting_budget,
+    enumerate_design_space,
+    pareto_front,
+)
+from repro.rs import (
+    decoder_area,
+    decoder_timing,
+    decoding_sphere_fraction,
+)
+
+MISSION_HOURS = 24 * 730.0
+PERM_RATE = 1e-6  # per symbol per day
+
+
+def main() -> None:
+    points = enumerate_design_space(
+        k=16,
+        t_values=[1, 2, 4, 6, 10],
+        horizon_hours=MISSION_HOURS,
+        erasure_per_symbol_day=PERM_RATE,
+    )
+    front = pareto_front(points)
+
+    print(
+        f"Pareto front, permanent faults {PERM_RATE:g}/symbol/day over "
+        f"24 months ({len(front)}/{len(points)} designs survive):\n"
+    )
+    header = f"{'design':<20}{'BER':>12}{'Td':>6}{'area GE':>9}{'storage':>9}"
+    print(header)
+    print("-" * len(header))
+    for p in front:
+        print(
+            f"{p.name:<20}{p.ber:>12.2e}{p.decode_cycles:>6}"
+            f"{p.area_gate_equivalents:>9.0f}{p.storage_overhead:>9.2f}"
+        )
+
+    print("\nCheapest design meeting a BER budget:")
+    for budget in (1e-6, 1e-15, 1e-40):
+        best = cheapest_meeting_budget(points, budget)
+        print(
+            f"  {budget:>7.0e} -> {best.name:<20} "
+            f"(area {best.area_gate_equivalents:.0f} GE, "
+            f"Td {best.decode_cycles} cycles)"
+        )
+
+    print("\nHardware detail of the paper's three points:")
+    for n in (18, 36):
+        timing = decoder_timing(n, 16)
+        area = decoder_area(n, 16)
+        stages = ", ".join(
+            f"{name}={cycles}" for name, cycles in timing.stage_budgets().items()
+        )
+        print(
+            f"  RS({n},16): Td={timing.latency_cycles} cycles ({stages}); "
+            f"{area.gate_equivalents:.0f} GE"
+        )
+
+    print("\nMis-correction exposure (decoding-sphere fraction):")
+    for n, k in ((18, 16), (20, 16), (36, 16)):
+        frac = decoding_sphere_fraction(n, k, 256)
+        print(f"  RS({n},{k}): {frac:.2e}")
+    print(
+        "\n-> the t = 1 code mis-corrects 7% of over-capability patterns; "
+        "larger t makes\n   the event negligible. The duplex flag arbiter "
+        "is the paper's answer exactly\n   at the design point where the "
+        "exposure is worst."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Inside the codec and the arbiter: errors, erasures, mis-correction.
+
+A guided tour of the machinery under the Markov models, using the actual
+RS(18,16) decoder and the Section 3 duplex arbiter:
+
+* encode a word and watch syndromes expose injected faults;
+* correct a random error, then an erasure, then the 2er+re boundary mix;
+* push past capability to trigger a real mis-correction;
+* watch the duplex arbiter's flag comparison catch that mis-correction.
+
+Run:  python examples/codec_playground.py
+"""
+
+import random
+
+from repro.rs import RSCode, RSDecodingError
+from repro.rs.syndromes import compute_syndromes
+from repro.simulator import ArbiterDecision, MemoryWord, arbitrate
+
+rng = random.Random(2005)
+
+
+def banner(text: str) -> None:
+    print(f"\n--- {text} ---")
+
+
+def main() -> None:
+    code = RSCode(18, 16, m=8)
+    data = [rng.randrange(256) for _ in range(16)]
+    cw = code.encode(data)
+    print(f"RS(18,16) over GF(256): t = {code.t} error, n-k = {code.nsym}")
+    print(f"codeword: {bytes(cw).hex()}")
+
+    banner("syndromes flag any corruption")
+    clean = compute_syndromes(code.gf, cw, code.nsym)
+    corrupted = list(cw)
+    corrupted[7] ^= 0x40
+    dirty = compute_syndromes(code.gf, corrupted, code.nsym)
+    print(f"clean syndromes    : {clean}")
+    print(f"after one bit flip : {dirty}")
+
+    banner("a random error is corrected")
+    result = code.decode(corrupted)
+    print(f"corrected positions {result.error_positions}, data intact: "
+          f"{result.data == data}")
+
+    banner("two erasures use the full n-k budget")
+    corrupted = list(cw)
+    corrupted[0] ^= 0xFF
+    corrupted[9] ^= 0x13
+    result = code.decode(corrupted, erasure_positions=[0, 9])
+    print(f"2 erasures corrected (2*0 + 2 <= {code.nsym}), data intact: "
+          f"{result.data == data}")
+
+    banner("beyond capability: detection or mis-correction")
+    detected = miscorrected = 0
+    miscorrecting_word = None
+    for _ in range(300):
+        attempt = list(cw)
+        for pos in rng.sample(range(18), 2):
+            attempt[pos] ^= rng.randrange(1, 256)
+        try:
+            out = code.decode(attempt)
+        except RSDecodingError:
+            detected += 1
+        else:
+            miscorrected += 1
+            if miscorrecting_word is None and out.data != data:
+                miscorrecting_word = attempt
+    print(f"300 double-error words: {detected} detected, "
+          f"{miscorrected} silently mis-corrected")
+
+    banner("the duplex arbiter catches the mis-correction by flag comparison")
+    assert miscorrecting_word is not None
+    module1 = MemoryWord(miscorrecting_word, code.m)  # will mis-correct
+    module2 = MemoryWord(cw, code.m)                  # healthy replica
+    verdict = arbitrate(code, module1, module2)
+    print(f"decision = {verdict.decision.name}, flags = {verdict.flags}")
+    print(f"arbiter output correct: {verdict.data == data}")
+    assert verdict.decision is ArbiterDecision.FLAG_DISCRIMINATED
+
+
+if __name__ == "__main__":
+    main()

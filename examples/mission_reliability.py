@@ -1,0 +1,70 @@
+"""End-to-end mission reliability: orbits, whole memories, sensitivities.
+
+Builds on the paper's word-level chains to answer the questions a
+mission-assurance engineer actually asks:
+
+1. how does a realistic LEO orbit (quiet legs + South Atlantic Anomaly
+   passes at the paper's worst-case rate) differ from the averaged-rate
+   shortcut?
+2. what does the word-level BER mean for a full 1M-word memory — data
+   integrity and mean time to first data loss?
+3. which parameter is worth hardening — the SEU environment or the
+   scrubber?
+
+Run:  python examples/mission_reliability.py
+"""
+
+import numpy as np
+
+from repro.analysis import memory_system_sensitivities
+from repro.memory import WholeMemory, duplex_model, orbital_profile
+
+HORIZON_H = 48.0
+WORDS = 1 << 20
+
+
+def main() -> None:
+    # 1. exact piecewise orbit vs averaged rates
+    profile = orbital_profile()  # duplex RS(18,16), hourly scrub
+    times = np.linspace(0.0, HORIZON_H, 7)
+    exact = profile.ber(times)
+    avg_model = profile.equivalent_average_model()
+    averaged = avg_model.ber_factor * avg_model.fail_probability(times)
+    print("LEO orbit (85% quiet / 15% SAA), duplex RS(18,16), hourly scrub:")
+    print(f"{'hours':>6} {'piecewise BER':>15} {'averaged BER':>15}")
+    for t, e, a in zip(times, exact, averaged):
+        print(f"{t:>6.0f} {e:>15.3e} {a:>15.3e}")
+
+    # 2. whole-memory view at the worst-case constant rate
+    word = duplex_model(
+        18, 16, seu_per_bit_day=1.7e-5, scrub_period_seconds=3600.0
+    )
+    memory = WholeMemory(word, WORDS)
+    integrity = memory.data_integrity([HORIZON_H])[0]
+    expected_bad = memory.expected_unreadable_words([HORIZON_H])[0]
+    mttdl_h = memory.mean_time_to_data_loss()
+    print(f"\n1M-word memory at the worst-case SEU rate, hourly scrub:")
+    print(f"  P(all words readable at 48 h) = {integrity:.4f}")
+    print(f"  expected unreadable words     = {expected_bad:.2f}")
+    print(f"  mean time to first data loss  = {mttdl_h:.1f} h")
+
+    # 3. where to spend hardening effort
+    print("\nBER elasticities (percent BER change per percent parameter):")
+    for s in memory_system_sensitivities(
+        "duplex",
+        18,
+        16,
+        HORIZON_H,
+        seu_per_bit_day=1.7e-5,
+        scrub_period_seconds=3600.0,
+    ):
+        print(f"  {s.parameter:<24} {s.elasticity:+.2f}")
+    print(
+        "\n-> BER scales ~quadratically with the SEU rate (a t = 1 code "
+        "dies on two\n   errors) and ~linearly with the scrubbing period: "
+        "halving Tsc buys as much\n   as a 30% cleaner orbit."
+    )
+
+
+if __name__ == "__main__":
+    main()

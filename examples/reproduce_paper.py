@@ -1,0 +1,40 @@
+"""Full reproduction driver: regenerate every figure and table of the paper.
+
+Prints each evaluation artifact of Section 6 as an ASCII table and checks
+the paper's qualitative expectations along the way.  This is the script
+behind EXPERIMENTS.md.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro.analysis import (
+    ALL_FIGURES,
+    permanent_fault_ordering,
+    render_ber_table,
+    render_cost_table,
+    table_decoder_complexity,
+)
+from repro.memory import HOURS_PER_MONTH
+
+
+def main() -> None:
+    for fig_id, build in ALL_FIGURES.items():
+        result = build(points=25)
+        print(f"\n=== {fig_id}: {result.title} ===")
+        scale = HOURS_PER_MONTH if fig_id in ("fig8", "fig9", "fig10") else 1.0
+        label = "months" if scale != 1.0 else "hours"
+        print(render_ber_table(result.curves, time_label=label, time_scale=scale))
+        failed = result.failed_expectations()
+        status = "all paper expectations hold" if not failed else f"FAILED: {failed}"
+        print(f"--> {status}")
+
+    print("\n=== Section 6: decoder complexity ===")
+    print(render_cost_table(table_decoder_complexity()))
+
+    print("\n=== Section 6: permanent-fault comparison at 1e-6 /symbol/day ===")
+    for name, ber in permanent_fault_ordering(1e-6).items():
+        print(f"  {name:<20}  BER(24 months) = {ber:.3e}")
+
+
+if __name__ == "__main__":
+    main()

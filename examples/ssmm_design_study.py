@@ -1,0 +1,83 @@
+"""Design study: sizing a Solid State Mass Memory for a 2-year mission.
+
+The paper's motivating scenario (Section 1): a satellite SSMM built from
+COTS memory chips, which beat space-certified parts on capacity and power
+but are exposed to SEUs and permanent faults.  This walkthrough chains
+every layer of the library:
+
+1. estimate the permanent-fault rate of a COTS chip from the
+   MIL-HDBK-217-style parts-stress model (paper ref. [1]);
+2. apportion it to a per-symbol erasure rate λe;
+3. evaluate the three arrangements of the paper over the mission;
+4. extend the word-level result to the whole memory;
+5. weigh the decoder latency/area bill.
+
+Run:  python examples/ssmm_design_study.py
+"""
+
+from repro.analysis import render_cost_table, table_decoder_complexity
+from repro.memory import ber_curve, duplex_model, months_to_hours, simplex_model
+from repro.reliability import MemoryChip, whole_memory_data_integrity
+
+MISSION_MONTHS = 24.0
+SEU_PER_BIT_DAY = 3.6e-6  # mid-range orbital environment (paper Fig. 5)
+CAPACITY_BITS = 4 * 1024 * 1024  # 4 Mbit COTS SRAM
+WORDS_IN_MEMORY = 2**20  # 1M codewords stored
+
+
+def main() -> None:
+    # 1-2. permanent-fault environment from the parts-stress model
+    chip = MemoryChip(
+        capacity_bits=CAPACITY_BITS,
+        junction_celsius=45.0,
+        environment="space_flight",
+        quality="commercial",
+    )
+    symbols_per_chip = CAPACITY_BITS // 8
+    lam_e = chip.symbol_erasure_rate_per_day(symbols_per_chip)
+    print(f"COTS chip failure rate : {chip.failure_rate_per_hour():.3e} /h")
+    print(f"per-symbol erasure rate: {lam_e:.3e} /symbol/day\n")
+
+    # 3. candidate arrangements over the mission
+    horizon = [months_to_hours(MISSION_MONTHS)]
+    candidates = {
+        "simplex RS(18,16)": simplex_model(
+            18, 16, seu_per_bit_day=SEU_PER_BIT_DAY, erasure_per_symbol_day=lam_e
+        ),
+        "duplex RS(18,16)": duplex_model(
+            18, 16, seu_per_bit_day=SEU_PER_BIT_DAY, erasure_per_symbol_day=lam_e
+        ),
+        "simplex RS(36,16)": simplex_model(
+            36, 16, seu_per_bit_day=SEU_PER_BIT_DAY, erasure_per_symbol_day=lam_e
+        ),
+    }
+    # transient pressure is handled by scrubbing in all candidates
+    candidates = {
+        name: type(model)(
+            model.n,
+            model.k,
+            model.m,
+            model.rates.with_scrub_period(3600.0),
+        )
+        for name, model in candidates.items()
+    }
+
+    print(f"{'arrangement':<20} {'word BER':>12} {'whole-memory integrity':>24}")
+    for name, model in candidates.items():
+        word_fail = float(model.fail_probability(horizon)[0])
+        integrity = whole_memory_data_integrity(word_fail, WORDS_IN_MEMORY)
+        ber = ber_curve(model, horizon, method="uniformization").final
+        print(f"{name:<20} {ber:>12.3e} {integrity:>24.6f}")
+
+    # 5. the hardware bill
+    print("\nDecoder cost (Section 6 models):")
+    print(render_cost_table(table_decoder_complexity()))
+    print(
+        "\nTakeaway: the duplex RS(18,16) keeps the 74-cycle decode path and "
+        "most of the\nRS(36,16) integrity at less than a quarter of its "
+        "decoder area - the paper's\nbalanced design point."
+    )
+
+
+if __name__ == "__main__":
+    main()

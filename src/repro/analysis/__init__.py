@@ -1,0 +1,111 @@
+"""Experiment registry, sweeps and table rendering.
+
+Public surface:
+
+* :mod:`~repro.analysis.experiments` — one runnable function per paper
+  figure/table, with machine-checkable expectations.
+* :mod:`~repro.analysis.sweep` — parameter sweeps and design-question
+  helpers.
+* :mod:`~repro.analysis.tables` — ASCII rendering for the bench harness.
+"""
+
+from .experiments import (
+    ALL_FIGURES,
+    PERMANENT_RATES_PER_SYMBOL_DAY,
+    SCRUB_PERIODS_SECONDS,
+    SEU_RATES_PER_BIT_DAY,
+    WORST_CASE_SEU_PER_BIT_DAY,
+    Expectation,
+    ExperimentResult,
+    fig5_simplex_seu,
+    fig6_duplex_seu,
+    fig7_duplex_scrubbing,
+    fig8_simplex_permanent,
+    fig9_duplex_permanent,
+    fig10_rs3616_permanent,
+    permanent_fault_ordering,
+    run_all,
+    table_decoder_complexity,
+)
+from .convergence import (
+    scrub_grid_refinement,
+    solver_agreement,
+    trials_for_relative_width,
+    uniformization_tolerance_sweep,
+)
+from .design_space import (
+    DesignPoint,
+    cheapest_meeting_budget,
+    enumerate_design_space,
+    pareto_front,
+)
+from .export import curves_to_csv, experiment_to_csv, load_csv
+from .plots import ascii_ber_plot
+from .report import generate_report, write_report
+from .scenario import (
+    ScenarioResult,
+    run_scenario,
+    run_scenario_file,
+    run_scenario_suite,
+    validate_scenario,
+)
+from .sensitivity import (
+    Sensitivity,
+    elasticity,
+    memory_system_sensitivities,
+)
+from .sweep import (
+    feasible_scrub_window,
+    max_scrub_period_for_budget,
+    sweep_parameter,
+    time_to_ber_budget,
+)
+from .tables import format_ber, render_ber_table, render_cost_table
+
+__all__ = [
+    "ALL_FIGURES",
+    "Expectation",
+    "ExperimentResult",
+    "SEU_RATES_PER_BIT_DAY",
+    "WORST_CASE_SEU_PER_BIT_DAY",
+    "SCRUB_PERIODS_SECONDS",
+    "PERMANENT_RATES_PER_SYMBOL_DAY",
+    "fig5_simplex_seu",
+    "fig6_duplex_seu",
+    "fig7_duplex_scrubbing",
+    "fig8_simplex_permanent",
+    "fig9_duplex_permanent",
+    "fig10_rs3616_permanent",
+    "permanent_fault_ordering",
+    "table_decoder_complexity",
+    "run_all",
+    "sweep_parameter",
+    "time_to_ber_budget",
+    "max_scrub_period_for_budget",
+    "feasible_scrub_window",
+    "format_ber",
+    "render_ber_table",
+    "render_cost_table",
+    "curves_to_csv",
+    "experiment_to_csv",
+    "load_csv",
+    "Sensitivity",
+    "elasticity",
+    "memory_system_sensitivities",
+    "generate_report",
+    "write_report",
+    "ascii_ber_plot",
+    "DesignPoint",
+    "enumerate_design_space",
+    "pareto_front",
+    "cheapest_meeting_budget",
+    "ScenarioResult",
+    "run_scenario",
+    "run_scenario_file",
+    "run_scenario_suite",
+    "validate_scenario",
+    "solver_agreement",
+    "uniformization_tolerance_sweep",
+    "trials_for_relative_width",
+    "scrub_grid_refinement",
+]

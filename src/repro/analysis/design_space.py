@@ -1,0 +1,126 @@
+"""Code/arrangement design-space exploration.
+
+The paper compares three points — simplex RS(18,16), duplex RS(18,16),
+simplex RS(36,16).  This module sweeps the whole family those points live
+in (``RS(k + 2t, k)`` for t = 1..t_max, simplex and duplex) and scores
+each candidate on the axes the paper argues about:
+
+* BER at the storage horizon (reliability),
+* decoder latency in cycles (access-time cost, Section 6),
+* total decoder area in gate equivalents (hardware cost, Section 6),
+* storage overhead (redundant symbols per data symbol, x2 for duplex).
+
+:func:`pareto_front` reduces the sweep to the non-dominated designs —
+the quantitative version of the paper's closing argument that duplex
+RS(18,16) is a balanced point between the two simplex extremes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..memory import ber_curve, duplex_model, simplex_model
+from ..rs.area import decoder_area
+from ..rs.complexity import decoding_time_cycles
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate memory arrangement with its costs and BER."""
+
+    name: str
+    arrangement: str
+    n: int
+    k: int
+    t: int
+    ber: float
+    decode_cycles: int
+    area_gate_equivalents: float
+    storage_overhead: float  # extra stored symbols per data symbol
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance on (ber, cycles, area, storage)."""
+        mine = (
+            self.ber,
+            self.decode_cycles,
+            self.area_gate_equivalents,
+            self.storage_overhead,
+        )
+        theirs = (
+            other.ber,
+            other.decode_cycles,
+            other.area_gate_equivalents,
+            other.storage_overhead,
+        )
+        return all(a <= b for a, b in zip(mine, theirs)) and mine != theirs
+
+
+def enumerate_design_space(
+    k: int,
+    t_values: Sequence[int],
+    horizon_hours: float,
+    seu_per_bit_day: float = 0.0,
+    erasure_per_symbol_day: float = 0.0,
+    scrub_period_seconds: float | None = None,
+    m: int = 8,
+) -> List[DesignPoint]:
+    """Evaluate simplex and duplex RS(k + 2t, k) for every ``t``."""
+    if not t_values:
+        raise ValueError("no redundancy levels to evaluate")
+    points: List[DesignPoint] = []
+    for t in t_values:
+        if t < 1:
+            raise ValueError(f"t must be >= 1, got {t}")
+        n = k + 2 * t
+        if n > (1 << m) - 1:
+            raise ValueError(f"RS({n},{k}) does not fit GF(2^{m})")
+        area_one = decoder_area(n, k, m).gate_equivalents
+        cycles = decoding_time_cycles(n, k)
+        for arrangement, factory, decoders, storage in (
+            ("simplex", simplex_model, 1, (n - k) / k),
+            ("duplex", duplex_model, 2, (2 * n - k) / k),
+        ):
+            model = factory(
+                n,
+                k,
+                m=m,
+                seu_per_bit_day=seu_per_bit_day,
+                erasure_per_symbol_day=erasure_per_symbol_day,
+                scrub_period_seconds=scrub_period_seconds,
+            )
+            ber = ber_curve(model, [horizon_hours]).final
+            points.append(
+                DesignPoint(
+                    name=f"{arrangement} RS({n},{k})",
+                    arrangement=arrangement,
+                    n=n,
+                    k=k,
+                    t=t,
+                    ber=ber,
+                    decode_cycles=cycles,
+                    area_gate_equivalents=decoders * area_one,
+                    storage_overhead=storage,
+                )
+            )
+    return points
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by BER (best reliability first)."""
+    front = [
+        p
+        for p in points
+        if not any(other.dominates(p) for other in points)
+    ]
+    return sorted(front, key=lambda p: p.ber)
+
+
+def cheapest_meeting_budget(
+    points: Sequence[DesignPoint], ber_budget: float
+) -> DesignPoint:
+    """Least-area design meeting the BER budget; raises if none does."""
+    candidates = [p for p in points if p.ber <= ber_budget]
+    if not candidates:
+        raise ValueError(f"no design meets BER budget {ber_budget:g}")
+    return min(candidates, key=lambda p: p.area_gate_equivalents)

@@ -1,0 +1,75 @@
+"""CSV export of experiment results.
+
+The paper presents its evaluation as plots; downstream users replotting
+or post-processing want the series as data.  Each experiment exports to
+one CSV with a time column and one column per curve — loadable by any
+plotting tool without this package installed.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from ..memory.ber import BERCurve
+from .experiments import ExperimentResult
+
+
+def curves_to_csv(
+    curves: Sequence[BERCurve],
+    path: str | Path,
+    time_label: str = "hours",
+    time_scale: float = 1.0,
+) -> Path:
+    """Write BER curves sharing a grid to one CSV file.
+
+    ``time_scale`` divides the hour-based grid for the written time
+    column (e.g. 730 for months).  Returns the written path.
+    """
+    if not curves:
+        raise ValueError("nothing to export")
+    grid = curves[0].times_hours
+    for c in curves[1:]:
+        if len(c.times_hours) != len(grid):
+            raise ValueError("curves must share a time grid")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([time_label] + [c.label for c in curves])
+        for i, t in enumerate(grid):
+            writer.writerow(
+                [repr(float(t / time_scale))]
+                + [repr(float(c.ber[i])) for c in curves]
+            )
+    return path
+
+
+def experiment_to_csv(
+    result: ExperimentResult,
+    directory: str | Path,
+    time_label: str = "hours",
+    time_scale: float = 1.0,
+) -> Path:
+    """Write one experiment's curves to ``<directory>/<experiment_id>.csv``."""
+    directory = Path(directory)
+    return curves_to_csv(
+        result.curves,
+        directory / f"{result.experiment_id}.csv",
+        time_label=time_label,
+        time_scale=time_scale,
+    )
+
+
+def load_csv(path: str | Path) -> tuple[list[str], list[list[float]]]:
+    """Read back a CSV written by :func:`curves_to_csv`.
+
+    Returns ``(header, rows)`` with all values parsed as floats —
+    round-trip fidelity is exact because values are written with repr.
+    """
+    with Path(path).open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        rows = [[float(cell) for cell in row] for row in reader]
+    return header, rows

@@ -1,0 +1,78 @@
+"""ASCII log-scale plots for terminal-only environments.
+
+The paper's evaluation is six log-BER plots; this renderer reproduces
+them as text so the bench harness and CLI can show *shape* (crossings,
+slopes, flattening under scrubbing) without a plotting stack.  Values
+spanning 1e-200..1 are handled by plotting log10(BER) on the y axis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from ..memory.ber import BERCurve
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_ber_plot(
+    curves: Sequence[BERCurve],
+    width: int = 64,
+    height: int = 18,
+    time_label: str = "hours",
+    time_scale: float = 1.0,
+) -> str:
+    """Render BER curves as an ASCII log-plot.
+
+    Each curve gets a marker from ``o x + * …``; zero values (BER exactly
+    0, e.g. at t = 0) are skipped since log10 is undefined there.
+    """
+    if not curves:
+        return "(no curves)"
+    if width < 16 or height < 4:
+        raise ValueError("plot too small to be legible")
+
+    points: List[tuple[float, float, int]] = []  # (t, log10 ber, curve idx)
+    for idx, curve in enumerate(curves):
+        for t, value in zip(curve.times_hours, curve.ber):
+            if value > 0.0:
+                points.append((float(t), math.log10(float(value)), idx))
+    if not points:
+        return "(all values are zero)"
+
+    t_min = min(p[0] for p in points)
+    t_max = max(p[0] for p in points)
+    y_min = min(p[1] for p in points)
+    y_max = max(p[1] for p in points)
+    if t_max == t_min:
+        t_max = t_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for t, y, idx in points:
+        col = round((t - t_min) / (t_max - t_min) * (width - 1))
+        row = round((y_max - y) / (y_max - y_min) * (height - 1))
+        grid[row][col] = _MARKERS[idx % len(_MARKERS)]
+
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"1e{y_max:+.0f} "
+        elif i == height - 1:
+            label = f"1e{y_min:+.0f} "
+        else:
+            label = " " * 7
+        lines.append(f"{label:>8}|{''.join(row)}")
+    axis = " " * 8 + "+" + "-" * width
+    lines.append(axis)
+    left = f"{t_min / time_scale:.0f}"
+    right = f"{t_max / time_scale:.0f} {time_label}"
+    pad = width - len(left) - len(right)
+    lines.append(" " * 9 + left + " " * max(1, pad) + right)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {c.label}" for i, c in enumerate(curves)
+    )
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)

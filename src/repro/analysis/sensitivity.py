@@ -1,0 +1,141 @@
+"""Sensitivity analysis: which knob moves the BER most?
+
+Reliability targets are negotiated against uncertain environments — the
+paper itself sweeps λ over a factor of 23 and λe over six decades.  This
+module quantifies local sensitivity as *elasticities*
+
+    S_x = d log BER / d log x
+
+via central finite differences in the log domain, so values read as
+"percent BER change per percent parameter change".  An elasticity near
+2 for λ on an RS(18,16) simplex (two random errors kill a t = 1 code)
+is the kind of structural fact these numbers surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..memory import duplex_model, simplex_model
+from ..memory.base import MemoryMarkovModel
+
+
+@dataclass(frozen=True)
+class Sensitivity:
+    """Elasticity of BER with respect to one parameter."""
+
+    parameter: str
+    base_value: float
+    base_ber: float
+    elasticity: float
+
+
+def elasticity(
+    build: Callable[[float], MemoryMarkovModel],
+    base_value: float,
+    t_hours: float,
+    rel_step: float = 0.05,
+    method: str = "uniformization",
+) -> float:
+    """``d log BER / d log x`` at ``x = base_value`` by central differences."""
+    if base_value <= 0:
+        raise ValueError("elasticity needs a positive base value")
+    if not 0 < rel_step < 1:
+        raise ValueError("rel_step must be in (0, 1)")
+    import math
+
+    lo = build(base_value * (1 - rel_step))
+    hi = build(base_value * (1 + rel_step))
+    ber_lo = float(lo.ber([t_hours], method=method)[0])
+    ber_hi = float(hi.ber([t_hours], method=method)[0])
+    if ber_lo <= 0 or ber_hi <= 0:
+        raise ValueError(
+            "BER is zero at the evaluation point; elasticity undefined"
+        )
+    dlog_ber = math.log(ber_hi) - math.log(ber_lo)
+    dlog_x = math.log1p(rel_step) - math.log1p(-rel_step)
+    return dlog_ber / dlog_x
+
+
+def memory_system_sensitivities(
+    arrangement: str,
+    n: int,
+    k: int,
+    t_hours: float,
+    seu_per_bit_day: float,
+    erasure_per_symbol_day: float = 0.0,
+    scrub_period_seconds: Optional[float] = None,
+    m: int = 8,
+) -> List[Sensitivity]:
+    """Elasticities of BER w.r.t. every active rate of a configuration.
+
+    Parameters with zero base value are skipped (no meaningful local
+    log-derivative).  The scrubbing period's elasticity is reported with
+    respect to ``Tsc`` itself (positive: longer period, more BER).
+    """
+    factory = simplex_model if arrangement == "simplex" else duplex_model
+    if arrangement not in ("simplex", "duplex"):
+        raise ValueError(f"unknown arrangement {arrangement!r}")
+
+    def base_model():
+        return factory(
+            n,
+            k,
+            m=m,
+            seu_per_bit_day=seu_per_bit_day,
+            erasure_per_symbol_day=erasure_per_symbol_day,
+            scrub_period_seconds=scrub_period_seconds,
+        )
+
+    base_ber = float(base_model().ber([t_hours])[0])
+    results: List[Sensitivity] = []
+
+    param_builders: Dict[str, tuple[float, Callable[[float], MemoryMarkovModel]]] = {}
+    if seu_per_bit_day > 0:
+        param_builders["seu_per_bit_day"] = (
+            seu_per_bit_day,
+            lambda v: factory(
+                n,
+                k,
+                m=m,
+                seu_per_bit_day=v,
+                erasure_per_symbol_day=erasure_per_symbol_day,
+                scrub_period_seconds=scrub_period_seconds,
+            ),
+        )
+    if erasure_per_symbol_day > 0:
+        param_builders["erasure_per_symbol_day"] = (
+            erasure_per_symbol_day,
+            lambda v: factory(
+                n,
+                k,
+                m=m,
+                seu_per_bit_day=seu_per_bit_day,
+                erasure_per_symbol_day=v,
+                scrub_period_seconds=scrub_period_seconds,
+            ),
+        )
+    if scrub_period_seconds:
+        param_builders["scrub_period_seconds"] = (
+            scrub_period_seconds,
+            lambda v: factory(
+                n,
+                k,
+                m=m,
+                seu_per_bit_day=seu_per_bit_day,
+                erasure_per_symbol_day=erasure_per_symbol_day,
+                scrub_period_seconds=v,
+            ),
+        )
+
+    for name, (value, build) in param_builders.items():
+        results.append(
+            Sensitivity(
+                parameter=name,
+                base_value=value,
+                base_ber=base_ber,
+                elasticity=elasticity(build, value, t_hours),
+            )
+        )
+    return sorted(results, key=lambda s: -abs(s.elasticity))

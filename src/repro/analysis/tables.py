@@ -1,0 +1,85 @@
+"""Plain-text rendering of BER series and cost tables.
+
+The paper reports its evaluation as log-scale BER plots; the benchmark
+harness regenerates each one as an ASCII table (time column + one column
+per swept parameter), which is what lands in EXPERIMENTS.md and on stdout
+when a bench runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..memory.ber import BERCurve
+from ..rs.complexity import ArrangementCost
+
+
+def format_ber(value: float) -> str:
+    """Scientific notation tuned for values spanning 1e-200 .. 1."""
+    if value == 0.0:
+        return "0"
+    return f"{value:.3e}"
+
+
+def render_ber_table(
+    curves: Sequence[BERCurve],
+    time_label: str = "hours",
+    time_scale: float = 1.0,
+    max_rows: int = 13,
+) -> str:
+    """Render BER curves as one table: a time column, one column per curve.
+
+    ``time_scale`` divides the hour-based grid for display (e.g. 730 to
+    show months).  Rows are decimated evenly down to ``max_rows``.
+    """
+    if not curves:
+        return "(no curves)"
+    grid = curves[0].times_hours
+    for c in curves[1:]:
+        if len(c.times_hours) != len(grid):
+            raise ValueError("curves must share a time grid")
+    indices = _decimate(len(grid), max_rows)
+    header = [time_label] + [c.label for c in curves]
+    rows: List[List[str]] = []
+    for i in indices:
+        row = [f"{grid[i] / time_scale:.1f}"]
+        row.extend(format_ber(float(c.ber[i])) for c in curves)
+        rows.append(row)
+    return _render(header, rows)
+
+
+def render_cost_table(costs: Iterable[ArrangementCost]) -> str:
+    """Render the Section 6 decoder complexity comparison."""
+    header = ["arrangement", "code", "decoders", "Td (cycles)", "area (gates)"]
+    rows = [
+        [
+            c.name,
+            f"RS({c.n},{c.k})",
+            str(c.num_decoders),
+            str(c.decode_cycles),
+            f"{c.area_gates:.0f}",
+        ]
+        for c in costs
+    ]
+    return _render(header, rows)
+
+
+def _decimate(length: int, max_rows: int) -> List[int]:
+    if length <= max_rows:
+        return list(range(length))
+    step = (length - 1) / (max_rows - 1)
+    return sorted({round(i * step) for i in range(max_rows)})
+
+
+def _render(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

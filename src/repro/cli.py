@@ -1,0 +1,341 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``figure fig5..fig10 [--points N] [--csv DIR]`` — regenerate one (or
+  ``all``) of the paper's figures as an ASCII table, optionally exporting
+  CSV data.
+* ``ber`` — evaluate BER(t) for an ad-hoc configuration (arrangement,
+  code, rates, scrub period).
+* ``complexity`` — the Section 6 decoder latency/area table.
+* ``validate`` — quick Monte-Carlo cross-check of the chains at an
+  MC-visible rate.
+* ``scrub-design`` — the largest scrubbing period meeting a BER budget,
+  with its availability/bandwidth overhead.
+* ``report`` — regenerate every artifact into one markdown report.
+* ``sensitivity`` — BER elasticities of a configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reed-Solomon coded fault-tolerant memory analysis "
+            "(DATE 2005 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("ids", nargs="+", help="fig5..fig10 or 'all'")
+    fig.add_argument("--points", type=int, default=13, help="time grid size")
+    fig.add_argument("--csv", metavar="DIR", help="also export CSV data")
+
+    ber = sub.add_parser("ber", help="BER(t) of an ad-hoc configuration")
+    ber.add_argument(
+        "--arrangement", choices=("simplex", "duplex"), default="simplex"
+    )
+    ber.add_argument("--n", type=int, default=18)
+    ber.add_argument("--k", type=int, default=16)
+    ber.add_argument("--m", type=int, default=8)
+    ber.add_argument(
+        "--seu", type=float, default=0.0, help="SEU rate, errors/bit/day"
+    )
+    ber.add_argument(
+        "--permanent",
+        type=float,
+        default=0.0,
+        help="permanent fault rate, /symbol/day",
+    )
+    ber.add_argument(
+        "--tsc", type=float, default=None, help="scrub period, seconds"
+    )
+    ber.add_argument(
+        "--hours", type=float, default=48.0, help="storage horizon, hours"
+    )
+    ber.add_argument("--points", type=int, default=13)
+
+    sub.add_parser("complexity", help="Section 6 decoder cost table")
+
+    val = sub.add_parser("validate", help="Monte-Carlo cross-check")
+    val.add_argument("--trials", type=int, default=1000)
+    val.add_argument("--seed", type=int, default=2005)
+
+    report = sub.add_parser(
+        "report", help="write the full markdown reproduction report"
+    )
+    report.add_argument("-o", "--output", default="reproduction_report.md")
+    report.add_argument("--points", type=int, default=13)
+
+    sens = sub.add_parser(
+        "sensitivity", help="BER elasticities of a configuration"
+    )
+    sens.add_argument(
+        "--arrangement", choices=("simplex", "duplex"), default="duplex"
+    )
+    sens.add_argument("--n", type=int, default=18)
+    sens.add_argument("--k", type=int, default=16)
+    sens.add_argument("--seu", type=float, default=1.7e-5)
+    sens.add_argument("--permanent", type=float, default=0.0)
+    sens.add_argument("--tsc", type=float, default=None)
+    sens.add_argument("--hours", type=float, default=48.0)
+
+    scen = sub.add_parser(
+        "scenario", help="run JSON scenario file(s)"
+    )
+    scen.add_argument("path", help="JSON file: one scenario or a list")
+
+    camp = sub.add_parser(
+        "campaign", help="bulk model-vs-simulation validation campaign"
+    )
+    camp.add_argument("--trials", type=int, default=300)
+    camp.add_argument("--seed", type=int, default=2005)
+
+    design = sub.add_parser(
+        "scrub-design", help="slowest scrub meeting a BER budget"
+    )
+    design.add_argument("--budget", type=float, default=1e-6)
+    design.add_argument("--seu", type=float, default=1.7e-5)
+    design.add_argument("--hours", type=float, default=48.0)
+    design.add_argument("--words", type=int, default=1 << 20)
+    design.add_argument("--clock-mhz", type=float, default=50.0)
+    return parser
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from .analysis import ALL_FIGURES, render_ber_table
+    from .analysis.export import experiment_to_csv
+    from .memory import HOURS_PER_MONTH
+
+    ids = list(ALL_FIGURES) if "all" in args.ids else args.ids
+    unknown = [i for i in ids if i not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figure id(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for fig_id in ids:
+        result = ALL_FIGURES[fig_id](points=args.points)
+        monthly = fig_id in ("fig8", "fig9", "fig10")
+        scale = HOURS_PER_MONTH if monthly else 1.0
+        label = "months" if monthly else "hours"
+        print(f"\n{fig_id}: {result.title}")
+        print(render_ber_table(result.curves, time_label=label, time_scale=scale))
+        failed = result.failed_expectations()
+        print(
+            "expectations: "
+            + ("all hold" if not failed else f"FAILED - {failed}")
+        )
+        if args.csv:
+            path = experiment_to_csv(
+                result, args.csv, time_label=label, time_scale=scale
+            )
+            print(f"csv: {path}")
+        if failed:
+            return 1
+    return 0
+
+
+def cmd_ber(args: argparse.Namespace) -> int:
+    from .analysis import render_ber_table
+    from .memory import ber_curve, duplex_model, simplex_model
+
+    factory = simplex_model if args.arrangement == "simplex" else duplex_model
+    model = factory(
+        args.n,
+        args.k,
+        m=args.m,
+        seu_per_bit_day=args.seu,
+        erasure_per_symbol_day=args.permanent,
+        scrub_period_seconds=args.tsc,
+    )
+    times = np.linspace(0.0, args.hours, args.points)
+    curve = ber_curve(model, times, label=args.arrangement)
+    print(render_ber_table([curve]))
+    print(f"\nBER({args.hours:g} h) = {curve.final:.6e}")
+    return 0
+
+
+def cmd_complexity(_args: argparse.Namespace) -> int:
+    from .analysis import render_cost_table, table_decoder_complexity
+
+    print(render_cost_table(table_decoder_complexity()))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .memory import duplex_model, simplex_model
+    from .rs import RSCode
+    from .simulator import gillespie_fail_probability, simulate_fail_probability
+
+    rng = np.random.default_rng(args.seed)
+    lam_day = 2e-3
+    code = RSCode(18, 16, m=8)
+    ok = True
+    for name, model in (
+        ("simplex", simplex_model(18, 16, seu_per_bit_day=lam_day)),
+        ("duplex", duplex_model(18, 16, seu_per_bit_day=lam_day)),
+    ):
+        p = model.fail_probability([48.0])[0]
+        ssa = gillespie_fail_probability(model, 48.0, args.trials, rng)
+        mc = simulate_fail_probability(
+            name,
+            code,
+            48.0,
+            seu_per_bit=lam_day / 24.0,
+            erasure_per_symbol=0.0,
+            trials=max(200, args.trials // 4),
+            rng=rng,
+        )
+        agree = ssa.consistent_with(p)
+        ok = ok and agree
+        print(
+            f"{name:8s} chain={p:.4f}  SSA={ssa.probability:.4f} "
+            f"[{ssa.ci_low:.4f},{ssa.ci_high:.4f}] "
+            f"{'OK' if agree else 'DISAGREES'}  codec-MC={mc.probability:.4f}"
+        )
+    print(
+        "note: the duplex codec-MC sits below its chain by design - the "
+        "paper's either-word fail rule is conservative (see EXPERIMENTS.md)."
+    )
+    return 0 if ok else 1
+
+
+def cmd_scrub_design(args: argparse.Namespace) -> int:
+    from .analysis import max_scrub_period_for_budget
+    from .memory import scrub_overhead
+
+    period = max_scrub_period_for_budget(
+        18,
+        16,
+        seu_per_bit_day=args.seu,
+        budget=args.budget,
+        horizon_hours=args.hours,
+    )
+    overhead = scrub_overhead(
+        18,
+        16,
+        num_words=args.words,
+        scrub_period_seconds=period,
+        clock_hz=args.clock_mhz * 1e6,
+        num_decoders=2,
+    )
+    print(
+        f"budget {args.budget:g} over {args.hours:g} h at "
+        f"lambda={args.seu:g}/bit/day:"
+    )
+    print(f"  slowest admissible Tsc : {period:.0f} s ({period / 60:.0f} min)")
+    print(f"  scrub pass duration    : {overhead.pass_seconds:.3f} s")
+    print(f"  availability           : {overhead.availability:.6f}")
+    print(
+        f"  scrub bandwidth        : "
+        f"{overhead.scrub_bandwidth_bits_per_s / 8e3:.1f} kB/s"
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import write_report
+
+    path = write_report(args.output, points=args.points)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .analysis import memory_system_sensitivities
+
+    results = memory_system_sensitivities(
+        args.arrangement,
+        args.n,
+        args.k,
+        args.hours,
+        seu_per_bit_day=args.seu,
+        erasure_per_symbol_day=args.permanent,
+        scrub_period_seconds=args.tsc,
+    )
+    if not results:
+        print("no active parameters to differentiate")
+        return 1
+    print(
+        f"{args.arrangement} RS({args.n},{args.k}), "
+        f"BER({args.hours:g} h) = {results[0].base_ber:.3e}"
+    )
+    for s in results:
+        print(
+            f"  {s.parameter:<24} base={s.base_value:<12g} "
+            f"elasticity={s.elasticity:+.3f}"
+        )
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from .analysis import render_ber_table
+    from .analysis.scenario import run_scenario_suite
+
+    results = run_scenario_suite(args.path)
+    failed_budget = False
+    for result in results:
+        print(result.summary())
+        print(render_ber_table([result.curve]))
+        print()
+        if result.meets_budget is False:
+            failed_budget = True
+    return 1 if failed_budget else 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .simulator import (
+        campaign_summary,
+        default_validation_campaign,
+        run_campaign,
+    )
+
+    rows = run_campaign(
+        default_validation_campaign(),
+        trials=args.trials,
+        base_seed=args.seed,
+    )
+    for row in rows:
+        mark = "OK " if row.consistent else "!! "
+        est = row.estimate
+        print(
+            f"{mark}{row.cell.label():<40} model={row.model_fail_probability:.4f} "
+            f"mc={est.probability:.4f} [{est.ci_low:.4f},{est.ci_high:.4f}]"
+        )
+    summary = campaign_summary(rows)
+    print()
+    all_ok = True
+    for arrangement, (ok, total) in summary.items():
+        print(f"{arrangement}: {ok}/{total} cells consistent")
+        all_ok = all_ok and ok == total
+    return 0 if all_ok else 1
+
+
+_COMMANDS = {
+    "figure": cmd_figure,
+    "report": cmd_report,
+    "campaign": cmd_campaign,
+    "scenario": cmd_scenario,
+    "sensitivity": cmd_sensitivity,
+    "ber": cmd_ber,
+    "complexity": cmd_complexity,
+    "validate": cmd_validate,
+    "scrub-design": cmd_scrub_design,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

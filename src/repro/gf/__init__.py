@@ -1,0 +1,31 @@
+"""Galois-field arithmetic substrate for the Reed-Solomon codec.
+
+Public surface:
+
+* :class:`~repro.gf.field.GF2m` — the field GF(2^m) with table-driven
+  multiply/divide/pow.
+* :mod:`~repro.gf.poly` — polynomial algebra over the field (ascending
+  coefficient lists).
+"""
+
+from . import poly, structure
+from .field import DEFAULT_PRIMITIVE_POLYNOMIALS, GF2m
+from .structure import (
+    conjugates,
+    cyclotomic_cosets,
+    element_order,
+    is_primitive_element,
+    minimal_polynomial,
+)
+
+__all__ = [
+    "GF2m",
+    "DEFAULT_PRIMITIVE_POLYNOMIALS",
+    "poly",
+    "structure",
+    "element_order",
+    "is_primitive_element",
+    "cyclotomic_cosets",
+    "conjugates",
+    "minimal_polynomial",
+]

@@ -1,0 +1,194 @@
+"""Finite-field arithmetic over GF(2^m).
+
+Reed-Solomon codes operate on symbols drawn from a Galois field GF(2^m).
+This module provides :class:`GF2m`, a table-driven implementation of the
+field: multiplication and division run through exponential/logarithm lookup
+tables built once per field, while addition/subtraction are plain XOR.
+
+The default primitive polynomials are the conventional ones used by most
+codec implementations (e.g. ``x^8 + x^4 + x^3 + x^2 + 1`` for GF(256)); any
+other primitive polynomial of the right degree may be supplied.
+
+Example
+-------
+>>> gf = GF2m(8)
+>>> gf.mul(0x53, 0xCA)
+1
+>>> gf.add(5, 5)
+0
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+# Conventional primitive polynomials for GF(2^m), keyed by m.  Values are the
+# full polynomial including the x^m term, encoded as an integer bit mask
+# (bit i = coefficient of x^i).
+DEFAULT_PRIMITIVE_POLYNOMIALS = {
+    2: 0b111,                # x^2 + x + 1
+    3: 0b1011,               # x^3 + x + 1
+    4: 0b10011,              # x^4 + x + 1
+    5: 0b100101,             # x^5 + x^2 + 1
+    6: 0b1000011,            # x^6 + x + 1
+    7: 0b10001001,           # x^7 + x^3 + 1
+    8: 0b100011101,          # x^8 + x^4 + x^3 + x^2 + 1
+    9: 0b1000010001,         # x^9 + x^4 + 1
+    10: 0b10000001001,       # x^10 + x^3 + 1
+    11: 0b100000000101,      # x^11 + x^2 + 1
+    12: 0b1000001010011,     # x^12 + x^6 + x^4 + x + 1
+    13: 0b10000000011011,    # x^13 + x^4 + x^3 + x + 1
+    14: 0b100010001000011,   # x^14 + x^10 + x^6 + x + 1
+    15: 0b1000000000000011,  # x^15 + x + 1
+    16: 0b10001000000001011, # x^16 + x^12 + x^3 + x + 1
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with table-driven arithmetic.
+
+    Parameters
+    ----------
+    m:
+        Symbol width in bits; the field has ``2^m`` elements.  Supported
+        range is 2..16 with the built-in polynomial table.
+    primitive_polynomial:
+        Optional full primitive polynomial (including the ``x^m`` term)
+        encoded as an integer bit mask.  Must be primitive of degree ``m``;
+        primitivity is verified during table construction.
+
+    Attributes
+    ----------
+    m: symbol width in bits.
+    order: number of field elements, ``2^m``.
+    alpha: the primitive element used to generate the multiplicative group
+        (always the element ``2``, i.e. the polynomial ``x``).
+    """
+
+    def __init__(self, m: int, primitive_polynomial: int | None = None):
+        if not isinstance(m, int) or m < 2:
+            raise ValueError(f"symbol width m must be an integer >= 2, got {m!r}")
+        if primitive_polynomial is None:
+            try:
+                primitive_polynomial = DEFAULT_PRIMITIVE_POLYNOMIALS[m]
+            except KeyError:
+                raise ValueError(
+                    f"no built-in primitive polynomial for m={m}; "
+                    "pass primitive_polynomial explicitly"
+                ) from None
+        if primitive_polynomial.bit_length() != m + 1:
+            raise ValueError(
+                f"primitive polynomial must have degree {m} "
+                f"(bit length {m + 1}), got bit length "
+                f"{primitive_polynomial.bit_length()}"
+            )
+        self.m = m
+        self.order = 1 << m
+        self.prim_poly = primitive_polynomial
+        self.alpha = 2
+        self._exp, self._log = self._build_tables()
+
+    def _build_tables(self) -> tuple[List[int], List[int]]:
+        """Build exp/log tables; verify the polynomial is primitive."""
+        size = self.order
+        exp = [0] * (2 * size)  # doubled so mul can skip one modulo
+        log = [0] * size
+        x = 1
+        for i in range(size - 1):
+            exp[i] = x
+            if log[x] != 0 and x != 1:
+                raise ValueError(
+                    f"polynomial {self.prim_poly:#x} is not primitive over "
+                    f"GF(2^{self.m}): repeated element {x} at power {i}"
+                )
+            log[x] = i
+            x <<= 1
+            if x & size:
+                x ^= self.prim_poly
+        if x != 1:
+            raise ValueError(
+                f"polynomial {self.prim_poly:#x} is not primitive over "
+                f"GF(2^{self.m}): alpha^(2^m-1) != 1"
+            )
+        for i in range(size - 1, 2 * size):
+            exp[i] = exp[i - (size - 1)]
+        return exp, log
+
+    # -- basic operations ---------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR). Identical to :meth:`sub`."""
+        return a ^ b
+
+    def sub(self, a: int, b: int) -> int:
+        """Field subtraction (XOR). Identical to :meth:`add`."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication via log/antilog tables."""
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``; raises ZeroDivisionError if b == 0."""
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self._exp[self._log[a] - self._log[b] + (self.order - 1)]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises ZeroDivisionError if a == 0."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no multiplicative inverse")
+        return self._exp[(self.order - 1) - self._log[a]]
+
+    def pow(self, a: int, e: int) -> int:
+        """Raise element ``a`` to the (possibly negative) integer power ``e``."""
+        if a == 0:
+            if e > 0:
+                return 0
+            if e == 0:
+                return 1
+            raise ZeroDivisionError("0 cannot be raised to a negative power")
+        idx = (self._log[a] * e) % (self.order - 1)
+        return self._exp[idx]
+
+    def exp(self, e: int) -> int:
+        """Return ``alpha^e`` for the primitive element alpha."""
+        return self._exp[e % (self.order - 1)]
+
+    def log(self, a: int) -> int:
+        """Return the discrete log base alpha; raises ValueError for 0."""
+        if a == 0:
+            raise ValueError("log(0) is undefined")
+        return self._log[a]
+
+    # -- introspection helpers ----------------------------------------------
+
+    def elements(self) -> Iterable[int]:
+        """Iterate over all field elements, 0 first."""
+        return range(self.order)
+
+    def nonzero_elements(self) -> Iterable[int]:
+        """Iterate over the multiplicative group (all nonzero elements)."""
+        return range(1, self.order)
+
+    def validate_element(self, a: int) -> None:
+        """Raise ValueError if ``a`` is not a field element."""
+        if not isinstance(a, (int,)) or not 0 <= a < self.order:
+            raise ValueError(f"{a!r} is not an element of GF(2^{self.m})")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GF2m)
+            and other.m == self.m
+            and other.prim_poly == self.prim_poly
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.m, self.prim_poly))
+
+    def __repr__(self) -> str:
+        return f"GF2m(m={self.m}, prim_poly={self.prim_poly:#x})"

@@ -1,0 +1,152 @@
+"""Polynomial arithmetic over GF(2^m).
+
+Polynomials are represented as Python lists of field elements in
+*ascending* power order: ``[c0, c1, c2]`` is ``c0 + c1*x + c2*x^2``.
+The zero polynomial is ``[0]`` (never the empty list).  All functions are
+free functions taking the field as their first argument, which keeps the
+representation transparent and cheap — the RS codec manipulates these lists
+in tight loops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .field import GF2m
+
+Poly = List[int]
+
+
+def normalize(p: Sequence[int]) -> Poly:
+    """Strip trailing (high-order) zero coefficients; zero poly is ``[0]``."""
+    p = list(p)
+    while len(p) > 1 and p[-1] == 0:
+        p.pop()
+    if not p:
+        return [0]
+    return p
+
+
+def degree(p: Sequence[int]) -> int:
+    """Degree of the polynomial; the zero polynomial has degree -1."""
+    for i in range(len(p) - 1, -1, -1):
+        if p[i] != 0:
+            return i
+    return -1
+
+
+def is_zero(p: Sequence[int]) -> bool:
+    """True if every coefficient is zero."""
+    return all(c == 0 for c in p)
+
+
+def add(gf: GF2m, a: Sequence[int], b: Sequence[int]) -> Poly:
+    """Add two polynomials (coefficient-wise XOR)."""
+    if len(a) < len(b):
+        a, b = b, a
+    out = list(a)
+    for i, c in enumerate(b):
+        out[i] ^= c
+    return normalize(out)
+
+
+# Subtraction over GF(2^m) is identical to addition.
+sub = add
+
+
+def scale(gf: GF2m, p: Sequence[int], s: int) -> Poly:
+    """Multiply every coefficient of ``p`` by the scalar ``s``."""
+    if s == 0:
+        return [0]
+    return normalize([gf.mul(c, s) for c in p])
+
+
+def mul(gf: GF2m, a: Sequence[int], b: Sequence[int]) -> Poly:
+    """Multiply two polynomials (schoolbook; degrees here are small)."""
+    if is_zero(a) or is_zero(b):
+        return [0]
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ca in enumerate(a):
+        if ca == 0:
+            continue
+        for j, cb in enumerate(b):
+            if cb == 0:
+                continue
+            out[i + j] ^= gf.mul(ca, cb)
+    return normalize(out)
+
+
+def mul_by_xn(p: Sequence[int], n: int) -> Poly:
+    """Multiply by ``x^n`` (shift coefficients up by n)."""
+    if is_zero(p):
+        return [0]
+    return [0] * n + list(p)
+
+
+def divmod_poly(gf: GF2m, num: Sequence[int], den: Sequence[int]) -> tuple[Poly, Poly]:
+    """Polynomial long division; returns ``(quotient, remainder)``."""
+    den = normalize(den)
+    if is_zero(den):
+        raise ZeroDivisionError("polynomial division by zero")
+    num = normalize(num)
+    dn, dd = degree(num), degree(den)
+    if dn < dd:
+        return [0], list(num)
+    rem = list(num)
+    quot = [0] * (dn - dd + 1)
+    inv_lead = gf.inv(den[dd])
+    for shift in range(dn - dd, -1, -1):
+        coef = gf.mul(rem[dd + shift], inv_lead)
+        quot[shift] = coef
+        if coef != 0:
+            for i in range(dd + 1):
+                rem[i + shift] ^= gf.mul(den[i], coef)
+    return normalize(quot), normalize(rem)
+
+
+def mod(gf: GF2m, num: Sequence[int], den: Sequence[int]) -> Poly:
+    """Remainder of polynomial division."""
+    return divmod_poly(gf, num, den)[1]
+
+
+def eval_at(gf: GF2m, p: Sequence[int], x: int) -> int:
+    """Evaluate the polynomial at the field element ``x`` (Horner)."""
+    acc = 0
+    for c in reversed(list(p)):
+        acc = gf.mul(acc, x) ^ c
+    return acc
+
+
+def derivative(gf: GF2m, p: Sequence[int]) -> Poly:
+    """Formal derivative.
+
+    Over characteristic-2 fields the derivative keeps odd-power coefficients
+    (shifted down one) and kills even-power ones, because the integer factor
+    ``i`` reduces mod 2.
+    """
+    out = [0] * max(1, len(p) - 1)
+    for i in range(1, len(p)):
+        if i % 2 == 1:
+            out[i - 1] = p[i]
+    return normalize(out)
+
+
+def monomial(gf: GF2m, coefficient: int, power: int) -> Poly:
+    """Build ``coefficient * x^power``."""
+    if coefficient == 0:
+        return [0]
+    return [0] * power + [coefficient]
+
+
+def from_roots(gf: GF2m, roots: Sequence[int]) -> Poly:
+    """Build the monic polynomial with the given roots: prod (x - r)."""
+    p: Poly = [1]
+    for r in roots:
+        # (x - r) == (x + r) in characteristic 2
+        p = mul(gf, p, [r, 1])
+    return p
+
+
+def roots(gf: GF2m, p: Sequence[int]) -> List[int]:
+    """Find all roots by exhaustive (Chien-style) search over the field."""
+    return [x for x in gf.elements() if eval_at(gf, p, x) == 0]

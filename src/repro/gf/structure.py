@@ -1,0 +1,109 @@
+"""Multiplicative structure of GF(2^m): orders, cosets, minimal polynomials.
+
+Supporting theory for code construction and verification:
+
+* :func:`element_order` — order of an element in the multiplicative group;
+* :func:`cyclotomic_cosets` — the 2-cyclotomic cosets mod ``2^m - 1``,
+  the orbit structure of conjugacy (Frobenius) classes;
+* :func:`minimal_polynomial` — the minimal polynomial of an element over
+  GF(2), built from its conjugacy class;
+* :func:`is_primitive_element` — primitivity test.
+
+Used by the tests to verify the RS generator polynomial from first
+principles (its roots are ``n - k`` consecutive powers of a primitive
+element, hence the design distance), and available for users building
+BCH-style subfield codes on the same field machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from . import poly
+from .field import GF2m
+
+
+def element_order(gf: GF2m, a: int) -> int:
+    """Multiplicative order of ``a``; raises for 0."""
+    if a == 0:
+        raise ValueError("0 has no multiplicative order")
+    group = gf.order - 1
+    # order divides the group order; try divisors in increasing size
+    for divisor in sorted(_divisors(group)):
+        if gf.pow(a, divisor) == 1:
+            return divisor
+    raise AssertionError("unreachable: order must divide group order")
+
+
+def is_primitive_element(gf: GF2m, a: int) -> bool:
+    """True iff ``a`` generates the whole multiplicative group."""
+    if a == 0:
+        return False
+    return element_order(gf, a) == gf.order - 1
+
+
+def cyclotomic_cosets(m: int) -> List[List[int]]:
+    """The 2-cyclotomic cosets of exponents modulo ``2^m - 1``.
+
+    Each coset ``{e, 2e, 4e, ...}`` collects the exponents of a full
+    conjugacy class; their sizes divide ``m`` and they partition
+    ``0 .. 2^m - 2``.
+    """
+    if m < 2:
+        raise ValueError("need m >= 2")
+    modulus = (1 << m) - 1
+    seen: Set[int] = set()
+    cosets: List[List[int]] = []
+    for e in range(modulus):
+        if e in seen:
+            continue
+        coset = []
+        x = e
+        while x not in seen:
+            seen.add(x)
+            coset.append(x)
+            x = (x * 2) % modulus
+        cosets.append(sorted(coset))
+    return cosets
+
+
+def conjugates(gf: GF2m, a: int) -> List[int]:
+    """The Frobenius conjugacy class ``{a, a^2, a^4, ...}`` of ``a``."""
+    if a == 0:
+        return [0]
+    out = []
+    x = a
+    while x not in out:
+        out.append(x)
+        x = gf.mul(x, x)
+    return out
+
+
+def minimal_polynomial(gf: GF2m, a: int) -> List[int]:
+    """Minimal polynomial of ``a`` over GF(2), ascending coefficients.
+
+    The product ``prod (x - c)`` over the conjugacy class of ``a``; all
+    coefficients land in {0, 1} (verified), and the degree equals the
+    class size (a divisor of m).
+    """
+    if a == 0:
+        return [0, 1]  # x
+    p = poly.from_roots(gf, conjugates(gf, a))
+    if any(c not in (0, 1) for c in p):
+        raise AssertionError(
+            "minimal polynomial has non-binary coefficients; "
+            "field tables are inconsistent"
+        )
+    return p
+
+
+def _divisors(n: int) -> List[int]:
+    out = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            out.append(d)
+            if d != n // d:
+                out.append(n // d)
+        d += 1
+    return out

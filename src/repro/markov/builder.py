@@ -1,0 +1,63 @@
+"""State-space exploration for Markov models.
+
+The memory models describe their dynamics locally — "from state ``s`` the
+possible moves are …" — and :func:`build_chain` turns that local rule into
+a full :class:`~repro.markov.chain.CTMC` by breadth-first exploration from
+the initial state.  This mirrors how reliability tools (and the paper's
+SURE input) enumerate reachable configurations, and contains the state
+explosion to what is actually reachable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterable, List, Tuple
+
+from .chain import CTMC
+
+State = Hashable
+TransitionFn = Callable[[State], Iterable[Tuple[State, float]]]
+
+
+def build_chain(
+    initial_state: State,
+    transition_fn: TransitionFn,
+    max_states: int = 2_000_000,
+) -> CTMC:
+    """Explore the reachable state space and assemble a CTMC.
+
+    Parameters
+    ----------
+    initial_state:
+        Starting state (receives probability 1).
+    transition_fn:
+        Maps a state to an iterable of ``(next_state, rate)`` pairs.
+        Zero-rate pairs are ignored; returning an empty iterable makes the
+        state absorbing.  Multiple pairs to the same successor are summed.
+    max_states:
+        Safety bound on the exploration; exceeding it raises RuntimeError
+        rather than silently truncating the model.
+    """
+    states: List[State] = []
+    seen = set()
+    transitions: List[Tuple[State, State, float]] = []
+    queue = deque([initial_state])
+    seen.add(initial_state)
+    while queue:
+        state = queue.popleft()
+        states.append(state)
+        if len(states) > max_states:
+            raise RuntimeError(
+                f"state space exceeds max_states={max_states}; "
+                "raise the bound or shrink the model"
+            )
+        for nxt, rate in transition_fn(state):
+            if rate < 0:
+                raise ValueError(f"negative rate {rate} from state {state!r}")
+            if rate == 0.0 or nxt == state:
+                continue
+            transitions.append((state, nxt, rate))
+            if nxt not in seen:
+                seen.add(nxt)
+                queue.append(nxt)
+    return CTMC(states, transitions, initial_state)

@@ -1,0 +1,79 @@
+"""Quasi-stationary analysis of absorbing chains.
+
+A memory word heading for the absorbing FAIL state still has a
+well-defined long-run *shape* while it survives: conditioned on
+non-absorption, the distribution converges to the quasi-stationary
+distribution (QSD) — the left Perron eigenvector of the transient block
+— and the survival probability decays at the associated eigenvalue.
+For the paper's models this yields the asymptotic hazard of an
+unscrubbed word and the typical damage profile of the survivors
+(how many erasures/errors a still-readable word carries late in life).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable
+
+import numpy as np
+
+from .chain import CTMC
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class QuasiStationary:
+    """QSD and decay rate of an absorbing chain.
+
+    Attributes
+    ----------
+    distribution:
+        ``{state: probability}`` over transient states, conditioned on
+        survival (sums to 1).
+    decay_rate:
+        Asymptotic hazard: ``P(survive t) ~ C * exp(-decay_rate * t)``.
+    """
+
+    distribution: Dict[State, float]
+    decay_rate: float
+
+    def mean_residual_life(self) -> float:
+        """Expected remaining survival time once quasi-stationarity holds."""
+        if self.decay_rate <= 0:
+            return float("inf")
+        return 1.0 / self.decay_rate
+
+
+def quasi_stationary(chain: CTMC) -> QuasiStationary:
+    """Compute the QSD of a chain with at least one absorbing state.
+
+    Solves the left eigenproblem of the transient generator block; the
+    eigenvalue of smallest magnitude real part gives the decay rate and
+    its (sign-fixed, normalized) eigenvector the QSD.
+    """
+    out_rates = chain.exit_rates()
+    transient = [i for i, r in enumerate(out_rates) if r > 0.0]
+    absorbing = [i for i, r in enumerate(out_rates) if r == 0.0]
+    if not absorbing:
+        raise ValueError("chain has no absorbing states")
+    if not transient:
+        raise ValueError("chain has no transient states")
+    q = chain.generator(dense=True)
+    block = q[np.ix_(transient, transient)]
+    eigenvalues, left_vectors = np.linalg.eig(block.T)
+    # dominant (least-negative real part) eigenvalue of the generator block
+    idx = int(np.argmax(eigenvalues.real))
+    decay = -float(eigenvalues[idx].real)
+    vector = left_vectors[:, idx].real
+    if vector.sum() < 0:
+        vector = -vector
+    vector = np.clip(vector, 0.0, None)
+    total = vector.sum()
+    if total <= 0:
+        raise np.linalg.LinAlgError("degenerate quasi-stationary eigenvector")
+    vector /= total
+    distribution = {
+        chain.states[i]: float(v) for i, v in zip(transient, vector)
+    }
+    return QuasiStationary(distribution=distribution, decay_rate=decay)

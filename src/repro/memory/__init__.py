@@ -1,0 +1,114 @@
+"""Memory-system fault models — the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.memory.simplex.SimplexMarkovModel` /
+  :func:`~repro.memory.simplex.simplex_model` — the RS-coded simplex
+  arrangement (paper Fig. 2).
+* :class:`~repro.memory.duplex.DuplexMarkovModel` /
+  :func:`~repro.memory.duplex.duplex_model` — the duplex arrangement with
+  erasure recovery and arbiter (paper Figs. 1, 3, 4).
+* :class:`~repro.memory.rates.FaultRates` — fault environment in explicit
+  units (paper quotes per-day rates and second-scale scrub periods).
+* :func:`~repro.memory.ber.ber_curve` — BER(t) evaluation, paper Eq. 1.
+* :mod:`~repro.memory.analytic` — exact closed forms for the no-scrub
+  pure-transient / pure-permanent regimes (deep-tail accurate).
+* :mod:`~repro.memory.scrubbing` — deterministic-period scrubbing
+  extension.
+"""
+
+from .analytic import (
+    AnalyticScopeError,
+    duplex_ber,
+    duplex_fail_probability,
+    simplex_ber,
+    simplex_fail_probability,
+)
+from .array import WholeMemory
+from .base import FAIL, MemoryMarkovModel
+from .ber import BERCurve, ber_curve
+from .detection import SimplexDetectionModel, simplex_detection_model
+from .detection_duplex import DuplexDetectionModel, duplex_detection_model
+from .duplex import DuplexMarkovModel, duplex_model
+from .mbu import (
+    ClusterDistribution,
+    Layout,
+    SimplexMBUModel,
+    mbu_layout_comparison,
+    symbol_multiplicity_rates,
+)
+from .mission import MissionPhase, MissionProfile, orbital_profile
+from .nmr import nmr_ber, nmr_read_unreliability, redundancy_sweep
+from .overhead import (
+    ScrubOverhead,
+    min_scrub_period_for_availability,
+    scrub_overhead,
+)
+from .rates import (
+    HOURS_PER_DAY,
+    HOURS_PER_MONTH,
+    FaultRates,
+    months_to_hours,
+    per_day_to_per_hour,
+    scrub_rate_from_period,
+)
+from .scrubbing import (
+    EmbeddedScrubAnalysis,
+    deterministic_scrub_ber,
+    deterministic_scrub_fail_probability,
+    embedded_scrub_analysis,
+)
+from .simplex import SimplexMarkovModel, simplex_model
+from .traffic import (
+    expected_failed_reads,
+    time_of_first_expected_failure,
+    workload_averaged_ber,
+)
+
+__all__ = [
+    "FAIL",
+    "MemoryMarkovModel",
+    "SimplexMarkovModel",
+    "simplex_model",
+    "DuplexMarkovModel",
+    "duplex_model",
+    "FaultRates",
+    "BERCurve",
+    "ber_curve",
+    "AnalyticScopeError",
+    "simplex_ber",
+    "simplex_fail_probability",
+    "duplex_ber",
+    "duplex_fail_probability",
+    "deterministic_scrub_ber",
+    "deterministic_scrub_fail_probability",
+    "HOURS_PER_DAY",
+    "HOURS_PER_MONTH",
+    "months_to_hours",
+    "per_day_to_per_hour",
+    "scrub_rate_from_period",
+    "SimplexDetectionModel",
+    "simplex_detection_model",
+    "MissionPhase",
+    "MissionProfile",
+    "orbital_profile",
+    "nmr_ber",
+    "nmr_read_unreliability",
+    "redundancy_sweep",
+    "ScrubOverhead",
+    "scrub_overhead",
+    "min_scrub_period_for_availability",
+    "ClusterDistribution",
+    "Layout",
+    "SimplexMBUModel",
+    "mbu_layout_comparison",
+    "symbol_multiplicity_rates",
+    "WholeMemory",
+    "EmbeddedScrubAnalysis",
+    "embedded_scrub_analysis",
+    "expected_failed_reads",
+    "workload_averaged_ber",
+    "time_of_first_expected_failure",
+    "DuplexDetectionModel",
+    "duplex_detection_model",
+]

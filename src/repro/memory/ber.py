@@ -1,0 +1,75 @@
+"""BER curve evaluation helpers (paper Eq. 1).
+
+Thin orchestration over the memory models: evaluate ``BER(t)`` on a time
+grid with a selectable backend — the CTMC transient solvers or, where
+valid, the closed-form solver of :mod:`repro.memory.analytic` — and bundle
+the result with its grid for the benchmark harness and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .analytic import AnalyticScopeError, duplex_ber, simplex_ber
+from .base import MemoryMarkovModel
+from .duplex import DuplexMarkovModel
+from .simplex import SimplexMarkovModel
+
+
+@dataclass(frozen=True)
+class BERCurve:
+    """A BER(t) series with its time grid (hours)."""
+
+    label: str
+    times_hours: np.ndarray
+    ber: np.ndarray
+
+    def at(self, t_hours: float) -> float:
+        """BER at the grid point closest to ``t_hours``."""
+        idx = int(np.argmin(np.abs(self.times_hours - t_hours)))
+        return float(self.ber[idx])
+
+    @property
+    def final(self) -> float:
+        """BER at the last grid point."""
+        return float(self.ber[-1])
+
+
+def ber_curve(
+    model: MemoryMarkovModel,
+    times_hours: Sequence[float],
+    method: str = "auto",
+    label: str | None = None,
+) -> BERCurve:
+    """Evaluate BER(t) for a memory model.
+
+    ``method="auto"`` prefers the closed-form solver (exact, deep-tail
+    accurate) when the model is in its scope — no scrubbing and a single
+    fault class — and falls back to uniformization otherwise.  Any
+    explicit CTMC method name ("uniformization", "expm", "ode") or
+    "analytic" can be forced.
+    """
+    times = np.asarray(list(times_hours), dtype=float)
+    if label is None:
+        label = repr(model)
+    if method == "auto":
+        try:
+            return BERCurve(label, times, _analytic_ber(model, times))
+        except AnalyticScopeError:
+            method = "uniformization"
+    if method == "analytic":
+        return BERCurve(label, times, _analytic_ber(model, times))
+    return BERCurve(label, times, model.ber(times, method=method))
+
+
+def _analytic_ber(model: MemoryMarkovModel, times: np.ndarray) -> np.ndarray:
+    if isinstance(model, SimplexMarkovModel):
+        return simplex_ber(model, times)
+    if isinstance(model, DuplexMarkovModel):
+        return duplex_ber(model, times)
+    raise AnalyticScopeError(
+        f"no closed-form solver for model type {type(model).__name__}"
+    )

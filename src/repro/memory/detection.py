@@ -1,0 +1,186 @@
+"""Permanent-fault detection latency (extension of paper Section 2).
+
+The paper assumes permanent faults are *located* (by self-checking
+hardware or Iddq monitoring) and can therefore be treated as erasures.
+Section 2 is explicit about the transient regime before location:
+
+    "Until the permanent fault is located, the error correction algorithm
+    assumes the erroneous behavior to be caused by a random error, thus
+    degrading the overall error correction capability of the provided
+    code.  When the permanent fault is located, the capability of the RS
+    code can be fully exploited."
+
+The chains in :mod:`repro.memory.simplex`/:mod:`~repro.memory.duplex`
+idealize location as instantaneous.  This module models the latency: an
+arriving permanent fault is initially *unlocated* and costs like a random
+error (weight 2); an on-line detection process locates it at rate
+``detection_rate`` per unlocated fault, converting it to an erasure
+(weight 1).  Scrubbing cannot remove permanent faults, located or not.
+
+State space: ``(er, u, re)`` — located erasures, unlocated permanent
+faults, random errors.  Capability: ``er + 2*(u + re) <= n - k``.
+
+Two metrics are exposed:
+
+* :meth:`SimplexDetectionModel.fail_probability` — the paper's
+  first-passage semantics (absorb the moment capability is ever
+  exceeded).  Note that under these semantics a *transit* through the
+  unlocated window is already fatal, so for small codes (RS(18,16)
+  tolerates only n-k = 2) detector speed barely registers; the metric is
+  informative for codes with slack, e.g. RS(36,16).
+* :meth:`SimplexDetectionModel.read_unreliability` — the probability a
+  read issued at time ``t`` fails (occupancy of over-capability states in
+  the *non-absorbing* chain).  Here location genuinely heals the word —
+  ``(er, u, re) = (1, 1, 0)`` is unreadable for RS(18,16) but becomes the
+  readable ``(2, 0, 0)`` once self-checking fires — so the metric cleanly
+  separates fast from slow detectors and converges to the paper's
+  idealized model as the detector speeds up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .base import FAIL, MemoryMarkovModel
+from .rates import FaultRates
+
+DetectionState = Tuple[int, int, int]  # (er, u, re)
+
+
+class SimplexDetectionModel(MemoryMarkovModel):
+    """Simplex RS(n, k) chain with finite permanent-fault location latency.
+
+    Parameters
+    ----------
+    n, k, m, rates:
+        As in the base class; ``rates.erasure_per_symbol`` is the
+        permanent-fault *arrival* rate.
+    detection_rate:
+        Rate (per hour, per unlocated fault) at which self-checking
+        locates a permanent fault.  ``1/detection_rate`` is the mean
+        location latency.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        m: int,
+        rates: FaultRates,
+        detection_rate: float,
+    ):
+        if detection_rate < 0:
+            raise ValueError(
+                f"detection rate must be nonnegative, got {detection_rate}"
+            )
+        super().__init__(n, k, m, rates)
+        self.detection_rate = detection_rate
+
+    def initial_state(self) -> DetectionState:
+        return (0, 0, 0)
+
+    def is_valid(self, er: int, u: int, re: int) -> bool:
+        """Unlocated faults cost like random errors: ``er + 2(u+re) <= n-k``."""
+        return er + 2 * (u + re) <= self.nsym
+
+    def transitions(self, state) -> Iterable[Tuple[object, float]]:
+        if state == FAIL:
+            return []
+        er, u, re = state
+        clean = self.n - er - u - re
+        lam_bit = self.rates.seu_per_bit
+        lam_sym = self.rates.erasure_per_symbol
+        moves: List[Tuple[object, float]] = []
+
+        def emit(target: DetectionState, rate: float) -> None:
+            if rate <= 0.0:
+                return
+            moves.append((target if self.is_valid(*target) else FAIL, rate))
+
+        if clean > 0:
+            # SEU on an untouched symbol
+            emit((er, u, re + 1), self.m * lam_bit * clean)
+            # unlocated permanent fault arrives on an untouched symbol
+            emit((er, u + 1, re), lam_sym * clean)
+        if re > 0:
+            # permanent fault strikes a symbol already in random error: the
+            # stuck value dominates, still unlocated
+            emit((er, u + 1, re - 1), lam_sym * re)
+            # scrubbing removes random errors only
+            if self.rates.has_scrubbing:
+                emit((er, u, 0), self.rates.scrub_rate)
+        if u > 0:
+            # self-checking locates one unlocated fault -> erasure
+            emit((er + 1, u - 1, re), self.detection_rate * u)
+        return moves
+
+    # -- instantaneous (non-absorbing) metric ------------------------------
+
+    def _open_transitions(self, state) -> Iterable[Tuple[object, float]]:
+        """Dynamics without FAIL absorption (over-capability states live).
+
+        Identical rates to :meth:`transitions`, but targets are never
+        redirected and scrubbing only fires from readable states (a scrub
+        of an unreadable word cannot decode, so nothing is written back —
+        matching :class:`repro.simulator.systems.SimplexSystem`).
+        """
+        er, u, re = state
+        clean = self.n - er - u - re
+        lam_bit = self.rates.seu_per_bit
+        lam_sym = self.rates.erasure_per_symbol
+        moves: List[Tuple[DetectionState, float]] = []
+        if clean > 0:
+            moves.append(((er, u, re + 1), self.m * lam_bit * clean))
+            moves.append(((er, u + 1, re), lam_sym * clean))
+        if re > 0:
+            moves.append(((er, u + 1, re - 1), lam_sym * re))
+            if self.rates.has_scrubbing and self.is_valid(er, u, re):
+                moves.append(((er, u, 0), self.rates.scrub_rate))
+        if u > 0:
+            moves.append(((er + 1, u - 1, re), self.detection_rate * u))
+        return [(s, r) for s, r in moves if r > 0.0]
+
+    def read_unreliability(self, times_hours) -> "np.ndarray":
+        """Probability a read at each time fails (non-absorbing chain)."""
+        import numpy as np
+
+        from ..markov import build_chain
+
+        chain = build_chain(self.initial_state(), self._open_transitions)
+        probs = chain.transient(np.asarray(list(times_hours), dtype=float))
+        bad = np.array(
+            [not self.is_valid(*state) for state in chain.states]
+        )
+        return probs[:, bad].sum(axis=1)
+
+    def read_ber(self, times_hours) -> "np.ndarray":
+        """Instantaneous read BER per paper Eq. 1."""
+        return self.ber_factor * self.read_unreliability(times_hours)
+
+
+def simplex_detection_model(
+    n: int,
+    k: int,
+    m: int = 8,
+    seu_per_bit_day: float = 0.0,
+    erasure_per_symbol_day: float = 0.0,
+    scrub_period_seconds: float | None = None,
+    mean_detection_hours: float = 1.0,
+) -> SimplexDetectionModel:
+    """Convenience constructor; latency given as a mean location time.
+
+    ``mean_detection_hours = 0`` reproduces instantaneous location (use
+    :func:`repro.memory.simplex_model` for the exact paper chain — this
+    constructor maps 0 to a very fast but finite detector).
+    """
+    rates = FaultRates.from_paper_units(
+        seu_per_bit_day=seu_per_bit_day,
+        erasure_per_symbol_day=erasure_per_symbol_day,
+        scrub_period_seconds=scrub_period_seconds,
+    )
+    if mean_detection_hours < 0:
+        raise ValueError("mean detection latency must be nonnegative")
+    detection_rate = (
+        1e9 if mean_detection_hours == 0 else 1.0 / mean_detection_hours
+    )
+    return SimplexDetectionModel(n, k, m, rates, detection_rate)

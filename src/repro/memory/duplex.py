@@ -1,0 +1,170 @@
+"""Markov model of the *duplex* RS-coded memory system (paper Figs. 3-4).
+
+Two replicated modules each store an RS(n, k) codeword of the same data;
+an arbiter recovers single-sided erasures by masking (taking the symbol
+from the healthy replica) and compares the two independently decoded words
+using per-word correction flags (paper Section 3).
+
+Each state is the 6-tuple ``(X, Y, b, e1, e2, ec)`` of paper Fig. 3:
+
+* ``X``  — symbol pairs erased in *both* replicas (unmaskable erasures);
+* ``Y``  — symbol pairs erased in exactly one replica, other side clean
+  (masked by the arbiter, no capability cost);
+* ``b``  — pairs with an erasure on one side and a random error on the
+  other (masking copies the error, so these cost like random errors on
+  *both* words);
+* ``e1``/``e2`` — pairs with a random error only in word 1 / word 2;
+* ``ec`` — pairs with random errors in *both* replicas of the symbol.
+
+After erasure recovery, word ``i`` sees ``X`` erasures and
+``b + ec + e_i`` random errors, so the per-word capability conditions are
+
+    X + 2*(b + ec + e1) <= n - k      and      X + 2*(b + ec + e2) <= n - k.
+
+The default fail rule (``fail_rule="either"``) absorbs into FAIL as soon
+as *either* word exceeds capability — the arbiter cannot discriminate
+simultaneous (mis)corrections (paper Section 3, last bullet).  The
+alternative ``"both"`` rule (system fails only when both words are beyond
+capability, the arbiter trusting whichever word still decodes) is kept as
+an ablation; see ``benchmarks/bench_ablation_failrule.py``.
+
+The thirteen transition families (A-I, L-O) of paper Fig. 4 are
+implemented verbatim, with one documented correction: the text gives the
+rate of family B (erasure landing on the errored partner of an
+erasure/error pair) as ``λe * Y`` but Fig. 4 labels the arc ``b * λe``,
+which is also what the semantics require; we use ``λe * b``.
+
+Scrubbing rewrites corrected data, clearing every random error while
+permanent faults persist: ``(X, Y, b, e1, e2, ec) → (X, Y + b, 0, 0, 0, 0)``
+at rate ``1/Tsc`` (a ``b`` pair loses its random error and keeps its
+single-sided erasure, becoming a ``Y`` pair).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .base import FAIL, MemoryMarkovModel
+from .rates import FaultRates
+
+DuplexState = Tuple[int, int, int, int, int, int]  # (X, Y, b, e1, e2, ec)
+
+FAIL_RULES = ("either", "both")
+
+
+class DuplexMarkovModel(MemoryMarkovModel):
+    """CTMC of a duplex RS(n, k) memory word pair.
+
+    Parameters
+    ----------
+    n, k, m, rates:
+        As in :class:`~repro.memory.base.MemoryMarkovModel`.
+    fail_rule:
+        ``"either"`` (paper default): FAIL when either word exceeds
+        capability.  ``"both"``: FAIL only when both do (ablation).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        m: int,
+        rates: FaultRates,
+        fail_rule: str = "either",
+    ):
+        if fail_rule not in FAIL_RULES:
+            raise ValueError(
+                f"fail_rule must be one of {FAIL_RULES}, got {fail_rule!r}"
+            )
+        super().__init__(n, k, m, rates)
+        self.fail_rule = fail_rule
+
+    def initial_state(self) -> DuplexState:
+        return (0, 0, 0, 0, 0, 0)
+
+    # -- capability -------------------------------------------------------
+
+    def word_ok(self, state: DuplexState, word: int) -> bool:
+        """Per-word capability condition after erasure recovery."""
+        x, _y, b, e1, e2, ec = state
+        e_own = e1 if word == 1 else e2
+        return x + 2 * (b + ec + e_own) <= self.nsym
+
+    def is_valid(self, state: DuplexState) -> bool:
+        """Non-FAIL condition under the configured fail rule."""
+        ok1 = self.word_ok(state, 1)
+        ok2 = self.word_ok(state, 2)
+        if self.fail_rule == "either":
+            return ok1 and ok2
+        return ok1 or ok2
+
+    # -- dynamics ---------------------------------------------------------
+
+    def transitions(self, state) -> Iterable[Tuple[object, float]]:
+        if state == FAIL:
+            return []
+        x, y, b, e1, e2, ec = state
+        clean = self.n - x - y - b - e1 - e2 - ec
+        lam = self.rates.seu_per_bit
+        lam_e = self.rates.erasure_per_symbol
+        flip = self.m * lam  # per-symbol SEU rate
+        moves: List[Tuple[object, float]] = []
+
+        def emit(target: DuplexState, rate: float) -> None:
+            if rate <= 0.0:
+                return
+            moves.append((target if self.is_valid(target) else FAIL, rate))
+
+        # --- erasure-driven transitions (paper Fig. 4, states A..H) ---
+        if y > 0:  # A: second erasure completes a pair
+            emit((x + 1, y - 1, b, e1, e2, ec), lam_e * y)
+        if b > 0:  # B: erasure on the errored partner of a b pair
+            emit((x + 1, y, b - 1, e1, e2, ec), lam_e * b)
+        if clean > 0:  # C: erasure on an untouched pair
+            emit((x, y + 1, b, e1, e2, ec), lam_e * clean)
+        if e1 > 0:  # D: erasure lands on the errored symbol itself
+            emit((x, y + 1, b, e1 - 1, e2, ec), lam_e * e1)
+        if e2 > 0:  # E
+            emit((x, y + 1, b, e1, e2 - 1, ec), lam_e * e2)
+        if ec > 0:  # F: erasure on a doubly-errored pair
+            emit((x, y, b + 1, e1, e2, ec - 1), lam_e * ec)
+        if e1 > 0:  # G: erasure on the clean partner of an errored symbol
+            emit((x, y, b + 1, e1 - 1, e2, ec), lam_e * e1)
+        if e2 > 0:  # H
+            emit((x, y, b + 1, e1, e2 - 1, ec), lam_e * e2)
+
+        # --- random-error-driven transitions (states I, L, M, N, O) ---
+        if y > 0:  # I: SEU on the clean partner of a single-sided erasure
+            emit((x, y - 1, b + 1, e1, e2, ec), flip * y)
+        if clean > 0:  # L, M: SEU on an untouched pair, word 1 / word 2
+            emit((x, y, b, e1 + 1, e2, ec), flip * clean)
+            emit((x, y, b, e1, e2 + 1, ec), flip * clean)
+        if e1 > 0:  # N: SEU on the partner of an e1 symbol
+            emit((x, y, b, e1 - 1, e2, ec + 1), flip * e1)
+        if e2 > 0:  # O
+            emit((x, y, b, e1, e2 - 1, ec + 1), flip * e2)
+
+        # --- scrubbing: random errors cleared, erasures persist ---
+        if self.rates.has_scrubbing:
+            target = (x, y + b, 0, 0, 0, 0)
+            if target != state:
+                emit(target, self.rates.scrub_rate)
+        return moves
+
+
+def duplex_model(
+    n: int,
+    k: int,
+    m: int = 8,
+    seu_per_bit_day: float = 0.0,
+    erasure_per_symbol_day: float = 0.0,
+    scrub_period_seconds: float | None = None,
+    fail_rule: str = "either",
+) -> DuplexMarkovModel:
+    """Convenience constructor taking the paper's units directly."""
+    rates = FaultRates.from_paper_units(
+        seu_per_bit_day=seu_per_bit_day,
+        erasure_per_symbol_day=erasure_per_symbol_day,
+        scrub_period_seconds=scrub_period_seconds,
+    )
+    return DuplexMarkovModel(n, k, m, rates, fail_rule=fail_rule)

@@ -1,0 +1,212 @@
+"""Mission profiles: piecewise-constant fault environments (extension).
+
+Space missions do not see one SEU rate: South Atlantic Anomaly passes,
+solar flares and varying shielding change the environment by orders of
+magnitude on hour-to-day scales.  The paper's constant-rate chains extend
+naturally to a *piecewise-constant* environment: within each phase the
+generator is constant, so the exact solution is a product of phase
+propagators — computed here with the same uniformization primitive the
+steady solvers use.
+
+The state space must be shared across phases, so a profile is solved on
+the union chain: the model rebuilt with every phase's rates active
+determines reachability, and each phase contributes its own generator on
+that state set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Type
+
+import numpy as np
+
+from ..markov import CTMC, build_chain
+from ..markov.solvers import uniformization_propagate
+from .base import FAIL, MemoryMarkovModel
+from .duplex import DuplexMarkovModel
+from .rates import FaultRates
+from .simplex import SimplexMarkovModel
+
+
+@dataclass(frozen=True)
+class MissionPhase:
+    """One leg of a mission with a constant fault environment."""
+
+    name: str
+    duration_hours: float
+    rates: FaultRates
+
+    def __post_init__(self) -> None:
+        if self.duration_hours <= 0:
+            raise ValueError(
+                f"phase {self.name!r} needs positive duration, "
+                f"got {self.duration_hours}"
+            )
+
+
+class MissionProfile:
+    """A sequence of phases applied to one memory arrangement.
+
+    Parameters
+    ----------
+    model_cls:
+        :class:`SimplexMarkovModel` or :class:`DuplexMarkovModel` (any
+        :class:`MemoryMarkovModel` subclass constructible as
+        ``cls(n, k, m, rates)``).
+    n, k, m:
+        Code parameters shared by all phases.
+    phases:
+        Ordered mission legs.  The profile repeats from the first phase
+        if evaluated past its total duration (periodic orbits).
+    """
+
+    def __init__(
+        self,
+        model_cls: Type[MemoryMarkovModel],
+        n: int,
+        k: int,
+        m: int,
+        phases: Sequence[MissionPhase],
+    ):
+        if not phases:
+            raise ValueError("a mission needs at least one phase")
+        self.model_cls = model_cls
+        self.n, self.k, self.m = n, k, m
+        self.phases = list(phases)
+        self._chain, self._phase_rates = self._build_union_chain()
+
+    # -- construction -------------------------------------------------------
+
+    def _build_union_chain(self) -> Tuple[CTMC, List[Dict]]:
+        """Explore reachability under the *union* environment, then build
+        per-phase rate matrices on that shared state set."""
+        union_rates = FaultRates(
+            seu_per_bit=max(p.rates.seu_per_bit for p in self.phases),
+            erasure_per_symbol=max(
+                p.rates.erasure_per_symbol for p in self.phases
+            ),
+            scrub_rate=max(p.rates.scrub_rate for p in self.phases),
+        )
+        union_model = self.model_cls(self.n, self.k, self.m, union_rates)
+        chain = build_chain(
+            union_model.initial_state(), union_model.transitions
+        )
+        phase_matrices = []
+        for phase in self.phases:
+            model = self.model_cls(self.n, self.k, self.m, phase.rates)
+            triples = []
+            for state in chain.states:
+                if state == FAIL:
+                    continue
+                for nxt, rate in model.transitions(state):
+                    triples.append((state, nxt, rate))
+            phase_matrices.append(
+                CTMC(chain.states, triples, union_model.initial_state())
+            )
+        return chain, phase_matrices
+
+    @property
+    def total_duration_hours(self) -> float:
+        return sum(p.duration_hours for p in self.phases)
+
+    @property
+    def ber_factor(self) -> float:
+        return self.m * (self.n - self.k) / self.k
+
+    # -- solution -------------------------------------------------------
+
+    def fail_probability(self, times_hours: Sequence[float]) -> np.ndarray:
+        """``P_Fail(t)``; the phase schedule repeats cyclically."""
+        times = np.asarray(list(times_hours), dtype=float)
+        if np.any(times < 0):
+            raise ValueError("times must be nonnegative")
+        order = np.argsort(times)
+        out = np.zeros(len(times))
+        fail_idx = self._chain.index.get(FAIL)
+
+        p = self._chain.p0.copy()
+        t_now = 0.0
+        phase_idx = 0
+        phase_left = self.phases[0].duration_hours
+        for pos in order:
+            target = times[pos]
+            while t_now < target:
+                step = min(phase_left, target - t_now)
+                p = uniformization_propagate(
+                    self._phase_rates[phase_idx].rate_matrix, p, step
+                )
+                t_now += step
+                phase_left -= step
+                if phase_left <= 1e-12:
+                    phase_idx = (phase_idx + 1) % len(self.phases)
+                    phase_left = self.phases[phase_idx].duration_hours
+            out[pos] = 0.0 if fail_idx is None else p[fail_idx]
+        return out
+
+    def ber(self, times_hours: Sequence[float]) -> np.ndarray:
+        """BER(t) per paper Eq. 1 under the mission schedule."""
+        return self.ber_factor * self.fail_probability(times_hours)
+
+    def equivalent_average_model(self) -> MemoryMarkovModel:
+        """Constant-rate model with the duration-weighted average rates.
+
+        The standard first-order approximation mission planners use; the
+        benchmark ``bench_mission_profile.py`` quantifies how much it
+        misses versus the exact piecewise solution.
+        """
+        total = self.total_duration_hours
+        avg = FaultRates(
+            seu_per_bit=sum(
+                p.rates.seu_per_bit * p.duration_hours for p in self.phases
+            )
+            / total,
+            erasure_per_symbol=sum(
+                p.rates.erasure_per_symbol * p.duration_hours
+                for p in self.phases
+            )
+            / total,
+            scrub_rate=sum(
+                p.rates.scrub_rate * p.duration_hours for p in self.phases
+            )
+            / total,
+        )
+        return self.model_cls(self.n, self.k, self.m, avg)
+
+
+def orbital_profile(
+    model_cls: Type[MemoryMarkovModel] = DuplexMarkovModel,
+    n: int = 18,
+    k: int = 16,
+    m: int = 8,
+    quiet_seu_per_bit_day: float = 7.3e-7,
+    saa_seu_per_bit_day: float = 1.7e-5,
+    orbit_hours: float = 1.6,
+    saa_fraction: float = 0.15,
+    scrub_period_seconds: float | None = 3600.0,
+) -> MissionProfile:
+    """A LEO-style two-phase orbit: quiet leg + South Atlantic Anomaly leg.
+
+    Defaults bracket the paper's SEU sweep (quiet = its lowest rate, SAA
+    = its worst case) over a 96-minute orbit with a 15% SAA dwell.
+    """
+    if not 0 < saa_fraction < 1:
+        raise ValueError("saa_fraction must be in (0, 1)")
+    quiet = FaultRates.from_paper_units(
+        seu_per_bit_day=quiet_seu_per_bit_day,
+        scrub_period_seconds=scrub_period_seconds,
+    )
+    saa = FaultRates.from_paper_units(
+        seu_per_bit_day=saa_seu_per_bit_day,
+        scrub_period_seconds=scrub_period_seconds,
+    )
+    return MissionProfile(
+        model_cls,
+        n,
+        k,
+        m,
+        [
+            MissionPhase("quiet", orbit_hours * (1 - saa_fraction), quiet),
+            MissionPhase("saa", orbit_hours * saa_fraction, saa),
+        ],
+    )

@@ -1,0 +1,181 @@
+"""N-modular redundancy with symbol voting (extension of the duplex idea).
+
+The paper's duplex is the N = 2 point of a family: N replicated modules,
+each RS(n, k)-coded, fronted by a voter that (a) masks erasures that do
+not strike every replica of a symbol and (b) takes a per-symbol majority
+among the non-erased replicas.  This module generalizes the analysis.
+
+Per-symbol semantics (conservative, in the paper's style — the "masking
+error" of two SEUs forging identical wrong symbols is neglected):
+
+* ``E`` replicas of the symbol erased, ``R`` in random error, the other
+  ``N - E - R`` correct;
+* the position is an **erasure** for the decoder iff ``E = N`` (no
+  replica left to vote);
+* the position is a **random error** iff some wrong value survives the
+  vote: ``R >= 1`` and the correct multiplicity ``N - E - R`` is not a
+  strict plurality, i.e. ``N - E - R <= 1`` (ties are counted as errors);
+* otherwise the voted symbol is correct.
+
+The word then fails a read iff ``er + 2*re > n - k`` as usual.
+
+Because the voter can *heal* a symbol over time (an errored replica being
+erased can restore the correct plurality), per-symbol damage is not
+monotone and the closed form below is the **point-in-time read
+unreliability** — the probability a read issued at time ``t`` fails.
+This matches the paper's own reading semantics ("a read operation
+corresponds to the so-called stopping time") and is exact for the
+monotone regimes (pure permanent faults; N <= 2 transients).  The
+codec-level Monte-Carlo validator in :mod:`repro.simulator.voting`
+measures exactly this quantity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from .rates import FaultRates
+
+
+def replica_symbol_occupancies(
+    m: int, rates: FaultRates, t: float
+) -> tuple[float, float, float]:
+    """(correct, error, erased) occupancies of one replica symbol at ``t``.
+
+    Per-replica chain: clean --mλ--> error, clean/error --λe--> erased
+    (a permanent fault dominates whatever the cell held).
+    """
+    flip = m * rates.seu_per_bit
+    lam_e = rates.erasure_per_symbol
+    p_clean = math.exp(-(flip + lam_e) * t)
+    p_erased = -math.expm1(-lam_e * t)
+    p_error = math.exp(-lam_e * t) - p_clean  # = e^{-λe t}(1 - e^{-mλ t})
+    return p_clean, p_error, p_erased
+
+
+def symbol_damage_pmf(
+    num_modules: int, m: int, rates: FaultRates, t: float
+) -> List[float]:
+    """pmf over the decoder-facing damage weight {0, 1, 2} of one position.
+
+    Weight 1 = erasure (all replicas erased), weight 2 = random error
+    (wrong value survives the vote), weight 0 = voted correct.
+    """
+    if num_modules < 1:
+        raise ValueError("need at least one module")
+    p_c, p_e, p_x = replica_symbol_occupancies(m, rates, t)
+    n_mod = num_modules
+    w = [0.0, 0.0, 0.0]
+    # trinomial over (E erased, R errored) replicas
+    for erased in range(n_mod + 1):
+        for errored in range(n_mod - erased + 1):
+            correct = n_mod - erased - errored
+            prob = (
+                math.comb(n_mod, erased)
+                * math.comb(n_mod - erased, errored)
+                * p_x**erased
+                * p_e**errored
+                * p_c**correct
+            )
+            if erased == n_mod:
+                w[1] += prob
+            elif errored >= 1 and correct <= 1:
+                w[2] += prob
+            else:
+                w[0] += prob
+    return w
+
+
+def _weight_tail(n: int, pmf: Sequence[float], threshold: int) -> float:
+    """``P(sum of n iid damage weights > threshold)`` by convolution DP.
+
+    Positive accumulations throughout — relative accuracy holds to the
+    double-precision underflow floor.
+    """
+    cap = threshold + 1
+    dist = np.zeros(cap + 1)
+    dist[0] = 1.0
+    weights = [(wt, p) for wt, p in enumerate(pmf) if p > 0.0]
+    for _ in range(n):
+        nxt = np.zeros(cap + 1)
+        for total in range(cap + 1):
+            mass = dist[total]
+            if mass == 0.0:
+                continue
+            for wt, p in weights:
+                nxt[min(cap, total + wt)] += mass * p
+        dist = nxt
+    return float(dist[cap])
+
+
+def nmr_read_unreliability(
+    n: int,
+    k: int,
+    num_modules: int,
+    rates: FaultRates,
+    times_hours: Sequence[float],
+    m: int = 8,
+) -> np.ndarray:
+    """Probability a read at each time fails, for an N-modular arrangement.
+
+    ``num_modules = 1`` is the simplex read (no voting, every erasure and
+    error hits the decoder directly); ``2`` approximates the paper's
+    duplex under read-at-t semantics; ``3`` is classic TMR + RS.
+    """
+    if not 0 < k < n:
+        raise ValueError(f"need 0 < k < n, got n={n}, k={k}")
+    if rates.has_scrubbing:
+        raise ValueError(
+            "the closed-form NMR analysis does not model scrubbing; "
+            "use the Monte-Carlo simulator for scrubbed NMR systems"
+        )
+    times = np.asarray(list(times_hours), dtype=float)
+    out = np.zeros(len(times))
+    nsym = n - k
+    for i, t in enumerate(times):
+        pmf = symbol_damage_pmf(num_modules, m, rates, float(t))
+        out[i] = _weight_tail(n, pmf, nsym)
+    return out
+
+
+def nmr_ber(
+    n: int,
+    k: int,
+    num_modules: int,
+    rates: FaultRates,
+    times_hours: Sequence[float],
+    m: int = 8,
+) -> np.ndarray:
+    """Read BER per paper Eq. 1 for the N-modular arrangement."""
+    factor = m * (n - k) / k
+    return factor * nmr_read_unreliability(
+        n, k, num_modules, rates, times_hours, m=m
+    )
+
+
+def redundancy_sweep(
+    n: int,
+    k: int,
+    rates: FaultRates,
+    t_hours: float,
+    max_modules: int = 5,
+    m: int = 8,
+) -> List[tuple[int, float]]:
+    """Read unreliability at ``t_hours`` for N = 1 .. max_modules.
+
+    The design-space curve behind "how many replicas are worth their
+    area": each extra module costs a full memory plus a decoder
+    (:mod:`repro.rs.complexity`) and buys the returned reliability step.
+    """
+    return [
+        (
+            n_mod,
+            float(
+                nmr_read_unreliability(n, k, n_mod, rates, [t_hours], m=m)[0]
+            ),
+        )
+        for n_mod in range(1, max_modules + 1)
+    ]

@@ -1,0 +1,115 @@
+"""Scrubbing overhead: availability, bandwidth and energy (paper Section 2).
+
+The paper lists the drawbacks of scrubbing qualitatively — "an increase
+of hardware overhead ..., a reduction in memory availability during the
+scrubbing operations and an increase in power consumption" — and leaves
+them unquantified.  This module closes that loop with first-order models
+built on the same Section 6 decoder-complexity formulas:
+
+* each scrub pass touches every word: read + decode (``Td = 3n+10(n-k)``
+  cycles) + re-encode/write;
+* a pass every ``Tsc`` seconds makes the memory unavailable for the pass
+  duration (unless the controller interleaves, which trades latency
+  instead);
+* dynamic energy is proportional to cycles spent scrubbing.
+
+Combined with :func:`repro.analysis.sweep.max_scrub_period_for_budget`,
+this turns Fig. 7's "scrub at least hourly" into a cost-aware design
+choice — see ``examples/scrubbing_tuning.py`` and
+``benchmarks/bench_scrub_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rs.complexity import decoding_time_cycles
+
+#: Default assumed cycles to re-encode and write a word back (encode is a
+#: short LFSR pass; writeback is one access) relative to the decode.
+DEFAULT_WRITEBACK_CYCLES = 10
+
+
+@dataclass(frozen=True)
+class ScrubOverhead:
+    """Overhead of one scrubbing configuration on one memory.
+
+    Attributes
+    ----------
+    scrub_period_seconds: the configured Tsc.
+    pass_seconds: wall time of one full scrub pass.
+    availability: fraction of time the memory is not busy scrubbing.
+    scrub_bandwidth_bits_per_s: bits read by the scrubber per second.
+    duty_cycle: fraction of controller cycles spent scrubbing (the
+        dynamic-power proxy).
+    """
+
+    scrub_period_seconds: float
+    pass_seconds: float
+    availability: float
+    scrub_bandwidth_bits_per_s: float
+    duty_cycle: float
+
+
+def scrub_overhead(
+    n: int,
+    k: int,
+    num_words: int,
+    scrub_period_seconds: float,
+    m: int = 8,
+    clock_hz: float = 50e6,
+    num_decoders: int = 1,
+    writeback_cycles: int = DEFAULT_WRITEBACK_CYCLES,
+) -> ScrubOverhead:
+    """First-order overhead of scrubbing ``num_words`` every ``Tsc``.
+
+    ``num_decoders`` models arrangements that scrub replicas in parallel
+    (the duplex scrubs both modules in one pass through its two
+    decoders).  Raises if a pass cannot complete within the period.
+    """
+    if num_words <= 0:
+        raise ValueError("num_words must be positive")
+    if scrub_period_seconds <= 0:
+        raise ValueError("scrub period must be positive")
+    if clock_hz <= 0:
+        raise ValueError("clock must be positive")
+    if num_decoders < 1:
+        raise ValueError("need at least one decoder")
+    cycles_per_word = decoding_time_cycles(n, k) + writeback_cycles
+    pass_seconds = num_words * cycles_per_word / clock_hz
+    if pass_seconds > scrub_period_seconds:
+        raise ValueError(
+            f"scrub pass takes {pass_seconds:.2f}s but the period is "
+            f"{scrub_period_seconds:.2f}s; the scrubber cannot keep up"
+        )
+    duty = pass_seconds / scrub_period_seconds
+    bits_per_pass = num_words * n * m * num_decoders
+    return ScrubOverhead(
+        scrub_period_seconds=scrub_period_seconds,
+        pass_seconds=pass_seconds,
+        availability=1.0 - duty,
+        scrub_bandwidth_bits_per_s=bits_per_pass / scrub_period_seconds,
+        duty_cycle=duty,
+    )
+
+
+def min_scrub_period_for_availability(
+    n: int,
+    k: int,
+    num_words: int,
+    availability_target: float,
+    m: int = 8,
+    clock_hz: float = 50e6,
+    writeback_cycles: int = DEFAULT_WRITEBACK_CYCLES,
+) -> float:
+    """Shortest Tsc (seconds) keeping availability above the target.
+
+    The availability counterpart of the BER search: Fig. 7 pushes Tsc
+    down, this constraint pushes it up; a feasible design needs the BER
+    budget's maximum period above this minimum.
+    """
+    if not 0 < availability_target < 1:
+        raise ValueError("availability target must be in (0, 1)")
+    cycles_per_word = decoding_time_cycles(n, k) + writeback_cycles
+    pass_seconds = num_words * cycles_per_word / clock_hz
+    return pass_seconds / (1.0 - availability_target)

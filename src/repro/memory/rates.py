@@ -1,0 +1,104 @@
+"""Fault-rate bookkeeping and unit conversion.
+
+The paper quotes SEU rates in *errors/bit/day* (Section 6: 7.3e-7 to
+1.7e-5), scrubbing periods in *seconds* (Fig. 7: 900-3600 s), transient
+horizons in *hours* (48 h) and permanent-fault horizons in *months* (24).
+Mixing these up is the classic reproduction bug, so every rate in this
+package is carried in a :class:`FaultRates` record with an explicit
+canonical unit of **per hour**, and all constructors convert at the edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+HOURS_PER_DAY = 24.0
+HOURS_PER_MONTH = 730.0  # 365.25 / 12 * 24, the usual reliability convention
+SECONDS_PER_HOUR = 3600.0
+
+
+def per_day_to_per_hour(rate_per_day: float) -> float:
+    """Convert a rate expressed per day into the canonical per-hour unit."""
+    return rate_per_day / HOURS_PER_DAY
+
+
+def per_hour_to_per_day(rate_per_hour: float) -> float:
+    """Convert a canonical per-hour rate back to per day."""
+    return rate_per_hour * HOURS_PER_DAY
+
+
+def months_to_hours(months: float) -> float:
+    """Convert a storage horizon in months to hours."""
+    return months * HOURS_PER_MONTH
+
+
+def hours_to_months(hours: float) -> float:
+    """Convert hours to months (reliability convention: 730 h/month)."""
+    return hours / HOURS_PER_MONTH
+
+
+def scrub_rate_from_period(period_seconds: float) -> float:
+    """Scrubbing rate ``1/Tsc`` in per-hour units from a period in seconds.
+
+    The paper models scrubbing as an exponential event at rate ``1/Tsc``
+    (Section 5); a 3600 s period is rate 1.0 per hour.
+    """
+    if period_seconds <= 0:
+        raise ValueError(f"scrub period must be positive, got {period_seconds}")
+    return SECONDS_PER_HOUR / period_seconds
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Fault environment of a memory word, canonical per-hour units.
+
+    Attributes
+    ----------
+    seu_per_bit:
+        Transient (SEU) bit-flip rate per bit per hour — the paper's λ.
+    erasure_per_symbol:
+        Permanent-fault rate per symbol per hour — the paper's λe.
+        Permanent faults are assumed located (self-checking / Iddq), hence
+        treated as erasures.
+    scrub_rate:
+        Scrubbing rate 1/Tsc per hour; 0 disables scrubbing.
+    """
+
+    seu_per_bit: float = 0.0
+    erasure_per_symbol: float = 0.0
+    scrub_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("seu_per_bit", "erasure_per_symbol", "scrub_rate"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be nonnegative, got {value}")
+
+    @classmethod
+    def from_paper_units(
+        cls,
+        seu_per_bit_day: float = 0.0,
+        erasure_per_symbol_day: float = 0.0,
+        scrub_period_seconds: float | None = None,
+    ) -> "FaultRates":
+        """Build from the units the paper quotes (per-day rates, second periods)."""
+        return cls(
+            seu_per_bit=per_day_to_per_hour(seu_per_bit_day),
+            erasure_per_symbol=per_day_to_per_hour(erasure_per_symbol_day),
+            scrub_rate=(
+                0.0
+                if scrub_period_seconds is None
+                else scrub_rate_from_period(scrub_period_seconds)
+            ),
+        )
+
+    def with_scrub_period(self, period_seconds: float | None) -> "FaultRates":
+        """Copy with the scrubbing period replaced (None disables)."""
+        rate = 0.0 if period_seconds is None else scrub_rate_from_period(
+            period_seconds
+        )
+        return replace(self, scrub_rate=rate)
+
+    @property
+    def has_scrubbing(self) -> bool:
+        return self.scrub_rate > 0.0

@@ -1,0 +1,101 @@
+"""Markov model of the RS-coded *simplex* memory system (paper Fig. 2).
+
+One memory word protected by an RS(n, k) code.  States are pairs
+``S(er, re)`` — ``er`` erasures (located permanent faults) and ``re``
+random errors (SEU bit flips) — valid while the code capability
+
+    er + 2 * re <= n - k
+
+holds; any event pushing past it absorbs into ``FAIL``.  The model is the
+one introduced in the authors' companion work [7] and reviewed in paper
+Section 5:
+
+* a bit flip on one of the ``n - er - re`` untouched symbols adds a random
+  error at rate ``m * λ * (n - er - re)`` (repeat SEUs on an already
+  erroneous symbol are excluded by assumption);
+* a permanent fault on an untouched symbol adds an erasure at rate
+  ``λe * (n - er - re)``;
+* a permanent fault on a symbol already holding a random error converts it
+  to an erasure (the located fault subsumes the flip) at rate ``λe * re``;
+* scrubbing resets all random errors, ``S(er, re) → S(er, 0)``, at rate
+  ``1/Tsc``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .base import FAIL, MemoryMarkovModel
+from .rates import FaultRates
+
+SimplexState = Tuple[int, int]  # (er, re); plus the FAIL sentinel
+
+
+class SimplexMarkovModel(MemoryMarkovModel):
+    """CTMC of a simplex RS(n, k) memory word.
+
+    Parameters mirror :class:`~repro.memory.base.MemoryMarkovModel`;
+    ``rates`` carries λ (per bit), λe (per symbol) and the scrub rate, all
+    per hour.
+    """
+
+    def initial_state(self) -> SimplexState:
+        return (0, 0)
+
+    def is_valid(self, er: int, re: int) -> bool:
+        """Code capability check: correctable iff ``er + 2 re <= n - k``."""
+        return er + 2 * re <= self.nsym
+
+    def transitions(
+        self, state
+    ) -> Iterable[Tuple[object, float]]:
+        if state == FAIL:
+            return []
+        er, re = state
+        clean = self.n - er - re
+        lam_bit = self.rates.seu_per_bit
+        lam_sym = self.rates.erasure_per_symbol
+        moves: List[Tuple[object, float]] = []
+
+        def emit(target: SimplexState, rate: float) -> None:
+            if rate <= 0.0:
+                return
+            moves.append((target if self.is_valid(*target) else FAIL, rate))
+
+        if clean > 0:
+            # SEU on an untouched symbol
+            emit((er, re + 1), self.m * lam_bit * clean)
+            # permanent fault on an untouched symbol
+            emit((er + 1, re), lam_sym * clean)
+        if re > 0:
+            # permanent fault on a symbol already in random error
+            emit((er + 1, re - 1), lam_sym * re)
+            # scrubbing removes all random errors
+            if self.rates.has_scrubbing:
+                emit((er, 0), self.rates.scrub_rate)
+        return moves
+
+    def enumerate_valid_states(self) -> List[SimplexState]:
+        """All (er, re) states within capability (for tests/inspection)."""
+        return [
+            (er, re)
+            for er in range(self.nsym + 1)
+            for re in range((self.nsym - er) // 2 + 1)
+        ]
+
+
+def simplex_model(
+    n: int,
+    k: int,
+    m: int = 8,
+    seu_per_bit_day: float = 0.0,
+    erasure_per_symbol_day: float = 0.0,
+    scrub_period_seconds: float | None = None,
+) -> SimplexMarkovModel:
+    """Convenience constructor taking the paper's units directly."""
+    rates = FaultRates.from_paper_units(
+        seu_per_bit_day=seu_per_bit_day,
+        erasure_per_symbol_day=erasure_per_symbol_day,
+        scrub_period_seconds=scrub_period_seconds,
+    )
+    return SimplexMarkovModel(n, k, m, rates)

@@ -1,0 +1,67 @@
+"""Reliability-engineering substrate (paper refs [1], [6]).
+
+Public surface:
+
+* :mod:`~repro.reliability.metrics` — lifetime models, MTTF, FIT
+  conversion.
+* :class:`~repro.reliability.milhdbk.MemoryChip` — MIL-HDBK-217-style
+  parts-stress permanent-fault rate estimation.
+* :mod:`~repro.reliability.structures` — series/parallel/k-of-n/standby
+  combinators and the whole-memory extension.
+"""
+
+from .metrics import (
+    ExponentialLifetime,
+    WeibullLifetime,
+    fit_to_rate_per_hour,
+    mission_reliability,
+    rate_for_target_reliability,
+    rate_per_hour_to_fit,
+)
+from .milhdbk import (
+    ENVIRONMENT_FACTORS,
+    QUALITY_FACTORS,
+    MemoryChip,
+    die_complexity_factor,
+    learning_factor,
+    package_factor,
+    temperature_factor,
+)
+from .sparing import (
+    SparingConfig,
+    spares_for_mission,
+    sparing_availability,
+    sparing_mttf_hours,
+)
+from .structures import (
+    cold_standby,
+    k_of_n,
+    parallel,
+    series,
+    whole_memory_data_integrity,
+)
+
+__all__ = [
+    "ExponentialLifetime",
+    "WeibullLifetime",
+    "fit_to_rate_per_hour",
+    "rate_per_hour_to_fit",
+    "mission_reliability",
+    "rate_for_target_reliability",
+    "MemoryChip",
+    "ENVIRONMENT_FACTORS",
+    "QUALITY_FACTORS",
+    "die_complexity_factor",
+    "package_factor",
+    "temperature_factor",
+    "learning_factor",
+    "series",
+    "parallel",
+    "k_of_n",
+    "cold_standby",
+    "whole_memory_data_integrity",
+    "SparingConfig",
+    "sparing_mttf_hours",
+    "sparing_availability",
+    "spares_for_mission",
+]

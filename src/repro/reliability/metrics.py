@@ -1,0 +1,118 @@
+"""Basic reliability mathematics.
+
+Support layer for sizing the permanent-fault rates the paper feeds its
+chains ("the rate of permanent faults ... can be established using for
+example the models of [6], [1]"): exponential and Weibull lifetime models,
+mission reliability, MTTF, and FIT-rate conversions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+HOURS_PER_YEAR = 8766.0  # 365.25 days
+
+
+def fit_to_rate_per_hour(fit: float) -> float:
+    """Convert a FIT value (failures per 1e9 device-hours) to a per-hour rate."""
+    if fit < 0:
+        raise ValueError(f"FIT must be nonnegative, got {fit}")
+    return fit * 1e-9
+
+
+def rate_per_hour_to_fit(rate: float) -> float:
+    """Convert a per-hour failure rate to FIT."""
+    if rate < 0:
+        raise ValueError(f"rate must be nonnegative, got {rate}")
+    return rate * 1e9
+
+
+@dataclass(frozen=True)
+class ExponentialLifetime:
+    """Constant-rate (memoryless) lifetime model.
+
+    The standard assumption for electronic components in their useful-life
+    region, and the one under which a Markov chain with constant rates is
+    exact.
+    """
+
+    rate_per_hour: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_hour < 0:
+            raise ValueError("rate must be nonnegative")
+
+    def reliability(self, t_hours: float) -> float:
+        """``R(t) = exp(-λ t)``."""
+        return math.exp(-self.rate_per_hour * t_hours)
+
+    def unreliability(self, t_hours: float) -> float:
+        """``F(t) = 1 - R(t)``, computed stably for small ``λ t``."""
+        return -math.expm1(-self.rate_per_hour * t_hours)
+
+    def mttf_hours(self) -> float:
+        """Mean time to failure, ``1/λ``."""
+        if self.rate_per_hour == 0:
+            return math.inf
+        return 1.0 / self.rate_per_hour
+
+
+@dataclass(frozen=True)
+class WeibullLifetime:
+    """Weibull lifetime, for wear-out (k > 1) or infant-mortality (k < 1).
+
+    ``R(t) = exp(-(t / scale)^shape)``.  Included for sizing studies that
+    go beyond the constant-rate regime; the Markov chains themselves
+    assume exponential behaviour.
+    """
+
+    scale_hours: float
+    shape: float
+
+    def __post_init__(self) -> None:
+        if self.scale_hours <= 0:
+            raise ValueError("scale must be positive")
+        if self.shape <= 0:
+            raise ValueError("shape must be positive")
+
+    def reliability(self, t_hours: float) -> float:
+        if t_hours < 0:
+            raise ValueError("time must be nonnegative")
+        return math.exp(-((t_hours / self.scale_hours) ** self.shape))
+
+    def unreliability(self, t_hours: float) -> float:
+        if t_hours < 0:
+            raise ValueError("time must be nonnegative")
+        return -math.expm1(-((t_hours / self.scale_hours) ** self.shape))
+
+    def hazard_rate(self, t_hours: float) -> float:
+        """Instantaneous failure rate ``h(t)``."""
+        if t_hours < 0:
+            raise ValueError("time must be nonnegative")
+        k, s = self.shape, self.scale_hours
+        if t_hours == 0.0:
+            if k < 1:
+                return math.inf
+            if k == 1:
+                return 1.0 / s
+            return 0.0
+        return (k / s) * (t_hours / s) ** (k - 1)
+
+    def mttf_hours(self) -> float:
+        """``MTTF = scale * Γ(1 + 1/shape)``."""
+        return self.scale_hours * math.gamma(1.0 + 1.0 / self.shape)
+
+
+def mission_reliability(rate_per_hour: float, mission_hours: float) -> float:
+    """Probability of surviving a mission at a constant failure rate."""
+    return ExponentialLifetime(rate_per_hour).reliability(mission_hours)
+
+
+def rate_for_target_reliability(target: float, mission_hours: float) -> float:
+    """Largest constant rate meeting a reliability target over a mission."""
+    if not 0 < target < 1:
+        raise ValueError("target reliability must be in (0, 1)")
+    if mission_hours <= 0:
+        raise ValueError("mission duration must be positive")
+    return -math.log(target) / mission_hours

@@ -1,0 +1,147 @@
+"""MIL-HDBK-217-style permanent-fault rate estimation.
+
+The paper points to MIL-HDBK-217 [1] and the SSMM design study [6] as the
+sources for the permanent-fault rates λe fed to its chains.  The handbook
+itself is a (paper) document, so this module encodes its *parts-stress
+model form* for monolithic MOS memories:
+
+    λp = (C1 · πT + C2 · πE) · πQ · πL        [failures / 1e6 hours]
+
+with die-complexity factor ``C1`` stepped by memory capacity, an Arrhenius
+temperature factor ``πT``, and environment / quality / learning factors.
+The coefficient tables below are representative of the handbook's Notice-2
+MOS-SRAM values; they produce rates in the same decades the paper sweeps
+(λe between 1e-10 and 1e-4 per symbol per day), which is all the chains
+need — the paper treats λe as a swept parameter, not a measured one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Die complexity factor C1 for MOS SRAM, stepped by capacity in bits.
+_C1_STEPS = (
+    (16_384, 0.0052),      # up to 16K
+    (65_536, 0.0104),      # up to 64K
+    (262_144, 0.0208),     # up to 256K
+    (1_048_576, 0.0416),   # up to 1M
+    (4_194_304, 0.0832),   # up to 4M
+    (16_777_216, 0.1664),  # up to 16M
+)
+
+#: Package complexity factor C2 approximation: C2 = 2.8e-4 * pins^1.08.
+_C2_COEFF = 2.8e-4
+_C2_EXP = 1.08
+
+#: Environment factor πE (selected handbook environments).
+ENVIRONMENT_FACTORS = {
+    "ground_benign": 0.5,
+    "ground_fixed": 2.0,
+    "ground_mobile": 4.0,
+    "airborne_inhabited": 4.0,
+    "airborne_uninhabited": 6.0,
+    "space_flight": 0.5,
+    "missile_launch": 12.0,
+}
+
+#: Quality factor πQ by screening level.
+QUALITY_FACTORS = {
+    "class_s": 0.25,
+    "class_b": 1.0,
+    "class_b1": 2.0,
+    "commercial": 10.0,
+}
+
+_BOLTZMANN_EV = 8.617e-5
+_EA_EV = 0.6           # activation energy for MOS memories
+_T_REF_K = 298.15      # 25 C reference junction
+
+
+def temperature_factor(junction_celsius: float) -> float:
+    """Arrhenius factor ``πT`` relative to a 25 C reference junction."""
+    t_k = junction_celsius + 273.15
+    if t_k <= 0:
+        raise ValueError("junction temperature below absolute zero")
+    return math.exp((_EA_EV / _BOLTZMANN_EV) * (1.0 / _T_REF_K - 1.0 / t_k))
+
+
+def die_complexity_factor(capacity_bits: int) -> float:
+    """Capacity-stepped die complexity factor ``C1``."""
+    if capacity_bits <= 0:
+        raise ValueError("capacity must be positive")
+    for limit, c1 in _C1_STEPS:
+        if capacity_bits <= limit:
+            return c1
+    # beyond the table: continue the doubling pattern
+    c1 = _C1_STEPS[-1][1]
+    cap = _C1_STEPS[-1][0]
+    while capacity_bits > cap:
+        cap *= 4
+        c1 *= 2
+    return c1
+
+
+def package_factor(pins: int) -> float:
+    """Package complexity factor ``C2``."""
+    if pins <= 0:
+        raise ValueError("pin count must be positive")
+    return _C2_COEFF * pins ** _C2_EXP
+
+
+def learning_factor(years_in_production: float) -> float:
+    """Learning factor ``πL``: 2.0 for new processes, settling to 1.0."""
+    if years_in_production < 0:
+        raise ValueError("years must be nonnegative")
+    if years_in_production >= 2.0:
+        return 1.0
+    return 2.0 - 0.5 * years_in_production
+
+
+@dataclass(frozen=True)
+class MemoryChip:
+    """A memory device for parts-stress rate estimation."""
+
+    capacity_bits: int
+    pins: int = 32
+    junction_celsius: float = 40.0
+    environment: str = "space_flight"
+    quality: str = "class_b"
+    years_in_production: float = 2.0
+
+    def failure_rate_per_1e6_hours(self) -> float:
+        """Parts-stress chip failure rate λp in failures / 1e6 hours."""
+        try:
+            pi_e = ENVIRONMENT_FACTORS[self.environment]
+        except KeyError:
+            raise ValueError(
+                f"unknown environment {self.environment!r}; choose from "
+                f"{sorted(ENVIRONMENT_FACTORS)}"
+            ) from None
+        try:
+            pi_q = QUALITY_FACTORS[self.quality]
+        except KeyError:
+            raise ValueError(
+                f"unknown quality {self.quality!r}; choose from "
+                f"{sorted(QUALITY_FACTORS)}"
+            ) from None
+        c1 = die_complexity_factor(self.capacity_bits)
+        c2 = package_factor(self.pins)
+        pi_t = temperature_factor(self.junction_celsius)
+        pi_l = learning_factor(self.years_in_production)
+        return (c1 * pi_t + c2 * pi_e) * pi_q * pi_l
+
+    def failure_rate_per_hour(self) -> float:
+        """Chip failure rate per hour."""
+        return self.failure_rate_per_1e6_hours() * 1e-6
+
+    def symbol_erasure_rate_per_day(self, symbols_per_chip: int) -> float:
+        """Per-symbol permanent-fault rate λe in the paper's per-day unit.
+
+        Spreads the chip rate uniformly over the symbols it stores — the
+        simplest apportionment, adequate because the paper sweeps λe over
+        six decades rather than committing to one value.
+        """
+        if symbols_per_chip <= 0:
+            raise ValueError("symbols_per_chip must be positive")
+        return self.failure_rate_per_hour() * 24.0 / symbols_per_chip

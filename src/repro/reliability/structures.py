@@ -1,0 +1,83 @@
+"""Reliability block combinators.
+
+Series / parallel / k-of-n / standby-sparing compositions over mission
+reliabilities — the system-level algebra behind the SSMM architecture of
+the paper's reference [6] (modular sparing) and behind extending the
+word-level chains to a whole memory (paper Section 4: the extension is a
+straightforward product over words).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _check_prob(p: float, name: str = "reliability") -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {p}")
+
+
+def series(reliabilities: Sequence[float]) -> float:
+    """All blocks must survive: ``R = prod R_i``."""
+    out = 1.0
+    for r in reliabilities:
+        _check_prob(r)
+        out *= r
+    return out
+
+
+def parallel(reliabilities: Sequence[float]) -> float:
+    """At least one block survives: ``R = 1 - prod (1 - R_i)``."""
+    q = 1.0
+    for r in reliabilities:
+        _check_prob(r)
+        q *= 1.0 - r
+    return 1.0 - q
+
+
+def k_of_n(k: int, n: int, r: float) -> float:
+    """At least ``k`` of ``n`` identical blocks survive."""
+    if not 0 < k <= n:
+        raise ValueError(f"need 0 < k <= n, got k={k}, n={n}")
+    _check_prob(r)
+    total = 0.0
+    for j in range(k, n + 1):
+        total += math.comb(n, j) * r**j * (1.0 - r) ** (n - j)
+    return min(1.0, total)
+
+
+def cold_standby(rate_per_hour: float, spares: int, t_hours: float) -> float:
+    """Primary plus ``spares`` unpowered spares with perfect switching.
+
+    Failures form a Poisson process of the active unit only, so the system
+    survives while at most ``spares`` failures occur:
+    ``R = sum_{j<=spares} e^{-λt} (λt)^j / j!`` (Erlang survival).
+    """
+    if spares < 0:
+        raise ValueError("spares must be nonnegative")
+    if rate_per_hour < 0 or t_hours < 0:
+        raise ValueError("rate and time must be nonnegative")
+    lt = rate_per_hour * t_hours
+    term = math.exp(-lt)
+    total = term
+    for j in range(1, spares + 1):
+        term *= lt / j
+        total += term
+    return min(1.0, total)
+
+
+def whole_memory_data_integrity(word_fail_probability: float, num_words: int) -> float:
+    """Probability every word of a memory is readable.
+
+    The word-level chains of :mod:`repro.memory` model one word; the
+    paper argues the whole-memory extension is straightforward — under
+    word independence it is the product ``(1 - P_word)^W``, computed here
+    stably for small ``P_word``.
+    """
+    _check_prob(word_fail_probability, "word fail probability")
+    if num_words <= 0:
+        raise ValueError("num_words must be positive")
+    if word_fail_probability == 1.0:
+        return 0.0
+    return math.exp(num_words * math.log1p(-word_fail_probability))

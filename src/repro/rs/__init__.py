@@ -1,0 +1,66 @@
+"""Reed-Solomon coding substrate.
+
+Public surface:
+
+* :class:`~repro.rs.codec.RSCode` — systematic encoder + errors-and-erasures
+  decoder for RS(n, k) over GF(2^m).
+* :class:`~repro.rs.codec.DecodeResult`, :class:`~repro.rs.codec.RSDecodingError`.
+* :mod:`~repro.rs.complexity` — decoder latency/area models of paper §6.
+"""
+
+from .area import DecoderArea, decoder_area, linearity_check
+from .codec import DecodeResult, RSCode, RSDecodingError
+from .euclid import berlekamp_euclid_agree, euclid_key_equation
+from .interleave import (
+    BlockInterleaver,
+    decode_interleaved,
+    encode_interleaved,
+    max_correctable_burst,
+)
+from .weights import (
+    decoding_sphere_fraction,
+    mds_weight_distribution,
+    miscorrection_probability_beyond_capability,
+    undetected_error_probability,
+)
+from .pipeline import (
+    DecoderTiming,
+    decode_time_seconds,
+    decoder_timing,
+    validate_paper_formula,
+)
+from .complexity import (
+    ArrangementCost,
+    arrangement_cost,
+    decoder_area_gates,
+    decoding_time_cycles,
+    paper_comparison,
+)
+
+__all__ = [
+    "RSCode",
+    "DecodeResult",
+    "RSDecodingError",
+    "ArrangementCost",
+    "arrangement_cost",
+    "decoder_area_gates",
+    "decoding_time_cycles",
+    "paper_comparison",
+    "DecoderTiming",
+    "decoder_timing",
+    "decode_time_seconds",
+    "validate_paper_formula",
+    "DecoderArea",
+    "decoder_area",
+    "linearity_check",
+    "mds_weight_distribution",
+    "decoding_sphere_fraction",
+    "undetected_error_probability",
+    "miscorrection_probability_beyond_capability",
+    "BlockInterleaver",
+    "encode_interleaved",
+    "decode_interleaved",
+    "max_correctable_burst",
+    "euclid_key_equation",
+    "berlekamp_euclid_agree",
+]

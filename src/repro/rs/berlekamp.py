@@ -1,0 +1,65 @@
+"""Berlekamp-Massey error-locator synthesis.
+
+Given a syndrome sequence, Massey's algorithm finds the shortest linear
+feedback shift register — equivalently the lowest-degree error locator
+polynomial ``Lambda(x)`` with ``Lambda(0) = 1`` — generating it.  Combined
+with the Forney-syndrome trick (see :mod:`repro.rs.syndromes`) this handles
+errors-and-erasures decoding with a plain, erasure-unaware pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..gf import GF2m, poly
+
+
+def berlekamp_massey(gf: GF2m, syndromes: Sequence[int]) -> List[int]:
+    """Return the minimal error locator ``Lambda(x)`` (ascending coeffs).
+
+    The returned polynomial satisfies, for every n >= L,
+
+        sum_{i=0}^{L} Lambda_i * S_{n-i} = 0
+
+    where ``L = deg Lambda``.  For an all-zero syndrome sequence the result
+    is ``[1]`` (no errors).
+    """
+    c: List[int] = [1]  # current locator estimate Lambda
+    b: List[int] = [1]  # previous locator (before last length change)
+    length = 0          # current LFSR length L
+    shift = 1           # x^shift gap since last length change
+    b_disc = 1          # discrepancy at last length change
+    for n_i, s_n in enumerate(syndromes):
+        # discrepancy of the current locator against syndrome n_i
+        d = s_n
+        for i in range(1, length + 1):
+            if i < len(c) and c[i] != 0:
+                d ^= gf.mul(c[i], syndromes[n_i - i])
+        if d == 0:
+            shift += 1
+            continue
+        coef = gf.div(d, b_disc)
+        correction = poly.mul_by_xn(poly.scale(gf, b, coef), shift)
+        if 2 * length <= n_i:
+            # length change: remember the pre-update locator
+            prev_c = list(c)
+            c = poly.add(gf, c, correction)
+            length = n_i + 1 - length
+            b = prev_c
+            b_disc = d
+            shift = 1
+        else:
+            c = poly.add(gf, c, correction)
+            shift += 1
+    return poly.normalize(c)
+
+
+def locator_degree_ok(locator: Sequence[int], max_errors: int) -> bool:
+    """Check that the synthesized locator is within correction capability.
+
+    Berlekamp-Massey always returns *some* minimal LFSR; when the error
+    count exceeds capability the locator degree overshoots (or its root
+    count won't match its degree).  This is the first of the decoder's
+    failure screens.
+    """
+    return poly.degree(locator) <= max_errors

@@ -1,0 +1,87 @@
+"""Decoder complexity and area models (paper §6).
+
+The paper evaluates decoder cost with two first-order models taken from the
+Altera Reed-Solomon compiler core documentation [5]:
+
+* **Decoding time** in clock cycles for non-time-continuous (memory-style)
+  access: ``Td ≈ 3n + 10(n - k)``.  For RS(36,16): 108 + 200 = 308; for
+  RS(18,16): 54 + 20 = 74 — i.e. the RS(36,16) simplex pays > 4x the
+  decoding access latency of the (simplex or duplex) RS(18,16).
+
+* **Decoder area** in logic gates, "almost linearly dependent on m and the
+  number of check symbols n - k"; hence one RS(36,16) decoder outweighs the
+  two RS(18,16) decoders of the duplex arrangement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def decoding_time_cycles(n: int, k: int) -> int:
+    """Clock cycles to decode one word: ``Td ≈ 3n + 10(n - k)``."""
+    if not 0 < k < n:
+        raise ValueError(f"need 0 < k < n, got n={n}, k={k}")
+    return 3 * n + 10 * (n - k)
+
+
+def decoder_area_gates(
+    m: int, n: int, k: int, gates_per_unit: float = 120.0
+) -> float:
+    """First-order gate-count model, linear in ``m * (n - k)``.
+
+    ``gates_per_unit`` calibrates gates per (bit-of-symbol x check-symbol);
+    the default is representative of compact FPGA RS cores.  Only *ratios*
+    between configurations are meaningful for the paper's argument.
+    """
+    if not 0 < k < n:
+        raise ValueError(f"need 0 < k < n, got n={n}, k={k}")
+    if m < 2:
+        raise ValueError(f"need m >= 2, got {m}")
+    return gates_per_unit * m * (n - k)
+
+
+@dataclass(frozen=True)
+class ArrangementCost:
+    """Aggregate decoder cost of a memory arrangement.
+
+    ``decode_cycles`` is the per-read decoding latency; ``area_gates`` sums
+    every decoder instance the arrangement needs (two for duplex).
+    """
+
+    name: str
+    n: int
+    k: int
+    m: int
+    num_decoders: int
+    decode_cycles: int
+    area_gates: float
+
+
+def arrangement_cost(
+    name: str, n: int, k: int, m: int = 8, num_decoders: int = 1,
+    gates_per_unit: float = 120.0,
+) -> ArrangementCost:
+    """Cost of an arrangement using ``num_decoders`` RS(n, k) decoders.
+
+    Duplex decodes its two words in parallel decoders, so latency is a
+    single decode while area doubles.
+    """
+    return ArrangementCost(
+        name=name,
+        n=n,
+        k=k,
+        m=m,
+        num_decoders=num_decoders,
+        decode_cycles=decoding_time_cycles(n, k),
+        area_gates=num_decoders * decoder_area_gates(m, n, k, gates_per_unit),
+    )
+
+
+def paper_comparison(m: int = 8) -> list[ArrangementCost]:
+    """The three arrangements compared in paper §6."""
+    return [
+        arrangement_cost("simplex RS(18,16)", 18, 16, m, num_decoders=1),
+        arrangement_cost("duplex RS(18,16)", 18, 16, m, num_decoders=2),
+        arrangement_cost("simplex RS(36,16)", 36, 16, m, num_decoders=1),
+    ]

@@ -1,0 +1,93 @@
+"""Sugiyama's Euclidean key-equation solver.
+
+An independent alternative to Berlekamp-Massey: the RS key equation
+
+    Lambda(x) * S(x)  ==  Omega(x)   (mod x^{2t}),   deg Omega < t
+
+is solved by running the extended Euclidean algorithm on
+``(x^{2t}, S(x))`` and stopping at the first remainder of degree below
+``t``: the Bezout coefficient of ``S`` is (a scalar multiple of) the
+error locator and the remainder is the evaluator.
+
+Having two structurally different key-equation solvers lets the decoder
+be cross-validated pattern-for-pattern (``tests/test_rs_euclid.py``
+checks they produce identical locators up to normalization on random
+errata), the same way the package cross-checks its Markov solvers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..gf import GF2m, poly
+
+
+def extended_euclid_until(
+    gf: GF2m,
+    a: Sequence[int],
+    b: Sequence[int],
+    degree_bound: int,
+) -> Tuple[List[int], List[int]]:
+    """Run extended Euclid on (a, b) until ``deg remainder < degree_bound``.
+
+    Returns ``(u, r)`` with ``u * b == r (mod a)`` — for the key equation
+    ``a = x^{2t}``, ``b = S(x)``; then ``u`` is the locator and ``r`` the
+    evaluator.
+    """
+    r_prev, r_cur = poly.normalize(a), poly.normalize(b)
+    u_prev: List[int] = [0]
+    u_cur: List[int] = [1]
+    while poly.degree(r_cur) >= degree_bound:
+        if poly.is_zero(r_cur):
+            break
+        quotient, remainder = poly.divmod_poly(gf, r_prev, r_cur)
+        r_prev, r_cur = r_cur, remainder
+        u_next = poly.add(gf, u_prev, poly.mul(gf, quotient, u_cur))
+        u_prev, u_cur = u_cur, u_next
+    return u_cur, r_cur
+
+
+def euclid_key_equation(
+    gf: GF2m, syndromes: Sequence[int], nsym: int
+) -> Tuple[List[int], List[int]]:
+    """Solve the key equation by the Euclidean algorithm.
+
+    Returns ``(locator, evaluator)`` normalized so ``locator[0] == 1``
+    (the convention Berlekamp-Massey produces and Chien/Forney expect).
+    Raises ZeroDivisionError if the locator has zero constant term,
+    which signals an uncorrectable pattern (caller treats it as a
+    decoding failure).
+    """
+    if len(syndromes) != nsym:
+        raise ValueError(f"expected {nsym} syndromes, got {len(syndromes)}")
+    if all(s == 0 for s in syndromes):
+        return [1], [0]
+    x_2t = poly.monomial(gf, 1, nsym)
+    t = nsym // 2
+    locator, evaluator = extended_euclid_until(gf, x_2t, list(syndromes), t)
+    constant = locator[0]
+    if constant == 0:
+        raise ZeroDivisionError(
+            "Euclidean locator has zero constant term: uncorrectable"
+        )
+    inv = gf.inv(constant)
+    return poly.scale(gf, locator, inv), poly.scale(gf, evaluator, inv)
+
+
+def berlekamp_euclid_agree(
+    gf: GF2m, syndromes: Sequence[int], nsym: int
+) -> bool:
+    """True iff BM and Euclid derive the same (monic-normalized) locator.
+
+    Utility for the cross-validation tests; patterns beyond capability
+    may legitimately diverge (both solvers produce garbage there, each in
+    its own way), so callers restrict to in-capability syndromes.
+    """
+    from .berlekamp import berlekamp_massey
+
+    bm = berlekamp_massey(gf, list(syndromes))
+    try:
+        euclid, _omega = euclid_key_equation(gf, syndromes, nsym)
+    except ZeroDivisionError:
+        return False
+    return bm == euclid

@@ -1,0 +1,65 @@
+"""Syndrome computation for Reed-Solomon decoding.
+
+For a received word ``r(x)`` of an RS(n, k) code whose generator has roots
+``alpha^fcr .. alpha^(fcr + n - k - 1)``, the syndromes are
+
+    S_j = r(alpha^(fcr + j)),   j = 0 .. n-k-1.
+
+A received word is a codeword iff every syndrome is zero.  The *Forney
+syndromes* fold known erasure locations out of the ordinary syndromes so
+that a plain (erasure-unaware) Berlekamp-Massey pass can recover the
+locator of the remaining unknown errors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..gf import GF2m, poly
+
+
+def compute_syndromes(
+    gf: GF2m, received: Sequence[int], nsym: int, fcr: int = 1
+) -> List[int]:
+    """Return the ``nsym`` syndromes of ``received``.
+
+    ``received`` holds the codeword coefficients in ascending power order
+    (position p is the coefficient of ``x^p``).
+    """
+    return [poly.eval_at(gf, received, gf.exp(fcr + j)) for j in range(nsym)]
+
+
+def erasure_locator(gf: GF2m, erasure_positions: Sequence[int]) -> List[int]:
+    """Build the erasure locator ``Gamma(x) = prod_l (1 - alpha^{p_l} x)``.
+
+    ``erasure_positions`` are codeword positions (coefficient indices).
+    Returns the polynomial in ascending order; ``[1]`` for no erasures.
+    """
+    gamma: List[int] = [1]
+    for p in erasure_positions:
+        # multiply by (1 + alpha^p x)  (characteristic 2: minus == plus)
+        gamma = poly.mul(gf, gamma, [1, gf.exp(p)])
+    return gamma
+
+
+def forney_syndromes(
+    gf: GF2m, syndromes: Sequence[int], erasure_positions: Sequence[int]
+) -> List[int]:
+    """Fold erasures out of the syndromes.
+
+    Computes the modified syndrome polynomial
+    ``Xi(x) = Gamma(x) * S(x) mod x^nsym`` and returns its upper
+    coefficients ``T_j = Xi_{j + rho}`` for ``j = 0 .. nsym - rho - 1``,
+    where ``rho`` is the erasure count.  Running plain Berlekamp-Massey on
+    ``T`` yields the locator of the unknown errors only.
+    """
+    nsym = len(syndromes)
+    rho = len(erasure_positions)
+    if rho == 0:
+        return list(syndromes)
+    if rho >= nsym:
+        return []
+    gamma = erasure_locator(gf, erasure_positions)
+    xi = poly.mul(gf, gamma, list(syndromes))
+    xi = (xi + [0] * nsym)[:nsym]
+    return xi[rho:nsym]

@@ -1,0 +1,131 @@
+"""Weight distribution and mis-correction probability of RS codes.
+
+Reed-Solomon codes are Maximum Distance Separable, so their full weight
+distribution is known in closed form (MacWilliams/Sloane):
+
+    A_0 = 1,   A_w = C(n, w) (q - 1) sum_{j=0}^{w-d} (-1)^j C(w-1, j) q^{w-d-j}
+
+for ``w >= d = n - k + 1``.  From it follow the quantities behind the
+paper's arbiter design (Section 3):
+
+* **undetected-error probability** — a corrupted word that happens to be
+  another codeword passes the syndrome check silently;
+* **mis-correction probability** — a bounded-distance decoder corrects
+  any word within Hamming distance ``t`` of *some* codeword; random
+  damage beyond capability lands in a wrong decoding sphere with a
+  probability governed by the sphere packing — the ``decoding_sphere_
+  fraction`` here.  This is the event the duplex arbiter's flag
+  comparison exists to catch, and the bit-level simulator's observed
+  mis-correction rates are validated against it
+  (``tests/test_rs_weights.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import List
+
+from .codec import RSCode
+
+
+def mds_weight_distribution(n: int, k: int, q: int) -> List[int]:
+    """Number of codewords of each Hamming weight, ``A[0..n]``.
+
+    Exact integer evaluation of the MDS weight formula; ``sum(A) = q^k``.
+    """
+    if not 0 < k < n:
+        raise ValueError(f"need 0 < k < n, got n={n}, k={k}")
+    if q < 2:
+        raise ValueError("alphabet size must be >= 2")
+    d = n - k + 1
+    weights = [0] * (n + 1)
+    weights[0] = 1
+    for w in range(d, n + 1):
+        total = 0
+        for j in range(w - d + 1):
+            term = math.comb(w - 1, j) * q ** (w - d - j)
+            total += -term if j % 2 else term
+        weights[w] = math.comb(n, w) * (q - 1) * total
+    return weights
+
+
+@lru_cache(maxsize=None)
+def _weights_cached(n: int, k: int, q: int) -> tuple:
+    return tuple(mds_weight_distribution(n, k, q))
+
+
+def undetected_error_probability(
+    n: int, k: int, q: int, symbol_error_rate: float
+) -> float:
+    """P(corrupted word is silently another codeword), no decoding.
+
+    Under the q-ary symmetric channel with symbol error probability
+    ``p``: ``P_ue = sum_w A_w (p/(q-1))^w (1-p)^{n-w}``.
+    """
+    p = symbol_error_rate
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("symbol error rate must be in [0, 1]")
+    weights = _weights_cached(n, k, q)
+    if p == 0.0:
+        return 0.0
+    scale = p / (q - 1)
+    return float(
+        sum(
+            a * scale**w * (1.0 - p) ** (n - w)
+            for w, a in enumerate(weights)
+            if w > 0 and a > 0
+        )
+    )
+
+
+def decoding_sphere_fraction(n: int, k: int, q: int, t: int | None = None) -> float:
+    """Fraction of the whole space inside some radius-``t`` decoding sphere.
+
+    ``q^k * V_t / q^n`` with ``V_t = sum_{i<=t} C(n, i)(q-1)^i`` — for a
+    bounded-distance decoder this is the probability that a *uniformly
+    random* word decodes (to something); conditioned on the word being
+    far from the transmitted codeword it approximates the mis-correction
+    probability of heavy random damage.
+    """
+    if t is None:
+        t = (n - k) // 2
+    if t < 0:
+        raise ValueError("t must be nonnegative")
+    volume = sum(math.comb(n, i) * (q - 1) ** i for i in range(t + 1))
+    return float(q**k * volume) / float(q**n)
+
+
+def miscorrection_probability_beyond_capability(
+    code: RSCode, num_errors: int
+) -> float:
+    """P(bounded-distance decode succeeds | ``num_errors`` random errors).
+
+    For error patterns well beyond capability the received word is close
+    to uniformly distributed over words at distance ``num_errors`` from
+    the sent codeword, and the acceptance probability approaches the
+    decoding-sphere fraction.  Exposed with the error count so callers
+    can reason about the near-capability regime too (where the estimate
+    is a lower-bias approximation).
+    """
+    if num_errors <= code.t:
+        return 0.0  # within capability: always corrected, never *mis*
+    return decoding_sphere_fraction(code.n, code.k, code.gf.order, code.t)
+
+
+def expected_weight_enumerator_checks(n: int, k: int, q: int) -> dict:
+    """Consistency facts about the distribution (used by tests/benches).
+
+    Returns the total count (must be ``q^k``), the minimum distance
+    (first nonzero weight, must be ``n - k + 1``) and the Singleton-bound
+    slack (must be 0 — RS codes are MDS).
+    """
+    weights = _weights_cached(n, k, q)
+    total = sum(weights)
+    d_min = next(w for w in range(1, n + 1) if weights[w] > 0)
+    return {
+        "total_codewords": total,
+        "expected_total": q**k,
+        "min_distance": d_min,
+        "singleton_slack": (n - k + 1) - d_min,
+    }

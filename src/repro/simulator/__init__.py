@@ -1,0 +1,80 @@
+"""Bit-level fault-injection simulator — the "physical" validation substrate.
+
+Public surface:
+
+* :class:`~repro.simulator.word.MemoryWord` — bit-level storage with SEU
+  and stuck-at faults.
+* :mod:`~repro.simulator.faults` — Poisson event streams and scrub
+  schedules.
+* :class:`~repro.simulator.systems.SimplexSystem` /
+  :class:`~repro.simulator.systems.DuplexSystem` — executable arrangements
+  using the real codec and arbiter.
+* :func:`~repro.simulator.arbiter.arbitrate` — the Section 3 decision
+  procedure.
+* :mod:`~repro.simulator.montecarlo` — SSA and fault-injection estimators.
+"""
+
+from .arbiter import ArbiterDecision, ArbiterResult, arbitrate, recover_erasures
+from .campaign import (
+    CampaignCell,
+    CampaignRow,
+    campaign_summary,
+    default_validation_campaign,
+    run_campaign,
+)
+from .controller import ControllerStats, simulate_controller
+from .faults import (
+    FaultEvent,
+    FaultKind,
+    merge_event_streams,
+    sample_permanent_events,
+    sample_seu_events,
+    scrub_schedule,
+)
+from .mbu import sample_mbu_strikes, simulate_mbu_read_unreliability
+from .montecarlo import (
+    FailureEstimate,
+    gillespie_fail_probability,
+    simulate_fail_probability,
+    simulate_read_outcome,
+    wilson_interval,
+)
+from .policies import ARBITER_POLICIES, compare_policies
+from .systems import DuplexSystem, ReadOutcome, SimplexSystem
+from .voting import NMRSystem, simulate_nmr_read_unreliability
+from .word import MemoryWord
+
+__all__ = [
+    "MemoryWord",
+    "FaultEvent",
+    "FaultKind",
+    "sample_seu_events",
+    "sample_permanent_events",
+    "scrub_schedule",
+    "merge_event_streams",
+    "ArbiterDecision",
+    "ArbiterResult",
+    "arbitrate",
+    "recover_erasures",
+    "SimplexSystem",
+    "DuplexSystem",
+    "ReadOutcome",
+    "FailureEstimate",
+    "gillespie_fail_probability",
+    "simulate_fail_probability",
+    "simulate_read_outcome",
+    "wilson_interval",
+    "NMRSystem",
+    "simulate_nmr_read_unreliability",
+    "sample_mbu_strikes",
+    "simulate_mbu_read_unreliability",
+    "ControllerStats",
+    "simulate_controller",
+    "ARBITER_POLICIES",
+    "compare_policies",
+    "CampaignCell",
+    "CampaignRow",
+    "run_campaign",
+    "default_validation_campaign",
+    "campaign_summary",
+]

@@ -1,0 +1,150 @@
+"""Fault-injection campaign orchestration.
+
+A *campaign* runs the codec-level Monte-Carlo estimator over a matrix of
+configurations (arrangement x fault environment) with deterministic
+per-cell seeding, collecting the estimates alongside the corresponding
+Markov-model predictions.  This is the repeatable bulk-validation entry
+point — ``benchmarks/bench_xval_montecarlo.py`` is one hand-rolled cell
+of what this module automates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..memory import duplex_model, simplex_model
+from ..rs import RSCode
+from .montecarlo import FailureEstimate, simulate_fail_probability
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One configuration of the campaign matrix."""
+
+    arrangement: str
+    seu_per_bit_day: float
+    erasure_per_symbol_day: float
+    scrub_period_seconds: Optional[float] = None
+
+    def label(self) -> str:
+        parts = [self.arrangement]
+        if self.seu_per_bit_day:
+            parts.append(f"seu={self.seu_per_bit_day:g}")
+        if self.erasure_per_symbol_day:
+            parts.append(f"perm={self.erasure_per_symbol_day:g}")
+        if self.scrub_period_seconds:
+            parts.append(f"tsc={self.scrub_period_seconds:g}s")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """Result of one cell: model prediction next to the MC estimate."""
+
+    cell: CampaignCell
+    model_fail_probability: float
+    estimate: FailureEstimate
+
+    @property
+    def consistent(self) -> bool:
+        """Model inside a 99.9% Wilson interval (simplex) or conservative
+        upper bound respected (duplex, either-word rule).
+
+        The wide interval keeps the per-cell false-alarm rate negligible
+        even for quick low-trial campaigns; serious validation should
+        raise ``trials`` rather than trust narrow intervals.
+        """
+        from .montecarlo import wilson_interval
+
+        if self.cell.arrangement == "simplex":
+            low, high = wilson_interval(
+                self.estimate.failures, self.estimate.trials, z=3.29
+            )
+            return low <= self.model_fail_probability <= high
+        low, high = wilson_interval(
+            self.estimate.failures, self.estimate.trials, z=3.29
+        )
+        return low <= self.model_fail_probability or (
+            self.estimate.probability <= self.model_fail_probability
+        )
+
+
+def run_campaign(
+    cells: Sequence[CampaignCell],
+    n: int = 18,
+    k: int = 16,
+    m: int = 8,
+    t_end_hours: float = 48.0,
+    trials: int = 400,
+    base_seed: int = 2005,
+) -> List[CampaignRow]:
+    """Run every cell with a deterministic per-cell seed.
+
+    Seeding is positional (``base_seed + index``) so a campaign is exactly
+    reproducible and individual cells can be re-run in isolation.
+    """
+    if not cells:
+        raise ValueError("empty campaign")
+    code = RSCode(n, k, m=m)
+    rows: List[CampaignRow] = []
+    for idx, cell in enumerate(cells):
+        if cell.arrangement not in ("simplex", "duplex"):
+            raise ValueError(f"unknown arrangement {cell.arrangement!r}")
+        factory = simplex_model if cell.arrangement == "simplex" else duplex_model
+        model = factory(
+            n,
+            k,
+            m=m,
+            seu_per_bit_day=cell.seu_per_bit_day,
+            erasure_per_symbol_day=cell.erasure_per_symbol_day,
+            scrub_period_seconds=cell.scrub_period_seconds,
+        )
+        p_model = float(model.fail_probability([t_end_hours])[0])
+        estimate = simulate_fail_probability(
+            cell.arrangement,
+            code,
+            t_end_hours,
+            seu_per_bit=cell.seu_per_bit_day / 24.0,
+            erasure_per_symbol=cell.erasure_per_symbol_day / 24.0,
+            trials=trials,
+            rng=np.random.default_rng(base_seed + idx),
+            scrub_period=(
+                None
+                if cell.scrub_period_seconds is None
+                else cell.scrub_period_seconds / 3600.0
+            ),
+            scrub_exponential=True,
+        )
+        rows.append(CampaignRow(cell, p_model, estimate))
+    return rows
+
+
+def default_validation_campaign(
+    seu_rates=(1e-3, 2e-3),
+    perm_rates=(0.0, 1e-2),
+) -> List[CampaignCell]:
+    """The standard MC-visible validation matrix."""
+    cells = []
+    for arrangement in ("simplex", "duplex"):
+        for seu in seu_rates:
+            for perm in perm_rates:
+                cells.append(
+                    CampaignCell(
+                        arrangement=arrangement,
+                        seu_per_bit_day=seu,
+                        erasure_per_symbol_day=perm,
+                    )
+                )
+    return cells
+
+
+def campaign_summary(rows: Sequence[CampaignRow]) -> Dict[str, Tuple[int, int]]:
+    """``{arrangement: (consistent cells, total cells)}``."""
+    out: Dict[str, Tuple[int, int]] = {}
+    for row in rows:
+        ok, total = out.get(row.cell.arrangement, (0, 0))
+        out[row.cell.arrangement] = (ok + (1 if row.consistent else 0), total + 1)
+    return out

@@ -1,0 +1,129 @@
+"""Poisson fault-event generation.
+
+The space environment of the paper is abstracted to two exponential
+processes per memory module: SEU bit flips at rate λ per bit and permanent
+faults at rate λe per symbol.  This module samples concrete timed event
+streams from those processes for the fault-injection simulator — the
+substitute for radiation-beam or on-orbit data, preserving exactly the
+stochastic model the paper's chains assume.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, List
+
+import numpy as np
+
+
+class FaultKind(Enum):
+    """Classes of injected events."""
+
+    SEU = "seu"
+    PERMANENT = "permanent"
+    SCRUB = "scrub"
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One timed event; ordering is by time (heap-friendly)."""
+
+    time: float
+    kind: FaultKind = field(compare=False)
+    module: int = field(compare=False, default=0)
+    symbol: int = field(compare=False, default=0)
+    bit: int = field(compare=False, default=0)
+    stuck_value: int = field(compare=False, default=0)
+
+
+def sample_seu_events(
+    rng: np.random.Generator,
+    rate_per_bit: float,
+    n_symbols: int,
+    m: int,
+    t_end: float,
+    module: int = 0,
+) -> List[FaultEvent]:
+    """SEU events over ``[0, t_end]`` for one module.
+
+    The superposition of ``n_symbols * m`` independent per-bit Poisson
+    processes is one Poisson process of rate ``rate_per_bit * n * m`` with
+    uniformly random cell assignment.
+    """
+    total_rate = rate_per_bit * n_symbols * m
+    if total_rate <= 0 or t_end <= 0:
+        return []
+    count = rng.poisson(total_rate * t_end)
+    times = rng.uniform(0.0, t_end, size=count)
+    symbols = rng.integers(0, n_symbols, size=count)
+    bits = rng.integers(0, m, size=count)
+    return [
+        FaultEvent(float(t), FaultKind.SEU, module, int(s), int(b))
+        for t, s, b in zip(times, symbols, bits)
+    ]
+
+
+def sample_permanent_events(
+    rng: np.random.Generator,
+    rate_per_symbol: float,
+    n_symbols: int,
+    m: int,
+    t_end: float,
+    module: int = 0,
+) -> List[FaultEvent]:
+    """Permanent-fault events over ``[0, t_end]`` for one module.
+
+    Each event pins one uniformly chosen cell of the struck symbol to a
+    uniformly random value (stuck-at-0/1 equally likely) — with
+    probability 1/2 the stuck value matches the stored bit, in which case
+    the fault is benign until a later rewrite, exactly as in real parts.
+    """
+    total_rate = rate_per_symbol * n_symbols
+    if total_rate <= 0 or t_end <= 0:
+        return []
+    count = rng.poisson(total_rate * t_end)
+    times = rng.uniform(0.0, t_end, size=count)
+    symbols = rng.integers(0, n_symbols, size=count)
+    bits = rng.integers(0, m, size=count)
+    values = rng.integers(0, 2, size=count)
+    return [
+        FaultEvent(float(t), FaultKind.PERMANENT, module, int(s), int(b), int(v))
+        for t, s, b, v in zip(times, symbols, bits, values)
+    ]
+
+
+def scrub_schedule(
+    t_end: float,
+    period: float | None,
+    rng: np.random.Generator | None = None,
+    exponential: bool = False,
+) -> List[FaultEvent]:
+    """Scrub events over ``[0, t_end]``.
+
+    ``exponential=True`` draws exponential inter-scrub gaps of mean
+    ``period`` (the paper's rate-1/Tsc modelling); otherwise scrubs fire
+    deterministically at each multiple of ``period``.
+    """
+    if period is None or period <= 0 or t_end <= 0:
+        return []
+    events: List[FaultEvent] = []
+    if exponential:
+        if rng is None:
+            raise ValueError("exponential scrub schedule needs an rng")
+        t = rng.exponential(period)
+        while t < t_end:
+            events.append(FaultEvent(float(t), FaultKind.SCRUB))
+            t += rng.exponential(period)
+    else:
+        steps = int(t_end / period)
+        events = [
+            FaultEvent(i * period, FaultKind.SCRUB) for i in range(1, steps + 1)
+        ]
+    return events
+
+
+def merge_event_streams(*streams: List[FaultEvent]) -> Iterator[FaultEvent]:
+    """Time-ordered merge of several event lists."""
+    return iter(heapq.merge(*[sorted(s) for s in streams]))

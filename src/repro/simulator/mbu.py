@@ -1,0 +1,127 @@
+"""Clustered-upset (MBU) injection for the bit-level simulator.
+
+Physical counterpart of :mod:`repro.memory.mbu`: strikes are anchored
+uniformly on the physical cell row, upset a contiguous cluster of cells,
+and corrupt whichever bits of the target word the layout places under
+the cluster.  Used to validate the multi-symbol-arrival chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..memory.mbu import ClusterDistribution, Layout
+from ..rs import RSCode, RSDecodingError
+from .montecarlo import FailureEstimate, wilson_interval
+from .systems import ReadOutcome
+from .word import MemoryWord
+
+
+def _cell_map(
+    n: int, m: int, layout: Layout, depth: int
+) -> Dict[int, Tuple[int, int]]:
+    """physical position -> (symbol, bit) for the target word."""
+    mapping: Dict[int, Tuple[int, int]] = {}
+    for logical in range(n * m):
+        if layout is Layout.CONTIGUOUS:
+            position = logical
+            symbol, bit = logical // m, logical % m
+        elif layout is Layout.BIT_INTERLEAVED:
+            position = logical
+            symbol, bit = logical % n, logical // n
+        else:  # WORD_INTERLEAVED
+            position = logical * depth
+            symbol, bit = logical // m, logical % m
+        mapping[position] = (symbol, bit)
+    return mapping
+
+
+def sample_mbu_strikes(
+    rng: np.random.Generator,
+    strike_rate_per_cell: float,
+    n: int,
+    m: int,
+    layout: Layout,
+    clusters: ClusterDistribution,
+    t_end: float,
+    depth: int = 4,
+) -> List[Tuple[float, List[Tuple[int, int]]]]:
+    """Sample strikes over ``[0, t_end]``; each is ``(time, affected cells)``.
+
+    Anchor geometry matches
+    :func:`repro.memory.mbu.symbol_multiplicity_rates` exactly: for a
+    cluster of ``size`` cells, anchors range over every position whose
+    span can intersect the word, each struck at the per-cell rate.
+    """
+    mapping = _cell_map(n, m, layout, depth)
+    max_pos = max(mapping)
+    strikes: List[Tuple[float, List[Tuple[int, int]]]] = []
+    for size, prob in clusters.sizes.items():
+        if prob == 0.0:
+            continue
+        anchors = max_pos + size  # anchor in [-(size-1), max_pos]
+        rate = strike_rate_per_cell * prob * anchors
+        count = rng.poisson(rate * t_end)
+        for _ in range(count):
+            t = float(rng.uniform(0.0, t_end))
+            anchor = int(rng.integers(-(size - 1), max_pos + 1))
+            cells = [
+                mapping[p]
+                for p in range(anchor, anchor + size)
+                if p in mapping
+            ]
+            if cells:
+                strikes.append((t, cells))
+    strikes.sort(key=lambda s: s[0])
+    return strikes
+
+
+def simulate_mbu_read_unreliability(
+    code: RSCode,
+    layout: Layout,
+    clusters: ClusterDistribution,
+    strike_rate_per_cell: float,
+    t_end: float,
+    trials: int,
+    rng: Optional[np.random.Generator] = None,
+    depth: int = 4,
+) -> FailureEstimate:
+    """Monte-Carlo read unreliability under clustered upsets.
+
+    Estimates what :class:`repro.memory.mbu.SimplexMBUModel` computes
+    analytically (up to the chain's clean-landing thinning approximation
+    and physically possible flip cancellations).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    failures = 0
+    for _ in range(trials):
+        data = [int(v) for v in rng.integers(0, code.gf.order, size=code.k)]
+        word = MemoryWord(code.encode(data), code.m)
+        for _t, cells in sample_mbu_strikes(
+            rng,
+            strike_rate_per_cell,
+            code.n,
+            code.m,
+            layout,
+            clusters,
+            t_end,
+            depth,
+        ):
+            for symbol, bit in cells:
+                word.flip_bit(symbol, bit)
+        try:
+            result = code.decode(word.read())
+            outcome = (
+                ReadOutcome.CORRECT
+                if result.data == data
+                else ReadOutcome.CORRUPTED
+            )
+        except RSDecodingError:
+            outcome = ReadOutcome.UNREADABLE
+        if outcome.is_failure:
+            failures += 1
+    low, high = wilson_interval(failures, trials)
+    return FailureEstimate(failures / trials, trials, failures, low, high)

@@ -1,0 +1,194 @@
+"""Monte-Carlo estimation harnesses.
+
+Two independent fault-injection validators:
+
+* :func:`gillespie_fail_probability` — stochastic simulation (SSA) of a
+  memory model's *own* transition rule.  Converges to the CTMC transient
+  solution by construction, so it validates the analytical solvers.
+* :func:`simulate_fail_probability` — bit-level fault injection through
+  the real codec and arbiter (:mod:`repro.simulator.systems`).  Validates
+  that the paper's Markov abstraction (erasures-as-located faults, flags,
+  masking, capability conditions) tracks "physical" behaviour, including
+  effects the chains idealize away (mis-corrections, benign stuck-ats,
+  repeated SEUs on one symbol).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..memory.base import FAIL, MemoryMarkovModel
+from ..rs import RSCode
+from .faults import (
+    merge_event_streams,
+    sample_permanent_events,
+    sample_seu_events,
+    scrub_schedule,
+)
+from .systems import DuplexSystem, ReadOutcome, SimplexSystem
+
+
+@dataclass(frozen=True)
+class FailureEstimate:
+    """A Monte-Carlo failure-probability estimate with a Wilson interval."""
+
+    probability: float
+    trials: int
+    failures: int
+    ci_low: float
+    ci_high: float
+    outcome_counts: Optional[Dict[str, int]] = None
+
+    def consistent_with(self, p: float) -> bool:
+        """True if ``p`` lies inside the 95% confidence interval."""
+        return self.ci_low <= p <= self.ci_high
+
+
+def wilson_interval(failures: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """95% (by default) Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    p_hat = failures / trials
+    denom = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+# --------------------------------------------------------------------------
+# SSA on the Markov model itself
+# --------------------------------------------------------------------------
+
+
+def gillespie_fail_probability(
+    model: MemoryMarkovModel,
+    t_end: float,
+    trials: int,
+    rng: Optional[np.random.Generator] = None,
+) -> FailureEstimate:
+    """Estimate ``P_Fail(t_end)`` by direct SSA on the model's transitions.
+
+    Each trial walks the chain with exponential holding times until
+    ``t_end`` or absorption into FAIL.  The estimate converges to the
+    transient CTMC solution, making this an end-to-end check of the
+    chain construction *and* the numerical solvers.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    failures = 0
+    for _ in range(trials):
+        state = model.initial_state()
+        t = 0.0
+        while True:
+            moves = list(model.transitions(state))
+            total = sum(rate for _s, rate in moves)
+            if total <= 0.0:
+                break  # absorbing
+            t += rng.exponential(1.0 / total)
+            if t >= t_end:
+                break
+            pick = rng.uniform(0.0, total)
+            acc = 0.0
+            for nxt, rate in moves:
+                acc += rate
+                if pick <= acc:
+                    state = nxt
+                    break
+        if state == FAIL:
+            failures += 1
+    low, high = wilson_interval(failures, trials)
+    return FailureEstimate(failures / trials, trials, failures, low, high)
+
+
+# --------------------------------------------------------------------------
+# bit-level fault injection through the codec
+# --------------------------------------------------------------------------
+
+
+def simulate_read_outcome(
+    arrangement: str,
+    code: RSCode,
+    t_end: float,
+    seu_per_bit: float,
+    erasure_per_symbol: float,
+    rng: np.random.Generator,
+    scrub_period: float | None = None,
+    scrub_exponential: bool = False,
+) -> ReadOutcome:
+    """One fault-injection trial: inject events over ``[0, t_end]``, then read.
+
+    ``arrangement`` is ``"simplex"`` or ``"duplex"``.  Rates share the time
+    unit of ``t_end`` and ``scrub_period``.
+    """
+    if arrangement == "simplex":
+        system: SimplexSystem | DuplexSystem = SimplexSystem(code, rng=rng)
+        n_modules = 1
+    elif arrangement == "duplex":
+        system = DuplexSystem(code, rng=rng)
+        n_modules = 2
+    else:
+        raise ValueError(f"unknown arrangement {arrangement!r}")
+
+    streams = []
+    for module in range(n_modules):
+        streams.append(
+            sample_seu_events(rng, seu_per_bit, code.n, code.m, t_end, module)
+        )
+        streams.append(
+            sample_permanent_events(
+                rng, erasure_per_symbol, code.n, code.m, t_end, module
+            )
+        )
+    streams.append(
+        scrub_schedule(t_end, scrub_period, rng=rng, exponential=scrub_exponential)
+    )
+    for event in merge_event_streams(*streams):
+        system.apply_event(event)
+    return system.read()
+
+
+def simulate_fail_probability(
+    arrangement: str,
+    code: RSCode,
+    t_end: float,
+    seu_per_bit: float,
+    erasure_per_symbol: float,
+    trials: int,
+    rng: Optional[np.random.Generator] = None,
+    scrub_period: float | None = None,
+    scrub_exponential: bool = False,
+) -> FailureEstimate:
+    """Monte-Carlo failure probability through the real codec and arbiter."""
+    if rng is None:
+        rng = np.random.default_rng()
+    counts = {outcome.value: 0 for outcome in ReadOutcome}
+    failures = 0
+    for _ in range(trials):
+        outcome = simulate_read_outcome(
+            arrangement,
+            code,
+            t_end,
+            seu_per_bit,
+            erasure_per_symbol,
+            rng,
+            scrub_period=scrub_period,
+            scrub_exponential=scrub_exponential,
+        )
+        counts[outcome.value] += 1
+        if outcome.is_failure:
+            failures += 1
+    low, high = wilson_interval(failures, trials)
+    return FailureEstimate(
+        failures / trials, trials, failures, low, high, outcome_counts=counts
+    )
+
+
+MonteCarloRunner = Callable[..., FailureEstimate]

@@ -1,0 +1,150 @@
+"""Alternative duplex arbiter policies (ablation of paper Section 3).
+
+The paper's arbiter uses per-word correction *flags* to discriminate
+mis-corrections.  How much is that machinery worth?  This module
+implements the obvious cheaper policies on the same erasure-recovered
+words so the fault-injection harness can compare failure rates:
+
+* ``flag_compare`` — the paper's full procedure (delegates to
+  :func:`repro.simulator.arbiter.arbitrate`);
+* ``first_decodable`` — output module 1's decode if it succeeds, else
+  module 2's (no comparison, no flags): cheapest hardware, blind to
+  mis-corrections;
+* ``compare_no_flags`` — decode both and compare; equal words are
+  output, different words are a detected failure (no flags to break the
+  tie): never silently wrong between the two words, but gives up on
+  every single-sided mis-correction the flags would have resolved;
+* ``module1_only`` — ignore the replica entirely on reads (it only backs
+  erasure recovery): the degenerate baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..rs import RSCode, RSDecodingError
+from .arbiter import recover_erasures
+from .word import MemoryWord
+
+PolicyResult = Tuple[Optional[List[int]], str]
+Policy = Callable[[RSCode, MemoryWord, MemoryWord], PolicyResult]
+
+
+def _decode_both(code: RSCode, word1: MemoryWord, word2: MemoryWord):
+    s1, s2, shared, _masked = recover_erasures(word1, word2)
+
+    def attempt(symbols):
+        try:
+            return code.decode(symbols, erasure_positions=shared)
+        except RSDecodingError:
+            return None
+
+    return attempt(s1), attempt(s2)
+
+
+def policy_flag_compare(
+    code: RSCode, word1: MemoryWord, word2: MemoryWord
+) -> PolicyResult:
+    """The paper's Section 3 procedure."""
+    from .arbiter import arbitrate
+
+    result = arbitrate(code, word1, word2)
+    return result.data, result.decision.value
+
+
+def policy_first_decodable(
+    code: RSCode, word1: MemoryWord, word2: MemoryWord
+) -> PolicyResult:
+    """Take whichever module decodes first; never compare."""
+    r1, r2 = _decode_both(code, word1, word2)
+    if r1 is not None:
+        return r1.data, "module1"
+    if r2 is not None:
+        return r2.data, "module2"
+    return None, "none_decodable"
+
+
+def policy_compare_no_flags(
+    code: RSCode, word1: MemoryWord, word2: MemoryWord
+) -> PolicyResult:
+    """Decode both, require agreement, without flag information."""
+    r1, r2 = _decode_both(code, word1, word2)
+    if r1 is None and r2 is None:
+        return None, "none_decodable"
+    if r1 is None or r2 is None:
+        winner = r1 if r1 is not None else r2
+        return winner.data, "single"
+    if r1.data == r2.data:
+        return r1.data, "agree"
+    return None, "disagree"
+
+
+def policy_module1_only(
+    code: RSCode, word1: MemoryWord, word2: MemoryWord
+) -> PolicyResult:
+    """Reads served from module 1 alone (replica used for erasures only)."""
+    r1, _r2 = _decode_both(code, word1, word2)
+    if r1 is None:
+        return None, "undecodable"
+    return r1.data, "module1"
+
+
+ARBITER_POLICIES: Dict[str, Policy] = {
+    "flag_compare": policy_flag_compare,
+    "first_decodable": policy_first_decodable,
+    "compare_no_flags": policy_compare_no_flags,
+    "module1_only": policy_module1_only,
+}
+
+
+def compare_policies(
+    code: RSCode,
+    t_end: float,
+    seu_per_bit: float,
+    erasure_per_symbol: float,
+    trials: int,
+    rng,
+) -> Dict[str, Dict[str, float]]:
+    """Failure/silent-corruption rates of every policy, same fault draws.
+
+    Each trial injects one fault history into a duplex pair and asks all
+    policies to read it, so policies are compared on identical damage.
+    Returns ``{policy: {"failure": .., "silent": ..}}`` where *failure*
+    counts wrong-or-missing output and *silent* only wrong output.
+    """
+    from .faults import (
+        merge_event_streams,
+        sample_permanent_events,
+        sample_seu_events,
+    )
+    from .systems import DuplexSystem
+
+    counts = {
+        name: {"failure": 0, "silent": 0} for name in ARBITER_POLICIES
+    }
+    for _ in range(trials):
+        system = DuplexSystem(code, rng=rng)
+        streams = []
+        for module in range(2):
+            streams.append(
+                sample_seu_events(
+                    rng, seu_per_bit, code.n, code.m, t_end, module
+                )
+            )
+            streams.append(
+                sample_permanent_events(
+                    rng, erasure_per_symbol, code.n, code.m, t_end, module
+                )
+            )
+        for event in merge_event_streams(*streams):
+            system.apply_event(event)
+        for name, policy in ARBITER_POLICIES.items():
+            data, _detail = policy(code, system.modules[0], system.modules[1])
+            if data != system.data:
+                counts[name]["failure"] += 1
+                if data is not None:
+                    counts[name]["silent"] += 1
+    return {
+        name: {k: v / trials for k, v in c.items()}
+        for name, c in counts.items()
+    }

@@ -1,0 +1,161 @@
+"""Executable simplex and duplex memory systems.
+
+These classes wire the bit-level storage model, the real RS codec and (for
+duplex) the arbiter into systems that the fault-injection harness can
+drive: inject events, scrub, read, and classify the outcome against the
+ground-truth data.  They are the "physical" counterpart of the Markov
+models — mis-corrections, benign stuck-ats and repeated SEUs all happen
+here exactly as in hardware, which is what the model-vs-simulation
+benchmarks quantify.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..rs import RSCode, RSDecodingError
+from .arbiter import ArbiterResult, arbitrate
+from .faults import FaultEvent, FaultKind
+from .word import MemoryWord
+
+
+class ReadOutcome(Enum):
+    """Classification of a read against the ground-truth data.
+
+    The paper's reliability definition counts *inability to produce a
+    correct output* as failure, i.e. both ``CORRUPTED`` (silent wrong
+    data, e.g. an undetected mis-correction) and ``UNREADABLE`` (detected
+    uncorrectable word / arbiter refuses output).
+    """
+
+    CORRECT = "correct"
+    CORRUPTED = "corrupted"
+    UNREADABLE = "unreadable"
+
+    @property
+    def is_failure(self) -> bool:
+        return self is not ReadOutcome.CORRECT
+
+
+class SimplexSystem:
+    """One RS(n, k)-coded memory word with scrubbing support."""
+
+    def __init__(
+        self,
+        code: RSCode,
+        data: Optional[Sequence[int]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.code = code
+        if data is None:
+            if rng is None:
+                rng = np.random.default_rng()
+            data = [int(v) for v in rng.integers(0, code.gf.order, size=code.k)]
+        self.data = list(data)
+        self.word = MemoryWord(code.encode(self.data), code.m)
+
+    # -- event application -------------------------------------------------
+
+    def apply_event(self, event: FaultEvent) -> None:
+        """Apply one injected fault or a scrub operation."""
+        if event.kind is FaultKind.SEU:
+            self.word.flip_bit(event.symbol, event.bit)
+        elif event.kind is FaultKind.PERMANENT:
+            self.word.make_stuck(event.symbol, event.bit, event.stuck_value)
+        elif event.kind is FaultKind.SCRUB:
+            self.scrub()
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unhandled event kind {event.kind}")
+
+    def scrub(self) -> bool:
+        """Read-correct-writeback; returns False if the word was uncorrectable.
+
+        A failed scrub leaves the stored contents untouched (the
+        controller has nothing valid to write back); the accumulated
+        damage then surfaces at the next read.
+        """
+        try:
+            result = self.code.decode(
+                self.word.read(), erasure_positions=self.word.located_positions
+            )
+        except RSDecodingError:
+            return False
+        self.word.write(result.codeword)
+        return True
+
+    def read(self) -> ReadOutcome:
+        """Decode the stored word and compare with the ground truth."""
+        try:
+            result = self.code.decode(
+                self.word.read(), erasure_positions=self.word.located_positions
+            )
+        except RSDecodingError:
+            return ReadOutcome.UNREADABLE
+        if result.data == self.data:
+            return ReadOutcome.CORRECT
+        return ReadOutcome.CORRUPTED
+
+
+class DuplexSystem:
+    """Two replicated RS(n, k) modules behind the Section 3 arbiter."""
+
+    def __init__(
+        self,
+        code: RSCode,
+        data: Optional[Sequence[int]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.code = code
+        if data is None:
+            if rng is None:
+                rng = np.random.default_rng()
+            data = [int(v) for v in rng.integers(0, code.gf.order, size=code.k)]
+        self.data = list(data)
+        codeword = code.encode(self.data)
+        self.modules: List[MemoryWord] = [
+            MemoryWord(codeword, code.m),
+            MemoryWord(codeword, code.m),
+        ]
+
+    def apply_event(self, event: FaultEvent) -> None:
+        """Apply one injected fault (module-addressed) or a scrub."""
+        if event.kind is FaultKind.SCRUB:
+            self.scrub()
+            return
+        module = self.modules[event.module]
+        if event.kind is FaultKind.SEU:
+            module.flip_bit(event.symbol, event.bit)
+        elif event.kind is FaultKind.PERMANENT:
+            module.make_stuck(event.symbol, event.bit, event.stuck_value)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unhandled event kind {event.kind}")
+
+    def arbitrate(self) -> ArbiterResult:
+        """One pass of erasure recovery + decoding + comparison."""
+        return arbitrate(self.code, self.modules[0], self.modules[1])
+
+    def scrub(self) -> bool:
+        """Arbiter-driven scrub: rewrite both modules with the output word.
+
+        If the arbiter produces no output there is nothing trustworthy to
+        write back; the scrub is skipped and returns False.
+        """
+        result = self.arbitrate()
+        if not result.produced_output:
+            return False
+        codeword = self.code.encode(result.data)
+        for module in self.modules:
+            module.write(codeword)
+        return True
+
+    def read(self) -> ReadOutcome:
+        """Arbiter read, classified against the ground truth."""
+        result = self.arbitrate()
+        if not result.produced_output:
+            return ReadOutcome.UNREADABLE
+        if result.data == self.data:
+            return ReadOutcome.CORRECT
+        return ReadOutcome.CORRUPTED

@@ -1,0 +1,149 @@
+"""Executable N-modular-redundancy memory with a symbol voter.
+
+The physical counterpart of :mod:`repro.memory.nmr`: N replicated
+modules, a per-symbol voter over the non-erased replicas, and one RS
+decode of the voted word.  Ties and fully-erased positions degrade
+exactly as the analysis assumes — except that here two SEUs *can* forge
+the same wrong symbol (the "masking error" the paper neglects), so the
+Monte-Carlo estimates bound the closed form from both sides at high rate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..rs import RSCode, RSDecodingError
+from .faults import FaultEvent, FaultKind
+from .systems import ReadOutcome
+from .word import MemoryWord
+
+
+class NMRSystem:
+    """N replicated RS(n, k) modules behind a per-symbol majority voter."""
+
+    def __init__(
+        self,
+        code: RSCode,
+        num_modules: int,
+        data: Optional[Sequence[int]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if num_modules < 1:
+            raise ValueError("need at least one module")
+        self.code = code
+        if data is None:
+            if rng is None:
+                rng = np.random.default_rng()
+            data = [int(v) for v in rng.integers(0, code.gf.order, size=code.k)]
+        self.data = list(data)
+        codeword = code.encode(self.data)
+        self.modules: List[MemoryWord] = [
+            MemoryWord(codeword, code.m) for _ in range(num_modules)
+        ]
+
+    @property
+    def num_modules(self) -> int:
+        return len(self.modules)
+
+    def apply_event(self, event: FaultEvent) -> None:
+        """Apply one injected fault (module-addressed) or a scrub."""
+        if event.kind is FaultKind.SCRUB:
+            self.scrub()
+            return
+        module = self.modules[event.module]
+        if event.kind is FaultKind.SEU:
+            module.flip_bit(event.symbol, event.bit)
+        elif event.kind is FaultKind.PERMANENT:
+            module.make_stuck(event.symbol, event.bit, event.stuck_value)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unhandled event kind {event.kind}")
+
+    def vote(self) -> tuple[List[int], List[int]]:
+        """Per-symbol plurality over non-erased replicas.
+
+        Returns the voted word and the positions where every replica was
+        erased (passed to the decoder as erasures).  A tied plurality
+        keeps whichever tied value sorts first — a wrong value on a real
+        tie, which is the conservative reading the analysis uses.
+        """
+        n = self.code.n
+        voted = [0] * n
+        erasures: List[int] = []
+        for pos in range(n):
+            candidates = [
+                module.read_symbol(pos)
+                for module in self.modules
+                if not module.is_erased(pos)
+            ]
+            if not candidates:
+                erasures.append(pos)
+                continue
+            counts = Counter(candidates)
+            top = max(counts.values())
+            # deterministic tie-break: smallest symbol value among the tied
+            voted[pos] = min(v for v, c in counts.items() if c == top)
+        return voted, erasures
+
+    def read(self) -> ReadOutcome:
+        """Vote, decode, classify against the ground truth."""
+        voted, erasures = self.vote()
+        try:
+            result = self.code.decode(voted, erasure_positions=erasures)
+        except RSDecodingError:
+            return ReadOutcome.UNREADABLE
+        if result.data == self.data:
+            return ReadOutcome.CORRECT
+        return ReadOutcome.CORRUPTED
+
+    def scrub(self) -> bool:
+        """Vote + decode + rewrite every replica with the corrected word."""
+        voted, erasures = self.vote()
+        try:
+            result = self.code.decode(voted, erasure_positions=erasures)
+        except RSDecodingError:
+            return False
+        for module in self.modules:
+            module.write(result.codeword)
+        return True
+
+
+def simulate_nmr_read_unreliability(
+    code: RSCode,
+    num_modules: int,
+    t_end: float,
+    seu_per_bit: float,
+    erasure_per_symbol: float,
+    trials: int,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Monte-Carlo read unreliability of the NMR arrangement at ``t_end``.
+
+    Returns a :class:`~repro.simulator.montecarlo.FailureEstimate`; the
+    quantity estimated is exactly what
+    :func:`repro.memory.nmr.nmr_read_unreliability` computes in closed
+    form.
+    """
+    from .faults import sample_permanent_events, sample_seu_events
+    from .montecarlo import FailureEstimate, wilson_interval
+
+    if rng is None:
+        rng = np.random.default_rng()
+    failures = 0
+    for _ in range(trials):
+        system = NMRSystem(code, num_modules, rng=rng)
+        for module_idx in range(num_modules):
+            for event in sample_seu_events(
+                rng, seu_per_bit, code.n, code.m, t_end, module_idx
+            ):
+                system.apply_event(event)
+            for event in sample_permanent_events(
+                rng, erasure_per_symbol, code.n, code.m, t_end, module_idx
+            ):
+                system.apply_event(event)
+        if system.read().is_failure:
+            failures += 1
+    low, high = wilson_interval(failures, trials)
+    return FailureEstimate(failures / trials, trials, failures, low, high)

@@ -1,0 +1,114 @@
+"""Bit-level storage model of one coded memory word.
+
+A :class:`MemoryWord` stores ``n`` symbols of ``m`` bits.  Transient
+faults (SEUs) flip the stored charge of one cell; permanent faults leave a
+cell *stuck* at a value that survives rewrites.  Permanent faults are
+assumed located by the platform's self-checking circuitry (Iddq monitoring
+etc., paper Section 2), so the word tracks the set of located positions
+that the decoder may treat as erasures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+
+class MemoryWord:
+    """``n`` symbols of ``m`` bits with SEU and stuck-at fault support.
+
+    Parameters
+    ----------
+    symbols:
+        Initial stored codeword (ascending position order).
+    m:
+        Bits per symbol.
+    """
+
+    def __init__(self, symbols: Sequence[int], m: int):
+        self.m = m
+        self.n = len(symbols)
+        limit = 1 << m
+        for s in symbols:
+            if not 0 <= s < limit:
+                raise ValueError(f"symbol {s} out of range for m={m}")
+        self._logical: List[int] = list(symbols)
+        self._stuck_mask: List[int] = [0] * self.n
+        self._stuck_value: List[int] = [0] * self.n
+        self._located: Set[int] = set()
+
+    # -- fault injection --------------------------------------------------
+
+    def flip_bit(self, symbol: int, bit: int) -> None:
+        """SEU: invert one stored cell.
+
+        A stuck cell holds its forced value regardless of incident
+        particles, so flips against stuck bits are absorbed.
+        """
+        self._check_cell(symbol, bit)
+        mask = 1 << bit
+        if self._stuck_mask[symbol] & mask:
+            return
+        self._logical[symbol] ^= mask
+
+    def make_stuck(self, symbol: int, bit: int, value: int) -> None:
+        """Permanent fault: force one cell to ``value`` (0 or 1) forever.
+
+        The position is recorded as *located* — the paper assumes on-line
+        self-checking identifies permanent faults, turning them into
+        erasures for the decoder.
+        """
+        self._check_cell(symbol, bit)
+        if value not in (0, 1):
+            raise ValueError(f"stuck value must be 0 or 1, got {value}")
+        mask = 1 << bit
+        self._stuck_mask[symbol] |= mask
+        if value:
+            self._stuck_value[symbol] |= mask
+        else:
+            self._stuck_value[symbol] &= ~mask
+        self._located.add(symbol)
+
+    # -- access ------------------------------------------------------------
+
+    def read_symbol(self, symbol: int) -> int:
+        """Stored value of one symbol, stuck cells overriding."""
+        if not 0 <= symbol < self.n:
+            raise IndexError(f"symbol index {symbol} out of range")
+        mask = self._stuck_mask[symbol]
+        return (self._logical[symbol] & ~mask) | (self._stuck_value[symbol] & mask)
+
+    def read(self) -> List[int]:
+        """Stored word as seen by the decoder."""
+        return [self.read_symbol(i) for i in range(self.n)]
+
+    def write(self, symbols: Sequence[int]) -> None:
+        """Rewrite the whole word (scrub writeback).
+
+        Stuck cells keep their forced value — rewriting does not repair
+        permanent faults, which is why scrubbing clears random errors but
+        leaves erasures in place (paper Section 5).
+        """
+        if len(symbols) != self.n:
+            raise ValueError(f"expected {self.n} symbols, got {len(symbols)}")
+        self._logical = list(symbols)
+
+    @property
+    def located_positions(self) -> List[int]:
+        """Sorted positions of located permanent faults (erasure info)."""
+        return sorted(self._located)
+
+    def is_erased(self, symbol: int) -> bool:
+        """True if the symbol holds a located permanent fault."""
+        return symbol in self._located
+
+    def _check_cell(self, symbol: int, bit: int) -> None:
+        if not 0 <= symbol < self.n:
+            raise IndexError(f"symbol index {symbol} out of range")
+        if not 0 <= bit < self.m:
+            raise IndexError(f"bit index {bit} out of range for m={self.m}")
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryWord(n={self.n}, m={self.m}, "
+            f"located={len(self._located)})"
+        )

@@ -1,0 +1,139 @@
+"""Tests for the design-space enumeration and Pareto analysis."""
+
+import pytest
+
+from repro.analysis import (
+    cheapest_meeting_budget,
+    enumerate_design_space,
+    pareto_front,
+)
+from repro.analysis.design_space import DesignPoint
+
+
+def sweep(**kwargs):
+    defaults = dict(
+        k=16,
+        t_values=[1, 4, 10],
+        horizon_hours=17520.0,
+        erasure_per_symbol_day=1e-6,
+    )
+    defaults.update(kwargs)
+    return enumerate_design_space(**defaults)
+
+
+class TestEnumeration:
+    def test_two_arrangements_per_t(self):
+        points = sweep()
+        assert len(points) == 6
+        names = {p.name for p in points}
+        assert "simplex RS(18,16)" in names
+        assert "duplex RS(36,16)" in names
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sweep(t_values=[])
+        with pytest.raises(ValueError):
+            sweep(t_values=[0])
+        with pytest.raises(ValueError):
+            sweep(t_values=[200])  # n > 2^m - 1
+
+    def test_storage_overheads(self):
+        by_name = {p.name: p for p in sweep()}
+        assert by_name["simplex RS(18,16)"].storage_overhead == pytest.approx(
+            2 / 16
+        )
+        assert by_name["duplex RS(18,16)"].storage_overhead == pytest.approx(
+            20 / 16
+        )
+
+    def test_more_redundancy_better_ber(self):
+        by_name = {p.name: p for p in sweep()}
+        assert (
+            by_name["simplex RS(36,16)"].ber
+            < by_name["simplex RS(24,16)"].ber
+            < by_name["simplex RS(18,16)"].ber
+        )
+
+    def test_duplex_beats_simplex_at_same_code_under_permanent_faults(self):
+        by_name = {p.name: p for p in sweep()}
+        assert (
+            by_name["duplex RS(18,16)"].ber
+            < by_name["simplex RS(18,16)"].ber
+        )
+
+
+class TestDominance:
+    def make(self, ber, cycles, area, storage):
+        return DesignPoint(
+            name="x",
+            arrangement="simplex",
+            n=18,
+            k=16,
+            t=1,
+            ber=ber,
+            decode_cycles=cycles,
+            area_gate_equivalents=area,
+            storage_overhead=storage,
+        )
+
+    def test_dominates_strictly_better(self):
+        good = self.make(1e-10, 74, 1000, 0.1)
+        bad = self.make(1e-8, 100, 2000, 0.2)
+        assert good.dominates(bad)
+        assert not bad.dominates(good)
+
+    def test_equal_points_do_not_dominate(self):
+        a = self.make(1e-10, 74, 1000, 0.1)
+        b = self.make(1e-10, 74, 1000, 0.1)
+        assert not a.dominates(b)
+
+    def test_tradeoff_points_incomparable(self):
+        fast = self.make(1e-8, 74, 1000, 0.1)
+        reliable = self.make(1e-12, 308, 3000, 0.3)
+        assert not fast.dominates(reliable)
+        assert not reliable.dominates(fast)
+
+
+class TestParetoFront:
+    def test_front_is_subset_sorted_by_ber(self):
+        points = sweep()
+        front = pareto_front(points)
+        assert set(front) <= set(points)
+        bers = [p.ber for p in front]
+        assert bers == sorted(bers)
+
+    def test_duplex_rs1816_on_the_front(self):
+        """The paper's balanced design point survives Pareto pruning:
+        nothing is simultaneously more reliable, faster, smaller and
+        leaner on storage."""
+        front = pareto_front(sweep())
+        assert any(p.name == "duplex RS(18,16)" for p in front)
+
+    def test_dominated_point_removed(self):
+        points = sweep()
+        worst = DesignPoint(
+            name="strawman",
+            arrangement="simplex",
+            n=18,
+            k=16,
+            t=1,
+            ber=1.0,
+            decode_cycles=10_000,
+            area_gate_equivalents=1e9,
+            storage_overhead=10.0,
+        )
+        front = pareto_front(list(points) + [worst])
+        assert all(p.name != "strawman" for p in front)
+
+
+class TestBudgetSearch:
+    def test_picks_minimal_area(self):
+        points = sweep()
+        chosen = cheapest_meeting_budget(points, 1e-15)
+        for p in points:
+            if p.ber <= 1e-15:
+                assert chosen.area_gate_equivalents <= p.area_gate_equivalents
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError, match="budget"):
+            cheapest_meeting_budget(sweep(), 1e-300)

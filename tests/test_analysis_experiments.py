@@ -1,0 +1,129 @@
+"""Tests for the experiment registry — every paper artifact is runnable
+and its qualitative claims hold."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ALL_FIGURES,
+    PERMANENT_RATES_PER_SYMBOL_DAY,
+    SCRUB_PERIODS_SECONDS,
+    SEU_RATES_PER_BIT_DAY,
+    fig5_simplex_seu,
+    fig6_duplex_seu,
+    fig7_duplex_scrubbing,
+    fig8_simplex_permanent,
+    fig9_duplex_permanent,
+    fig10_rs3616_permanent,
+    permanent_fault_ordering,
+    table_decoder_complexity,
+)
+
+
+class TestRegistry:
+    def test_all_six_figures_registered(self):
+        assert set(ALL_FIGURES) == {
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+        }
+
+    def test_paper_parameter_constants(self):
+        assert SEU_RATES_PER_BIT_DAY == (7.3e-7, 3.6e-6, 1.7e-5)
+        assert SCRUB_PERIODS_SECONDS == (900.0, 1200.0, 1800.0, 3600.0)
+        assert len(PERMANENT_RATES_PER_SYMBOL_DAY) == 7
+        assert PERMANENT_RATES_PER_SYMBOL_DAY[0] == 1e-4
+        assert PERMANENT_RATES_PER_SYMBOL_DAY[-1] == 1e-10
+
+
+@pytest.mark.parametrize("fig_id", sorted(ALL_FIGURES))
+def test_every_figure_runs_and_expectations_hold(fig_id):
+    result = ALL_FIGURES[fig_id](points=7)
+    assert result.experiment_id == fig_id
+    assert result.curves
+    failed = result.failed_expectations()
+    assert not failed, f"{fig_id}: {failed}"
+
+
+class TestFigureDetails:
+    def test_fig5_curve_count_and_labels(self):
+        result = fig5_simplex_seu(points=3)
+        assert len(result.curves) == 3
+        assert result.curve("1.7E-05").final > result.curve("7.3E-07").final
+
+    def test_fig6_same_range_as_fig5(self):
+        f5 = fig5_simplex_seu(points=3)
+        f6 = fig6_duplex_seu(points=3)
+        for lam in SEU_RATES_PER_BIT_DAY:
+            label = f"{lam:.1E}"
+            ratio = f6.curve(label).final / f5.curve(label).final
+            assert 0.5 < ratio < 5.0
+
+    def test_fig7_headline_claim(self):
+        """Scrubbing at most hourly keeps worst-case duplex BER < 1e-6."""
+        result = fig7_duplex_scrubbing(points=5)
+        assert len(result.curves) == 4
+        assert all(c.final < 1e-6 for c in result.curves)
+
+    def test_fig8_fig9_fig10_ordering(self):
+        """Section 6: duplex RS(18,16) between simplex RS(18,16) and
+        simplex RS(36,16) under permanent faults."""
+        f8 = fig8_simplex_permanent(points=3)
+        f9 = fig9_duplex_permanent(points=3)
+        f10 = fig10_rs3616_permanent(points=3)
+        for rate in PERMANENT_RATES_PER_SYMBOL_DAY[:4]:
+            label = f"{rate:.0E}"
+            b8 = f8.curve(label).at(24 * 730.0)
+            b9 = f9.curve(label).at(24 * 730.0)
+            b10 = f10.curve(label).at(24 * 730.0)
+            assert b8 > b9 > b10, f"rate {rate}"
+
+    def test_permanent_fault_ordering_helper(self):
+        bers = permanent_fault_ordering(rate_per_symbol_day=1e-6)
+        assert (
+            bers["simplex RS(18,16)"]
+            > bers["duplex RS(18,16)"]
+            > bers["simplex RS(36,16)"]
+        )
+
+    def test_fig9_uses_25_month_horizon(self):
+        result = fig9_duplex_permanent(points=3)
+        assert result.curves[0].times_hours[-1] == pytest.approx(25 * 730.0)
+
+    def test_result_curve_lookup_error(self):
+        result = fig5_simplex_seu(points=3)
+        with pytest.raises(KeyError):
+            result.curve("nonexistent")
+
+    def test_curves_share_grid(self):
+        result = fig7_duplex_scrubbing(points=5)
+        grids = [c.times_hours for c in result.curves]
+        for g in grids[1:]:
+            assert np.array_equal(g, grids[0])
+
+
+class TestComplexityTable:
+    def test_paper_values(self):
+        costs = {c.name: c for c in table_decoder_complexity()}
+        assert costs["simplex RS(18,16)"].decode_cycles == 74
+        assert costs["duplex RS(18,16)"].decode_cycles == 74
+        assert costs["simplex RS(36,16)"].decode_cycles == 308
+
+    def test_latency_ratio_exceeds_four(self):
+        costs = {c.name: c for c in table_decoder_complexity()}
+        ratio = (
+            costs["simplex RS(36,16)"].decode_cycles
+            / costs["duplex RS(18,16)"].decode_cycles
+        )
+        assert ratio > 4.0
+
+    def test_area_ordering(self):
+        costs = {c.name: c for c in table_decoder_complexity()}
+        assert (
+            costs["simplex RS(18,16)"].area_gates
+            < costs["duplex RS(18,16)"].area_gates
+            < costs["simplex RS(36,16)"].area_gates
+        )

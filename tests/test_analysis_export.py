@@ -1,0 +1,64 @@
+"""Tests for CSV export of experiment data."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig5_simplex_seu
+from repro.analysis.export import curves_to_csv, experiment_to_csv, load_csv
+from repro.memory.ber import BERCurve
+
+
+def curve(label, times, values):
+    return BERCurve(label, np.asarray(times, float), np.asarray(values, float))
+
+
+class TestCurvesToCsv:
+    def test_roundtrip_exact(self, tmp_path):
+        curves = [
+            curve("a", [0.0, 24.0], [0.0, 1.234e-8]),
+            curve("b", [0.0, 24.0], [0.0, 7.5e-200]),
+        ]
+        path = curves_to_csv(curves, tmp_path / "out.csv")
+        header, rows = load_csv(path)
+        assert header == ["hours", "a", "b"]
+        assert rows[1] == [24.0, 1.234e-8, 7.5e-200]
+
+    def test_time_scaling(self, tmp_path):
+        path = curves_to_csv(
+            [curve("x", [0.0, 730.0], [0.0, 1e-3])],
+            tmp_path / "out.csv",
+            time_label="months",
+            time_scale=730.0,
+        )
+        header, rows = load_csv(path)
+        assert header[0] == "months"
+        assert rows[1][0] == 1.0
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = curves_to_csv(
+            [curve("x", [0.0], [0.0])], tmp_path / "deep" / "dir" / "out.csv"
+        )
+        assert path.exists()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="nothing"):
+            curves_to_csv([], tmp_path / "out.csv")
+
+    def test_mismatched_grids_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="time grid"):
+            curves_to_csv(
+                [curve("a", [0.0], [0.0]), curve("b", [0.0, 1.0], [0.0, 0.0])],
+                tmp_path / "out.csv",
+            )
+
+
+class TestExperimentToCsv:
+    def test_writes_named_after_experiment(self, tmp_path):
+        result = fig5_simplex_seu(points=3)
+        path = experiment_to_csv(result, tmp_path)
+        assert path.name == "fig5.csv"
+        header, rows = load_csv(path)
+        assert len(header) == 1 + len(result.curves)
+        assert len(rows) == 3
+        # values must match the in-memory curves exactly
+        assert rows[-1][1] == result.curves[0].final

@@ -1,0 +1,66 @@
+"""Tests for the ASCII log-plot renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_ber_plot
+from repro.memory.ber import BERCurve
+
+
+def curve(label, times, values):
+    return BERCurve(label, np.asarray(times, float), np.asarray(values, float))
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert ascii_ber_plot([]) == "(no curves)"
+
+    def test_all_zero(self):
+        plot = ascii_ber_plot([curve("z", [0.0, 1.0], [0.0, 0.0])])
+        assert plot == "(all values are zero)"
+
+    def test_size_validation(self):
+        c = curve("a", [0.0, 1.0], [1e-9, 1e-6])
+        with pytest.raises(ValueError):
+            ascii_ber_plot([c], width=4)
+        with pytest.raises(ValueError):
+            ascii_ber_plot([c], height=2)
+
+    def test_contains_markers_and_legend(self):
+        c1 = curve("alpha", [1.0, 2.0, 3.0], [1e-9, 1e-8, 1e-7])
+        c2 = curve("beta", [1.0, 2.0, 3.0], [1e-6, 1e-5, 1e-4])
+        plot = ascii_ber_plot([c1, c2])
+        assert "o" in plot and "x" in plot
+        assert "o alpha" in plot and "x beta" in plot
+
+    def test_axis_labels_span_decades(self):
+        c = curve("a", [0.0, 48.0], [1e-12, 1e-4])
+        plot = ascii_ber_plot([c])
+        assert "1e-12" in plot
+        assert "1e-4" in plot
+        assert "48 hours" in plot
+
+    def test_monotone_curve_renders_monotone(self):
+        """Higher BER must appear higher on the plot (smaller row index)."""
+        times = np.linspace(1, 10, 10)
+        values = np.logspace(-12, -3, 10)
+        plot = ascii_ber_plot([curve("m", times, values)], width=40, height=12)
+        rows_with_marker = [
+            (r, line.index("o"))
+            for r, line in enumerate(plot.splitlines())
+            if "o" in line and "|" in line
+        ]
+        # later columns (larger t) sit on higher rows (smaller r)
+        ordered = sorted(rows_with_marker, key=lambda rc: rc[1])
+        rows = [r for r, _c in ordered]
+        assert rows == sorted(rows, reverse=True)
+
+    def test_time_scale_changes_axis(self):
+        c = curve("a", [0.0, 730.0], [1e-9, 1e-6])
+        plot = ascii_ber_plot([c], time_scale=730.0, time_label="months")
+        assert "1 months" in plot
+
+    def test_zero_values_skipped_not_crashing(self):
+        c = curve("a", [0.0, 24.0, 48.0], [0.0, 1e-8, 1e-7])
+        plot = ascii_ber_plot([c])
+        assert "o" in plot

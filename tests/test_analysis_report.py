@@ -1,0 +1,28 @@
+"""Tests for the markdown report generator."""
+
+from repro.analysis import generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_contains_all_artifacts(self):
+        text = generate_report(points=3)
+        for fig in ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10"):
+            assert f"## {fig}:" in text
+        assert "decoder complexity" in text
+        assert "permanent-fault comparison" in text
+
+    def test_reports_expectation_status(self):
+        text = generate_report(points=3)
+        assert "all paper expectations hold" in text
+        assert "FAILED" not in text
+
+    def test_embeds_plots_and_tables(self):
+        text = generate_report(points=5)
+        assert "hours  " in text      # table header
+        assert "1e-" in text          # log axis labels from the plot
+        assert "o " in text           # plot legend marker
+
+    def test_write_report_creates_parents(self, tmp_path):
+        path = write_report(tmp_path / "deep" / "report.md", points=3)
+        assert path.exists()
+        assert path.read_text().startswith("# Reproduction report")

@@ -1,0 +1,104 @@
+"""Tests for the elasticity-based sensitivity analysis."""
+
+import pytest
+
+from repro.analysis import elasticity, memory_system_sensitivities
+from repro.memory import simplex_model
+
+
+class TestElasticity:
+    def test_rs1816_seu_elasticity_is_two(self):
+        """A t = 1 code fails on two random errors, so BER ~ λ² and the
+        log-log slope is 2 — the structural check of the whole method."""
+        value = elasticity(
+            lambda lam: simplex_model(18, 16, seu_per_bit_day=lam),
+            base_value=1.7e-5,
+            t_hours=48.0,
+        )
+        assert value == pytest.approx(2.0, abs=0.02)
+
+    def test_rs3616_permanent_elasticity_is_21(self):
+        """RS(36,16) dies on its 21st erasure: elasticity 21 in λe."""
+        value = elasticity(
+            lambda r: simplex_model(36, 16, erasure_per_symbol_day=r),
+            base_value=1e-7,
+            t_hours=730.0,
+        )
+        assert value == pytest.approx(21.0, abs=0.1)
+
+    def test_positive_base_required(self):
+        with pytest.raises(ValueError):
+            elasticity(
+                lambda lam: simplex_model(18, 16, seu_per_bit_day=lam),
+                base_value=0.0,
+                t_hours=48.0,
+            )
+
+    def test_zero_ber_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            elasticity(
+                lambda lam: simplex_model(18, 16, seu_per_bit_day=lam),
+                base_value=1e-6,
+                t_hours=0.0,
+            )
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            elasticity(
+                lambda lam: simplex_model(18, 16, seu_per_bit_day=lam),
+                base_value=1e-6,
+                t_hours=48.0,
+                rel_step=1.5,
+            )
+
+
+class TestSystemSensitivities:
+    def test_reports_only_active_parameters(self):
+        result = memory_system_sensitivities(
+            "simplex", 18, 16, 48.0, seu_per_bit_day=1.7e-5
+        )
+        assert [s.parameter for s in result] == ["seu_per_bit_day"]
+
+    def test_scrub_period_elasticity_positive(self):
+        result = memory_system_sensitivities(
+            "duplex",
+            18,
+            16,
+            48.0,
+            seu_per_bit_day=1.7e-5,
+            scrub_period_seconds=3600.0,
+        )
+        by_name = {s.parameter: s for s in result}
+        assert by_name["scrub_period_seconds"].elasticity > 0.5
+        # SEU rate still dominates for a t=1 code
+        assert (
+            by_name["seu_per_bit_day"].elasticity
+            > by_name["scrub_period_seconds"].elasticity
+        )
+
+    def test_sorted_by_magnitude(self):
+        result = memory_system_sensitivities(
+            "duplex",
+            18,
+            16,
+            48.0,
+            seu_per_bit_day=1.7e-5,
+            scrub_period_seconds=3600.0,
+        )
+        mags = [abs(s.elasticity) for s in result]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_unknown_arrangement_rejected(self):
+        with pytest.raises(ValueError, match="arrangement"):
+            memory_system_sensitivities(
+                "triplex", 18, 16, 48.0, seu_per_bit_day=1e-5
+            )
+
+    def test_base_ber_recorded(self):
+        result = memory_system_sensitivities(
+            "simplex", 18, 16, 48.0, seu_per_bit_day=1.7e-5
+        )
+        expected = float(
+            simplex_model(18, 16, seu_per_bit_day=1.7e-5).ber([48.0])[0]
+        )
+        assert result[0].base_ber == pytest.approx(expected)

@@ -1,0 +1,118 @@
+"""Unit tests for the sweep/design-study helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    max_scrub_period_for_budget,
+    sweep_parameter,
+    time_to_ber_budget,
+)
+from repro.memory import simplex_model
+from repro.memory.ber import BERCurve
+
+
+class TestSweepParameter:
+    def test_one_curve_per_value(self):
+        curves = sweep_parameter(
+            lambda lam: simplex_model(18, 16, seu_per_bit_day=lam),
+            values=[1e-6, 1e-5],
+            times_hours=[0.0, 48.0],
+        )
+        assert len(curves) == 2
+        assert curves[0].final < curves[1].final
+
+    def test_custom_labels(self):
+        curves = sweep_parameter(
+            lambda lam: simplex_model(18, 16, seu_per_bit_day=lam),
+            values=[1e-6],
+            times_hours=[48.0],
+            label_fn=lambda v: f"lam={v}",
+        )
+        assert curves[0].label == "lam=1e-06"
+
+
+class TestTimeToBudget:
+    def test_finds_first_crossing(self):
+        c = BERCurve(
+            "x", np.array([0.0, 10.0, 20.0, 30.0]), np.array([0, 1e-9, 1e-7, 1e-5])
+        )
+        assert time_to_ber_budget(c, 1e-8) == 20.0
+
+    def test_within_budget_returns_inf(self):
+        c = BERCurve("x", np.array([0.0, 10.0]), np.array([0.0, 1e-12]))
+        assert time_to_ber_budget(c, 1e-6) == float("inf")
+
+    def test_budget_validation(self):
+        c = BERCurve("x", np.array([0.0]), np.array([0.0]))
+        with pytest.raises(ValueError):
+            time_to_ber_budget(c, 0.0)
+
+
+class TestMaxScrubPeriod:
+    def test_paper_fig7_design_point(self):
+        """At the worst-case SEU rate, an hourly scrub meets 1e-6 over 48 h
+        (the Fig. 7 claim), so the search must return >= 3600 s."""
+        period = max_scrub_period_for_budget(
+            18,
+            16,
+            seu_per_bit_day=1.7e-5,
+            budget=1e-6,
+            horizon_hours=48.0,
+        )
+        assert period >= 3600.0
+
+    def test_tighter_budget_needs_faster_scrubbing(self):
+        loose = max_scrub_period_for_budget(
+            18, 16, seu_per_bit_day=1.7e-5, budget=1e-6, horizon_hours=48.0
+        )
+        tight = max_scrub_period_for_budget(
+            18, 16, seu_per_bit_day=1.7e-5, budget=1e-7, horizon_hours=48.0
+        )
+        assert tight < loose
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError, match="no swept"):
+            max_scrub_period_for_budget(
+                18,
+                16,
+                seu_per_bit_day=1.7e-5,
+                budget=1e-15,
+                horizon_hours=48.0,
+                periods_seconds=(3600.0,),
+            )
+
+
+class TestFeasibleScrubWindow:
+    def test_fig7_design_is_feasible(self):
+        from repro.analysis import feasible_scrub_window
+
+        lo, hi = feasible_scrub_window(
+            18,
+            16,
+            num_words=1 << 20,
+            seu_per_bit_day=1.7e-5,
+            ber_budget=1e-6,
+            availability_target=0.999,
+            horizon_hours=48.0,
+        )
+        assert lo < hi
+        assert hi >= 3600.0  # the paper's hourly scrub fits
+        assert lo > 0
+
+    def test_conflicting_constraints_raise(self):
+        import pytest
+
+        from repro.analysis import feasible_scrub_window
+
+        with pytest.raises(ValueError, match="infeasible"):
+            feasible_scrub_window(
+                36,
+                16,
+                num_words=1 << 26,       # huge memory
+                seu_per_bit_day=1.7e-5,
+                ber_budget=1e-6,
+                availability_target=0.999999,  # near-perfect availability
+                horizon_hours=48.0,
+                clock_hz=1e6,            # slow controller
+            )

@@ -1,0 +1,82 @@
+"""Unit tests for ASCII table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_ber, render_ber_table, render_cost_table
+from repro.memory.ber import BERCurve
+from repro.rs import paper_comparison
+
+
+def curve(label, times, values):
+    return BERCurve(label, np.asarray(times, float), np.asarray(values, float))
+
+
+class TestFormatBer:
+    def test_zero(self):
+        assert format_ber(0.0) == "0"
+
+    def test_scientific(self):
+        assert format_ber(1.234e-7) == "1.234e-07"
+
+    def test_deep_tail(self):
+        assert format_ber(1e-200) == "1.000e-200"
+
+
+class TestBerTable:
+    def test_header_and_rows(self):
+        t = [0.0, 24.0, 48.0]
+        table = render_ber_table(
+            [curve("a", t, [0, 1e-8, 2e-8]), curve("b", t, [0, 1e-9, 3e-9])]
+        )
+        lines = table.splitlines()
+        assert lines[0].split() == ["hours", "a", "b"]
+        assert len(lines) == 2 + 3  # header + rule + 3 rows
+        assert "2.000e-08" in table
+
+    def test_time_scaling_to_months(self):
+        t = [0.0, 730.0]
+        table = render_ber_table(
+            [curve("x", t, [0, 1e-3])], time_label="months", time_scale=730.0
+        )
+        assert "1.0" in table.splitlines()[-1]
+
+    def test_decimation(self):
+        t = np.linspace(0, 48, 100)
+        table = render_ber_table(
+            [curve("x", t, np.linspace(0, 1e-6, 100))], max_rows=5
+        )
+        assert len(table.splitlines()) == 2 + 5
+
+    def test_empty(self):
+        assert render_ber_table([]) == "(no curves)"
+
+    def test_mismatched_grids_rejected(self):
+        with pytest.raises(ValueError, match="time grid"):
+            render_ber_table(
+                [curve("a", [0, 1], [0, 0]), curve("b", [0, 1, 2], [0, 0, 0])]
+            )
+
+
+class TestCostTable:
+    def test_renders_paper_comparison(self):
+        table = render_cost_table(paper_comparison())
+        assert "74" in table
+        assert "308" in table
+        assert "duplex RS(18,16)" in table
+
+    def test_column_alignment(self):
+        table = render_cost_table(paper_comparison())
+        lines = table.splitlines()
+        assert len({len(line) for line in lines if line.strip()}) <= 2
+
+
+class TestBERCurve:
+    def test_at_picks_nearest_grid_point(self):
+        c = curve("x", [0.0, 10.0, 20.0], [0.0, 1e-6, 2e-6])
+        assert c.at(9.0) == 1e-6
+        assert c.at(100.0) == 2e-6
+
+    def test_final(self):
+        c = curve("x", [0.0, 10.0], [0.0, 5e-7])
+        assert c.final == 5e-7

@@ -1,0 +1,163 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_defaults(self):
+        args = build_parser().parse_args(["figure", "fig5"])
+        assert args.ids == ["fig5"]
+        assert args.points == 13
+
+    def test_ber_defaults(self):
+        args = build_parser().parse_args(["ber"])
+        assert args.arrangement == "simplex"
+        assert args.n == 18
+
+
+class TestFigureCommand:
+    def test_single_figure(self, capsys):
+        assert main(["figure", "fig5", "--points", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        assert "all hold" in out
+
+    def test_unknown_figure_id(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_csv_export(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "figure",
+                    "fig10",
+                    "--points",
+                    "3",
+                    "--csv",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "fig10.csv").exists()
+        # permanent-fault figures export in months
+        assert "months" in (tmp_path / "fig10.csv").read_text().splitlines()[0]
+
+
+class TestBerCommand:
+    def test_simplex(self, capsys):
+        assert main(["ber", "--seu", "1.7e-5", "--points", "3"]) == 0
+        assert "BER(48 h)" in capsys.readouterr().out
+
+    def test_duplex_with_scrub(self, capsys):
+        code = main(
+            [
+                "ber",
+                "--arrangement",
+                "duplex",
+                "--seu",
+                "1.7e-5",
+                "--tsc",
+                "3600",
+                "--points",
+                "3",
+                "--hours",
+                "24",
+            ]
+        )
+        assert code == 0
+        assert "duplex" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_complexity(self, capsys):
+        assert main(["complexity"]) == 0
+        out = capsys.readouterr().out
+        assert "74" in out and "308" in out
+
+    def test_validate_small(self, capsys):
+        assert main(["validate", "--trials", "300", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "simplex" in out and "OK" in out
+
+    def test_scrub_design(self, capsys):
+        assert main(["scrub-design", "--budget", "1e-6"]) == 0
+        out = capsys.readouterr().out
+        assert "Tsc" in out and "availability" in out
+
+
+class TestReportCommand:
+    def test_writes_markdown(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "-o", str(out), "--points", "3"]) == 0
+        text = out.read_text()
+        assert "# Reproduction report" in text
+        assert "fig10" in text
+        assert "all paper expectations hold" in text
+
+
+class TestSensitivityCommand:
+    def test_duplex_with_scrub(self, capsys):
+        assert main(["sensitivity", "--tsc", "3600"]) == 0
+        out = capsys.readouterr().out
+        assert "elasticity" in out
+        assert "seu_per_bit_day" in out
+
+    def test_no_active_parameters(self, capsys):
+        assert main(["sensitivity", "--seu", "0"]) == 1
+
+
+class TestCampaignCommand:
+    def test_default_campaign_consistent(self, capsys):
+        assert main(["campaign", "--trials", "120", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "simplex: 4/4" in out
+        assert "duplex: 4/4" in out
+
+
+class TestScenarioCommand:
+    def test_runs_json_suite(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "s.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "arrangement": "simplex",
+                    "n": 18,
+                    "k": 16,
+                    "seu_per_bit_day": 1.7e-5,
+                    "horizon_hours": 48.0,
+                    "points": 3,
+                    "ber_budget": 1.0,
+                }
+            )
+        )
+        assert main(["scenario", str(path)]) == 0
+        assert "MEETS" in capsys.readouterr().out
+
+    def test_budget_miss_returns_nonzero(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "s.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "arrangement": "simplex",
+                    "n": 18,
+                    "k": 16,
+                    "seu_per_bit_day": 1.7e-5,
+                    "horizon_hours": 48.0,
+                    "points": 3,
+                    "ber_budget": 1e-12,
+                }
+            )
+        )
+        assert main(["scenario", str(path)]) == 1

@@ -1,0 +1,177 @@
+"""Unit tests for GF(2^m) field arithmetic."""
+
+import pytest
+
+from repro.gf import DEFAULT_PRIMITIVE_POLYNOMIALS, GF2m
+
+
+class TestConstruction:
+    def test_default_polynomial_gf256(self):
+        gf = GF2m(8)
+        assert gf.order == 256
+        assert gf.prim_poly == 0b100011101
+
+    @pytest.mark.parametrize("m", sorted(DEFAULT_PRIMITIVE_POLYNOMIALS))
+    def test_all_default_polynomials_are_primitive(self, m):
+        # table construction verifies primitivity internally
+        gf = GF2m(m)
+        assert gf.order == 1 << m
+
+    def test_rejects_m_below_two(self):
+        with pytest.raises(ValueError, match="m must be"):
+            GF2m(1)
+
+    def test_rejects_non_integer_m(self):
+        with pytest.raises(ValueError):
+            GF2m(2.5)  # type: ignore[arg-type]
+
+    def test_rejects_wrong_degree_polynomial(self):
+        with pytest.raises(ValueError, match="degree"):
+            GF2m(8, primitive_polynomial=0b1011)
+
+    def test_rejects_non_primitive_polynomial(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive over GF(16)
+        with pytest.raises(ValueError, match="not primitive"):
+            GF2m(4, primitive_polynomial=0b11111)
+
+    def test_rejects_reducible_polynomial(self):
+        # x^4 + 1 = (x+1)^4 is reducible
+        with pytest.raises(ValueError, match="not primitive"):
+            GF2m(4, primitive_polynomial=0b10001)
+
+    def test_missing_builtin_requires_explicit_polynomial(self):
+        with pytest.raises(ValueError, match="no built-in"):
+            GF2m(17)
+
+    def test_equality_and_hash(self):
+        assert GF2m(4) == GF2m(4)
+        assert GF2m(4) != GF2m(5)
+        assert hash(GF2m(8)) == hash(GF2m(8))
+
+    def test_repr_mentions_parameters(self):
+        assert "m=8" in repr(GF2m(8))
+
+
+class TestArithmetic:
+    @pytest.fixture(scope="class")
+    def gf(self):
+        return GF2m(8)
+
+    def test_addition_is_xor(self, gf):
+        assert gf.add(0x53, 0xCA) == 0x53 ^ 0xCA
+        assert gf.add(7, 7) == 0
+
+    def test_sub_equals_add(self, gf):
+        assert gf.sub(0x53, 0xCA) == gf.add(0x53, 0xCA)
+
+    def test_known_product_with_0x11d(self, gf):
+        # 2 * 0x80 wraps once through the default polynomial 0x11D:
+        # 0x100 XOR 0x11D = 0x1D
+        assert gf.mul(2, 0x80) == 0x1D
+
+    def test_mul_by_zero_and_one(self, gf):
+        for a in (0, 1, 2, 0xFF):
+            assert gf.mul(a, 0) == 0
+            assert gf.mul(0, a) == 0
+            assert gf.mul(a, 1) == a
+
+    def test_mul_matches_carryless_reference(self, gf):
+        def slow_mul(a, b):
+            result = 0
+            while b:
+                if b & 1:
+                    result ^= a
+                b >>= 1
+                a <<= 1
+                if a & 0x100:
+                    a ^= gf.prim_poly
+            return result
+
+        for a in (1, 2, 3, 0x80, 0xA5, 0xFF):
+            for b in (1, 2, 0x1D, 0x80, 0xFF):
+                assert gf.mul(a, b) == slow_mul(a, b)
+
+    def test_division_inverts_multiplication(self, gf):
+        for a in (1, 5, 0x80, 0xFE):
+            for b in (1, 3, 0x1B, 0xFF):
+                assert gf.div(gf.mul(a, b), b) == a
+
+    def test_division_by_zero_raises(self, gf):
+        with pytest.raises(ZeroDivisionError):
+            gf.div(5, 0)
+
+    def test_zero_divided_by_anything_is_zero(self, gf):
+        assert gf.div(0, 7) == 0
+
+    def test_inverse(self, gf):
+        for a in (1, 2, 0x53, 0xFF):
+            assert gf.mul(a, gf.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self, gf):
+        with pytest.raises(ZeroDivisionError):
+            gf.inv(0)
+
+    def test_pow_positive(self, gf):
+        assert gf.pow(2, 0) == 1
+        assert gf.pow(2, 1) == 2
+        assert gf.pow(3, 4) == gf.mul(gf.mul(3, 3), gf.mul(3, 3))
+
+    def test_pow_negative(self, gf):
+        assert gf.pow(2, -1) == gf.inv(2)
+        assert gf.mul(gf.pow(5, -3), gf.pow(5, 3)) == 1
+
+    def test_pow_of_zero(self, gf):
+        assert gf.pow(0, 3) == 0
+        assert gf.pow(0, 0) == 1
+        with pytest.raises(ZeroDivisionError):
+            gf.pow(0, -1)
+
+    def test_exp_log_roundtrip(self, gf):
+        for a in gf.nonzero_elements():
+            assert gf.exp(gf.log(a)) == a
+
+    def test_exp_wraps_modulo_group_order(self, gf):
+        assert gf.exp(255) == gf.exp(0) == 1
+        assert gf.exp(-1) == gf.exp(254)
+
+    def test_log_of_zero_raises(self, gf):
+        with pytest.raises(ValueError):
+            gf.log(0)
+
+    def test_alpha_generates_whole_group(self, gf):
+        seen = {gf.exp(i) for i in range(gf.order - 1)}
+        assert seen == set(gf.nonzero_elements())
+
+    def test_validate_element(self, gf):
+        gf.validate_element(0)
+        gf.validate_element(255)
+        with pytest.raises(ValueError):
+            gf.validate_element(256)
+        with pytest.raises(ValueError):
+            gf.validate_element(-1)
+
+    def test_elements_iterators(self, gf):
+        assert len(list(gf.elements())) == 256
+        assert 0 not in gf.nonzero_elements()
+
+
+class TestSmallField:
+    """Exhaustive checks feasible on GF(8)."""
+
+    @pytest.fixture(scope="class")
+    def gf(self):
+        return GF2m(3)
+
+    def test_multiplication_table_is_a_group(self, gf):
+        nonzero = list(gf.nonzero_elements())
+        for a in nonzero:
+            products = {gf.mul(a, b) for b in nonzero}
+            assert products == set(nonzero)  # each row is a permutation
+
+    def test_distributivity_exhaustive(self, gf):
+        for a in gf.elements():
+            for b in gf.elements():
+                for c in gf.elements():
+                    assert gf.mul(a, gf.add(b, c)) == gf.add(
+                        gf.mul(a, b), gf.mul(a, c)
+                    )

@@ -1,0 +1,117 @@
+"""Property-based tests of the field and polynomial axioms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF2m, poly
+
+_FIELDS = {m: GF2m(m) for m in (3, 4, 8)}
+
+
+def field_and_elements(num_elements):
+    """Strategy producing (field, elements...) with in-range elements."""
+
+    @st.composite
+    def build(draw):
+        m = draw(st.sampled_from(sorted(_FIELDS)))
+        gf = _FIELDS[m]
+        elems = tuple(
+            draw(st.integers(min_value=0, max_value=gf.order - 1))
+            for _ in range(num_elements)
+        )
+        return (gf, *elems)
+
+    return build()
+
+
+@st.composite
+def field_and_polys(draw, num_polys=2, max_len=8):
+    m = draw(st.sampled_from(sorted(_FIELDS)))
+    gf = _FIELDS[m]
+    polys = tuple(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=gf.order - 1),
+                min_size=1,
+                max_size=max_len,
+            )
+        )
+        for _ in range(num_polys)
+    )
+    return (gf, *polys)
+
+
+class TestFieldAxioms:
+    @given(field_and_elements(3))
+    def test_multiplication_associative(self, args):
+        gf, a, b, c = args
+        assert gf.mul(gf.mul(a, b), c) == gf.mul(a, gf.mul(b, c))
+
+    @given(field_and_elements(2))
+    def test_multiplication_commutative(self, args):
+        gf, a, b = args
+        assert gf.mul(a, b) == gf.mul(b, a)
+
+    @given(field_and_elements(3))
+    def test_distributivity(self, args):
+        gf, a, b, c = args
+        assert gf.mul(a, gf.add(b, c)) == gf.add(gf.mul(a, b), gf.mul(a, c))
+
+    @given(field_and_elements(1))
+    def test_additive_self_inverse(self, args):
+        gf, a = args
+        assert gf.add(a, a) == 0
+
+    @given(field_and_elements(1))
+    def test_multiplicative_inverse(self, args):
+        gf, a = args
+        if a != 0:
+            assert gf.mul(a, gf.inv(a)) == 1
+
+    @given(field_and_elements(2))
+    def test_div_mul_roundtrip(self, args):
+        gf, a, b = args
+        if b != 0:
+            assert gf.mul(gf.div(a, b), b) == a
+
+    @given(field_and_elements(1), st.integers(min_value=-20, max_value=20))
+    def test_pow_adds_exponents(self, args, e):
+        gf, a = args
+        if a == 0:
+            return
+        assert gf.mul(gf.pow(a, e), gf.pow(a, 3)) == gf.pow(a, e + 3)
+
+
+class TestPolynomialAxioms:
+    @given(field_and_polys(num_polys=3))
+    def test_mul_distributes_over_add(self, args):
+        gf, a, b, c = args
+        left = poly.mul(gf, a, poly.add(gf, b, c))
+        right = poly.add(gf, poly.mul(gf, a, b), poly.mul(gf, a, c))
+        assert left == right
+
+    @given(field_and_polys(num_polys=2))
+    def test_divmod_reconstruction(self, args):
+        gf, num, den = args
+        if poly.is_zero(den):
+            return
+        q, r = poly.divmod_poly(gf, num, den)
+        assert poly.add(gf, poly.mul(gf, q, den), r) == poly.normalize(num)
+        assert poly.degree(r) < poly.degree(den)
+
+    @given(field_and_polys(num_polys=2))
+    def test_eval_is_ring_homomorphism(self, args):
+        gf, a, b = args
+        x = 3 % gf.order
+        product = poly.mul(gf, a, b)
+        assert poly.eval_at(gf, product, x) == gf.mul(
+            poly.eval_at(gf, a, x), poly.eval_at(gf, b, x)
+        )
+
+    @settings(max_examples=30)
+    @given(field_and_polys(num_polys=1, max_len=5))
+    def test_from_roots_roundtrip(self, args):
+        gf, coeffs = args
+        roots = sorted({c for c in coeffs})
+        p = poly.from_roots(gf, roots)
+        assert sorted(poly.roots(gf, p)) == roots

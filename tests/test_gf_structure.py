@@ -1,0 +1,130 @@
+"""Tests for field structure: orders, cosets, minimal polynomials."""
+
+import pytest
+
+from repro.gf import (
+    GF2m,
+    conjugates,
+    cyclotomic_cosets,
+    element_order,
+    is_primitive_element,
+    minimal_polynomial,
+    poly,
+)
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    return GF2m(4)
+
+
+@pytest.fixture(scope="module")
+def gf256():
+    return GF2m(8)
+
+
+class TestElementOrder:
+    def test_identity_has_order_one(self, gf16):
+        assert element_order(gf16, 1) == 1
+
+    def test_alpha_is_primitive(self, gf16, gf256):
+        assert element_order(gf16, 2) == 15
+        assert element_order(gf256, 2) == 255
+
+    def test_orders_divide_group_order(self, gf16):
+        for a in gf16.nonzero_elements():
+            assert 15 % element_order(gf16, a) == 0
+
+    def test_order_matches_brute_force(self, gf16):
+        for a in gf16.nonzero_elements():
+            x, count = a, 1
+            while x != 1:
+                x = gf16.mul(x, a)
+                count += 1
+            assert element_order(gf16, a) == count
+
+    def test_zero_rejected(self, gf16):
+        with pytest.raises(ValueError):
+            element_order(gf16, 0)
+
+
+class TestPrimitivity:
+    def test_zero_not_primitive(self, gf16):
+        assert not is_primitive_element(gf16, 0)
+
+    def test_one_not_primitive(self, gf16):
+        assert not is_primitive_element(gf16, 1)
+
+    def test_count_of_primitive_elements(self, gf16):
+        """Exactly phi(15) = 8 primitive elements in GF(16)."""
+        count = sum(
+            1 for a in gf16.nonzero_elements() if is_primitive_element(gf16, a)
+        )
+        assert count == 8
+
+
+class TestCyclotomicCosets:
+    def test_partition_property(self):
+        for m in (2, 3, 4, 8):
+            cosets = cyclotomic_cosets(m)
+            flat = [e for coset in cosets for e in coset]
+            assert sorted(flat) == list(range((1 << m) - 1))
+
+    def test_sizes_divide_m(self):
+        for coset in cyclotomic_cosets(8):
+            assert 8 % len(coset) == 0
+
+    def test_known_m4_cosets(self):
+        assert cyclotomic_cosets(4) == [
+            [0],
+            [1, 2, 4, 8],
+            [3, 6, 9, 12],
+            [5, 10],
+            [7, 11, 13, 14],
+        ]
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            cyclotomic_cosets(1)
+
+
+class TestConjugatesAndMinimalPolynomials:
+    def test_conjugates_of_zero(self, gf16):
+        assert conjugates(gf16, 0) == [0]
+
+    def test_conjugacy_class_size_matches_coset(self, gf16):
+        # alpha^5 lies in coset {5, 10}: class size 2
+        assert len(conjugates(gf16, gf16.exp(5))) == 2
+
+    def test_minimal_polynomial_of_alpha_is_field_polynomial(self, gf16):
+        minpoly = minimal_polynomial(gf16, 2)
+        # x^4 + x + 1 in ascending coefficients
+        assert minpoly == [1, 1, 0, 0, 1]
+
+    def test_minimal_polynomial_of_zero_is_x(self, gf16):
+        assert minimal_polynomial(gf16, 0) == [0, 1]
+
+    def test_minimal_polynomial_annihilates_element(self, gf256):
+        for a in (2, 7, 0x53):
+            minpoly = minimal_polynomial(gf256, a)
+            assert poly.eval_at(gf256, minpoly, a) == 0
+
+    def test_minimal_polynomial_is_binary_and_monic(self, gf256):
+        minpoly = minimal_polynomial(gf256, 0x1D)
+        assert all(c in (0, 1) for c in minpoly)
+        assert minpoly[-1] == 1
+
+    def test_rs_generator_factors_into_minimal_polynomials(self, gf256):
+        """BCH view: the RS generator's roots alpha^1, alpha^2 each have
+        their own conjugacy class; the generator divides the product of
+        their minimal polynomials over GF(2)."""
+        from repro.rs import RSCode
+
+        code = RSCode(18, 16, m=8)
+        product = [1]
+        for exponent in (1, 2):
+            product = poly.mul(
+                gf256, product, minimal_polynomial(gf256, gf256.exp(exponent))
+            )
+        _q, r = poly.divmod_poly(gf256, product, code.generator)
+        assert poly.is_zero(r)

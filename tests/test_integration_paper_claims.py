@@ -1,0 +1,114 @@
+"""End-to-end assertions of the paper's headline claims (Section 6).
+
+These are the statements a reader takes away from the paper; each one is
+checked against the reproduced pipeline, not against stored constants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fig7_duplex_scrubbing,
+    permanent_fault_ordering,
+    table_decoder_complexity,
+)
+from repro.memory import duplex_model, months_to_hours, simplex_model
+from repro.rs import decoding_time_cycles
+
+
+class TestTransientClaims:
+    def test_simplex_and_duplex_same_range_under_seu(self):
+        """'the values for the BER are in the same range for all considered
+        transient fault rates' (Figs. 5-6)."""
+        for lam in (7.3e-7, 3.6e-6, 1.7e-5):
+            s = simplex_model(18, 16, seu_per_bit_day=lam).ber([48.0])[0]
+            d = duplex_model(18, 16, seu_per_bit_day=lam).ber([48.0])[0]
+            assert 0.1 < d / s < 10.0
+
+    def test_hourly_scrubbing_keeps_ber_below_1e6(self):
+        """'a scrubbing frequency of lower than once per hour is sufficient
+        to maintain the BER below 1e-6' (Fig. 7)."""
+        model = duplex_model(
+            18, 16, seu_per_bit_day=1.7e-5, scrub_period_seconds=3600.0
+        )
+        assert model.ber(np.linspace(0, 48, 13)).max() < 1e-6
+
+    def test_unscrubbed_worst_case_exceeds_1e6(self):
+        """Without scrubbing the worst case drifts past the 1e-6 budget —
+        scrubbing is doing real work in Fig. 7."""
+        model = duplex_model(18, 16, seu_per_bit_day=1.7e-5)
+        assert model.ber([48.0])[0] > 1e-6
+
+    def test_fig7_expectations(self):
+        result = fig7_duplex_scrubbing(points=7)
+        assert result.all_expectations_hold(), result.failed_expectations()
+
+
+class TestPermanentFaultClaims:
+    def test_duplex_copes_with_permanent_faults(self):
+        """'the duplex arrangement allows to efficiently cope with the
+        occurrence of permanent faults' — orders of magnitude better than
+        simplex with the same code."""
+        t = [months_to_hours(24.0)]
+        for rate in (1e-4, 1e-6, 1e-8):
+            s = simplex_model(18, 16, erasure_per_symbol_day=rate)
+            d = duplex_model(18, 16, erasure_per_symbol_day=rate)
+            from repro.memory.analytic import (
+                duplex_fail_probability,
+                simplex_fail_probability,
+            )
+
+            ps = simplex_fail_probability(s, t)[0]
+            pd = duplex_fail_probability(d, t)[0]
+            assert pd < ps / 1e3
+
+    def test_rs3616_beats_duplex_on_ber(self):
+        """'it shows a degradation in performance compared with a simplex
+        system employing a RS(36,16) code' (Figs. 8-10)."""
+        bers = permanent_fault_ordering(rate_per_symbol_day=1e-6)
+        assert bers["simplex RS(36,16)"] < bers["duplex RS(18,16)"]
+
+    def test_full_ordering_at_every_swept_rate(self):
+        for rate in (1e-4, 1e-5, 1e-6, 1e-7):
+            bers = permanent_fault_ordering(rate_per_symbol_day=rate)
+            assert (
+                bers["simplex RS(18,16)"]
+                > bers["duplex RS(18,16)"]
+                > bers["simplex RS(36,16)"]
+            ), f"ordering broken at rate {rate}"
+
+
+class TestComplexityClaims:
+    def test_decoding_access_time_more_than_four_times_higher(self):
+        """'the decoding access time ... is more than four times higher
+        using the RS(36,16) arrangement'."""
+        assert decoding_time_cycles(36, 16) > 4 * decoding_time_cycles(18, 16)
+
+    def test_exact_paper_cycle_counts(self):
+        assert decoding_time_cycles(36, 16) == 308
+        assert decoding_time_cycles(18, 16) == 74
+
+    def test_single_rs3616_decoder_larger_than_two_rs1816(self):
+        """'a single RS(36,16) decoder will require more area than two
+        RS(18,16) decoders'."""
+        costs = {c.name: c for c in table_decoder_complexity()}
+        assert (
+            costs["simplex RS(36,16)"].area_gates
+            > costs["duplex RS(18,16)"].area_gates
+        )
+
+
+class TestTradeoffNarrative:
+    def test_duplex_is_the_balanced_design_point(self):
+        """The paper's conclusion in one test: duplex RS(18,16) keeps the
+        fast decoder (74 cycles), costs less area than RS(36,16), and
+        buys orders of magnitude of permanent-fault resilience over the
+        simplex with the same code."""
+        costs = {c.name: c for c in table_decoder_complexity()}
+        duplex_cost = costs["duplex RS(18,16)"]
+        rs3616_cost = costs["simplex RS(36,16)"]
+        assert duplex_cost.decode_cycles < rs3616_cost.decode_cycles
+        assert duplex_cost.area_gates < rs3616_cost.area_gates
+
+        bers = permanent_fault_ordering(rate_per_symbol_day=1e-6)
+        assert bers["duplex RS(18,16)"] < 1e-6 * bers["simplex RS(18,16)"]

@@ -1,0 +1,89 @@
+"""Unit tests for BFS state-space exploration."""
+
+import pytest
+
+from repro.markov import build_chain
+
+
+class TestExploration:
+    def test_linear_chain(self):
+        def transitions(state):
+            if state < 3:
+                return [(state + 1, 1.0)]
+            return []
+
+        chain = build_chain(0, transitions)
+        assert chain.states == [0, 1, 2, 3]
+        assert chain.absorbing_states() == [3]
+
+    def test_unreachable_states_not_included(self):
+        def transitions(state):
+            return [(1, 2.0)] if state == 0 else []
+
+        chain = build_chain(0, transitions)
+        assert set(chain.states) == {0, 1}
+
+    def test_branching_exploration(self):
+        def transitions(state):
+            if state == "root":
+                return [("left", 1.0), ("right", 2.0)]
+            if state == "left":
+                return [("leaf", 0.5)]
+            return []
+
+        chain = build_chain("root", transitions)
+        assert set(chain.states) == {"root", "left", "right", "leaf"}
+        assert chain.rate("root", "right") == 2.0
+
+    def test_cycles_terminate(self):
+        def transitions(state):
+            return [((state + 1) % 4, 1.0)]
+
+        chain = build_chain(0, transitions)
+        assert chain.num_states == 4
+
+    def test_zero_rate_edges_not_explored(self):
+        def transitions(state):
+            if state == 0:
+                return [(1, 0.0), (2, 1.0)]
+            return []
+
+        chain = build_chain(0, transitions)
+        assert 1 not in chain.states
+
+    def test_self_transition_ignored(self):
+        def transitions(state):
+            if state == 0:
+                return [(0, 5.0), (1, 1.0)]
+            return []
+
+        chain = build_chain(0, transitions)
+        assert chain.rate(0, 1) == 1.0
+        assert chain.rate_matrix.diagonal().sum() == 0.0
+
+    def test_parallel_moves_summed(self):
+        def transitions(state):
+            if state == "a":
+                return [("b", 1.0), ("b", 2.0)]
+            return []
+
+        chain = build_chain("a", transitions)
+        assert chain.rate("a", "b") == 3.0
+
+    def test_max_states_guard(self):
+        def transitions(state):
+            return [(state + 1, 1.0)]
+
+        with pytest.raises(RuntimeError, match="max_states"):
+            build_chain(0, transitions, max_states=100)
+
+    def test_negative_rate_rejected(self):
+        def transitions(state):
+            return [(1, -1.0)] if state == 0 else []
+
+        with pytest.raises(ValueError, match="negative rate"):
+            build_chain(0, transitions)
+
+    def test_initial_state_gets_full_mass(self):
+        chain = build_chain("only", lambda s: [])
+        assert chain.p0.tolist() == [1.0]

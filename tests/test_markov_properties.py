@@ -1,0 +1,85 @@
+"""Property-based tests of CTMC invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov import CTMC
+
+
+@st.composite
+def random_ctmc(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    transitions = []
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if draw(st.booleans()):
+                rate = draw(
+                    st.floats(
+                        min_value=0.01,
+                        max_value=5.0,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    )
+                )
+                transitions.append((i, j, rate))
+    return CTMC(list(range(n)), transitions, 0)
+
+
+@st.composite
+def absorbing_birth_chain(draw):
+    """A monotone chain 0 -> 1 -> ... -> n with the last state absorbing."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    rates = [
+        draw(st.floats(min_value=0.01, max_value=3.0, allow_nan=False))
+        for _ in range(n)
+    ]
+    transitions = [(i, i + 1, r) for i, r in enumerate(rates)]
+    return CTMC(list(range(n + 1)), transitions, 0)
+
+
+class TestTransientInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(random_ctmc(), st.floats(min_value=0.0, max_value=10.0))
+    def test_probability_conservation(self, chain, t):
+        probs = chain.transient([t])[0]
+        assert abs(probs.sum() - 1.0) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_ctmc(), st.floats(min_value=0.0, max_value=10.0))
+    def test_nonnegativity(self, chain, t):
+        probs = chain.transient([t])[0]
+        assert np.all(probs >= -1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_ctmc(), st.floats(min_value=0.01, max_value=5.0))
+    def test_solver_agreement(self, chain, t):
+        uni = chain.transient([t], method="uniformization")[0]
+        exp = chain.transient([t], method="expm")[0]
+        assert np.allclose(uni, exp, atol=1e-9)
+
+
+class TestAbsorbingInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(absorbing_birth_chain(), st.floats(min_value=0.0, max_value=5.0))
+    def test_absorbing_probability_monotone_in_time(self, chain, t):
+        last = chain.num_states - 1
+        p = chain.state_probability(last, [t, t + 1.0, t + 2.0])
+        assert p[0] <= p[1] + 1e-12
+        assert p[1] <= p[2] + 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(absorbing_birth_chain())
+    def test_eventual_absorption(self, chain):
+        last = chain.num_states - 1
+        p = chain.state_probability(last, [1e4])
+        assert p[0] > 0.999
+
+    @settings(max_examples=30, deadline=None)
+    @given(absorbing_birth_chain())
+    def test_mtta_positive_and_finite(self, chain):
+        last = chain.num_states - 1
+        mtta = chain.mean_time_to_absorption([last])
+        assert 0 < mtta < float("inf")

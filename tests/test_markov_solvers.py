@@ -1,0 +1,155 @@
+"""Unit tests for the three transient solvers and their agreement."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import sparse
+from scipy.stats import erlang
+
+from repro.markov import CTMC
+from repro.markov.solvers import (
+    TRANSIENT_SOLVERS,
+    transient_expm,
+    transient_ode,
+    transient_uniformization,
+    uniformization_propagate,
+)
+
+
+def erlang_chain(stages: int, rate: float) -> CTMC:
+    """A pure birth chain: 0 -> 1 -> ... -> stages, all at ``rate``."""
+    states = list(range(stages + 1))
+    transitions = [(i, i + 1, rate) for i in range(stages)]
+    return CTMC(states, transitions, 0)
+
+
+def random_chain(rng: np.random.Generator, n: int) -> CTMC:
+    states = list(range(n))
+    transitions = []
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.uniform() < 0.5:
+                transitions.append((i, j, float(rng.uniform(0.1, 2.0))))
+    return CTMC(states, transitions, 0)
+
+
+class TestSolverRegistry:
+    def test_three_methods_registered(self):
+        assert set(TRANSIENT_SOLVERS) == {"uniformization", "expm", "ode"}
+
+
+class TestAgainstClosedForms:
+    @pytest.mark.parametrize("solver", [transient_uniformization, transient_expm])
+    def test_erlang_absorption(self, solver):
+        """Absorbing-state probability equals the Erlang CDF."""
+        stages, rate = 4, 1.5
+        chain = erlang_chain(stages, rate)
+        times = np.array([0.1, 0.5, 1.0, 2.0, 5.0])
+        probs = solver(chain, times)
+        expected = erlang.cdf(times, stages, scale=1.0 / rate)
+        assert np.allclose(probs[:, stages], expected, rtol=1e-9)
+
+    def test_ode_erlang_absorption(self):
+        stages, rate = 4, 1.5
+        chain = erlang_chain(stages, rate)
+        times = np.array([0.5, 2.0])
+        probs = transient_ode(chain, times)
+        expected = erlang.cdf(times, stages, scale=1.0 / rate)
+        assert np.allclose(probs[:, stages], expected, rtol=1e-6)
+
+    def test_uniformization_deep_tail_relative_accuracy(self):
+        """The headline property: tiny absorption probabilities keep
+        relative accuracy (this is what resolves the paper's Figs. 8-10)."""
+        stages, rate = 6, 1e-6
+        chain = erlang_chain(stages, rate)
+        t = 10.0  # rate * t = 1e-5 per hop -> P ~ (1e-5)^6 / 6! ~ 1e-33
+        probs = transient_uniformization(chain, np.array([t]))
+        expected = erlang.cdf(t, stages, scale=1.0 / rate)
+        assert expected < 1e-30  # confirm we are genuinely deep in the tail
+        assert probs[0, stages] == pytest.approx(expected, rel=1e-10)
+
+
+class TestSolverCrossAgreement:
+    def test_all_solvers_agree_on_random_chains(self):
+        rng = np.random.default_rng(123)
+        for trial in range(5):
+            chain = random_chain(rng, n=int(rng.integers(3, 8)))
+            times = np.array([0.3, 1.7])
+            uni = transient_uniformization(chain, times)
+            exp = transient_expm(chain, times)
+            ode = transient_ode(chain, times)
+            assert np.allclose(uni, exp, atol=1e-10), f"trial {trial}"
+            assert np.allclose(uni, ode, atol=1e-7), f"trial {trial}"
+
+    def test_rows_remain_distributions(self):
+        rng = np.random.default_rng(7)
+        chain = random_chain(rng, 6)
+        for method in TRANSIENT_SOLVERS:
+            probs = chain.transient(np.linspace(0, 4, 5), method=method)
+            assert np.all(probs >= -1e-12)
+            assert np.allclose(probs.sum(axis=1), 1.0, atol=1e-8)
+
+
+class TestUniformizationInternals:
+    def test_propagate_zero_time_is_identity(self):
+        rates = sparse.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        p0 = np.array([0.3, 0.7])
+        out = uniformization_propagate(rates, p0, 0.0)
+        assert np.allclose(out, p0)
+
+    def test_propagate_negative_time_rejected(self):
+        rates = sparse.csr_matrix((2, 2))
+        with pytest.raises(ValueError):
+            uniformization_propagate(rates, np.array([1.0, 0.0]), -1.0)
+
+    def test_propagate_no_rates_is_static(self):
+        rates = sparse.csr_matrix((3, 3))
+        p0 = np.array([0.2, 0.3, 0.5])
+        assert np.allclose(uniformization_propagate(rates, p0, 10.0), p0)
+
+    def test_large_lt_fallback(self):
+        """Exercise the log-domain windowed path (L*t > ~709)."""
+        chain = CTMC(["A", "B"], [("A", "B", 1.0), ("B", "A", 1.0)], "A")
+        probs = transient_uniformization(chain, np.array([800.0]))
+        # equilibrium of the symmetric chain is (1/2, 1/2)
+        assert probs[0, 0] == pytest.approx(0.5, rel=1e-6)
+        assert probs[0].sum() == pytest.approx(1.0, rel=1e-9)
+
+    def test_composition_property(self):
+        """Propagating t1 then t2 equals propagating t1 + t2."""
+        rng = np.random.default_rng(5)
+        chain = random_chain(rng, 5)
+        rates = chain.rate_matrix
+        direct = uniformization_propagate(rates, chain.p0, 1.3)
+        stepped = uniformization_propagate(
+            rates, uniformization_propagate(rates, chain.p0, 0.9), 0.4
+        )
+        assert np.allclose(direct, stepped, atol=1e-12)
+
+
+class TestInputHandling:
+    def test_negative_times_rejected_everywhere(self):
+        chain = erlang_chain(2, 1.0)
+        for solver in (transient_uniformization, transient_expm, transient_ode):
+            with pytest.raises(ValueError):
+                solver(chain, np.array([-0.5]))
+
+    def test_expm_caches_uniform_grid(self):
+        chain = erlang_chain(3, 1.0)
+        times = np.linspace(0, 5, 6)
+        probs = transient_expm(chain, times)
+        # spot-check against uniformization
+        uni = transient_uniformization(chain, times)
+        assert np.allclose(probs, uni, atol=1e-11)
+
+    def test_ode_all_zero_times(self):
+        chain = erlang_chain(2, 1.0)
+        probs = transient_ode(chain, np.array([0.0, 0.0]))
+        assert np.allclose(probs, np.tile(chain.p0, (2, 1)))
+
+    def test_scalar_like_single_time(self):
+        chain = erlang_chain(2, 2.0)
+        probs = chain.transient([1.0])
+        assert probs.shape == (1, 3)
+        assert probs[0, 0] == pytest.approx(math.exp(-2.0), rel=1e-10)

@@ -1,0 +1,146 @@
+"""Tests for the permanent-fault detection-latency extension."""
+
+import numpy as np
+import pytest
+
+from repro.memory import FAIL, simplex_detection_model, simplex_model
+from repro.memory.detection import SimplexDetectionModel
+from repro.memory.rates import FaultRates
+
+
+class TestConstruction:
+    def test_negative_detection_rate_rejected(self):
+        with pytest.raises(ValueError, match="detection rate"):
+            SimplexDetectionModel(18, 16, 8, FaultRates(), -1.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            simplex_detection_model(18, 16, mean_detection_hours=-1.0)
+
+    def test_zero_latency_maps_to_fast_detector(self):
+        model = simplex_detection_model(18, 16, mean_detection_hours=0.0)
+        assert model.detection_rate == 1e9
+
+    def test_initial_state(self):
+        model = simplex_detection_model(18, 16)
+        assert model.initial_state() == (0, 0, 0)
+
+
+class TestCapability:
+    def test_unlocated_faults_cost_double(self):
+        model = simplex_detection_model(18, 16)
+        assert model.is_valid(2, 0, 0)       # two located erasures fine
+        assert not model.is_valid(0, 2, 0)   # two unlocated: 4 > 2
+        assert model.is_valid(0, 1, 0)
+        assert not model.is_valid(1, 1, 0)   # 1 + 2 = 3 > 2
+
+
+class TestTransitions:
+    @pytest.fixture(scope="class")
+    def chain(self):
+        rates = FaultRates(seu_per_bit=1.0, erasure_per_symbol=2.0, scrub_rate=3.0)
+        return SimplexDetectionModel(36, 16, 8, rates, detection_rate=5.0).chain
+
+    def test_permanent_fault_arrives_unlocated(self, chain):
+        assert chain.rate((0, 0, 0), (0, 1, 0)) == pytest.approx(2.0 * 36)
+
+    def test_detection_locates_at_rate_times_count(self, chain):
+        assert chain.rate((0, 2, 0), (1, 1, 0)) == pytest.approx(5.0 * 2)
+
+    def test_seu_on_clean_symbols(self, chain):
+        assert chain.rate((1, 1, 1), (1, 1, 2)) == pytest.approx(8 * 1.0 * 33)
+
+    def test_permanent_dominates_random_error(self, chain):
+        assert chain.rate((0, 0, 2), (0, 1, 1)) == pytest.approx(2.0 * 2)
+
+    def test_scrub_keeps_unlocated_faults(self, chain):
+        assert chain.rate((1, 1, 2), (1, 1, 0)) == 3.0
+
+    def test_fail_reachable(self, chain):
+        assert FAIL in chain.index
+
+
+class TestFirstPassageMetric:
+    def test_slow_detector_worse_on_roomy_code(self):
+        fast = simplex_detection_model(
+            36, 16, erasure_per_symbol_day=1e-3, mean_detection_hours=0.01
+        )
+        slow = simplex_detection_model(
+            36, 16, erasure_per_symbol_day=1e-3, mean_detection_hours=1000.0
+        )
+        t = [730.0]
+        assert slow.fail_probability(t)[0] > 10 * fast.fail_probability(t)[0]
+
+    def test_fast_detector_bounded_by_one_lost_check_symbol(self):
+        """Under first-passage semantics even an instantaneous-in-the-limit
+        detector loses one erasure of margin: the (n-k)-th fault transits
+        an over-capability window (er + 2 > n - k) before location.  So
+        the fast-detector chain sits between the paper model and the
+        paper model with one fewer check symbol."""
+        from repro.memory.analytic import _binomial_tail
+
+        lam_e_day = 1e-3
+        t = 730.0
+        paper = simplex_model(36, 16, erasure_per_symbol_day=lam_e_day)
+        fast = simplex_detection_model(
+            36, 16, erasure_per_symbol_day=lam_e_day, mean_detection_hours=0.001
+        )
+        p_fast = fast.fail_probability([t])[0]
+        p_paper = paper.fail_probability([t])[0]
+        import math
+
+        q = -math.expm1(-(lam_e_day / 24) * t)
+        p_one_less = _binomial_tail(36, q, 19)  # budget n-k-1
+        assert p_paper < p_fast < p_one_less * 1.05
+
+
+class TestInstantaneousMetric:
+    def test_fast_detector_converges_to_paper_model(self):
+        paper = simplex_model(18, 16, erasure_per_symbol_day=1e-3)
+        fast = simplex_detection_model(
+            18, 16, erasure_per_symbol_day=1e-3, mean_detection_hours=0.001
+        )
+        t = [48.0, 730.0]
+        assert np.allclose(
+            fast.read_unreliability(t), paper.fail_probability(t), rtol=0.01
+        )
+
+    def test_slow_detector_dominates_fast(self):
+        kwargs = dict(erasure_per_symbol_day=1e-3)
+        fast = simplex_detection_model(18, 16, mean_detection_hours=0.1, **kwargs)
+        slow = simplex_detection_model(18, 16, mean_detection_hours=100.0, **kwargs)
+        t = [48.0]
+        assert slow.read_unreliability(t)[0] > 5 * fast.read_unreliability(t)[0]
+
+    def test_instantaneous_below_first_passage(self):
+        """Occupancy of bad states can never exceed 'ever visited one'."""
+        model = simplex_detection_model(
+            36, 16, erasure_per_symbol_day=1e-3, mean_detection_hours=10.0
+        )
+        t = [100.0, 730.0]
+        inst = model.read_unreliability(t)
+        fp = model.fail_probability(t)
+        assert np.all(inst <= fp + 1e-15)
+
+    def test_location_heals_the_word(self):
+        """With permanent faults only and a detector, instantaneous
+        unreliability is *not* monotone-equivalent to absorption: the
+        located state (2,0,0) is readable again."""
+        model = simplex_detection_model(
+            18, 16, erasure_per_symbol_day=1e-2, mean_detection_hours=1.0
+        )
+        t = [200.0]
+        assert model.read_unreliability(t)[0] < model.fail_probability(t)[0]
+
+    def test_read_ber_applies_factor(self):
+        model = simplex_detection_model(
+            36, 16, erasure_per_symbol_day=1e-3, mean_detection_hours=1.0
+        )
+        t = [100.0]
+        assert model.read_ber(t)[0] == pytest.approx(
+            10.0 * model.read_unreliability(t)[0]
+        )
+
+    def test_no_faults_always_readable(self):
+        model = simplex_detection_model(18, 16, mean_detection_hours=1.0)
+        assert np.all(model.read_unreliability([0.0, 100.0]) == 0.0)

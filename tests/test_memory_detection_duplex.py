@@ -1,0 +1,210 @@
+"""Tests for the duplex detection-latency model."""
+
+import numpy as np
+import pytest
+
+from repro.markov import build_chain
+from repro.memory import FAIL, duplex_detection_model, duplex_model
+from repro.memory.detection_duplex import DuplexDetectionModel
+from repro.memory.rates import FaultRates
+
+LAM = 2.0
+LAME = 3.0
+MU = 5.0
+
+
+def model_with(n=36, k=16, lam=LAM, lam_e=LAME, mu=MU, scrub=0.0, rule="either"):
+    return DuplexDetectionModel(
+        n,
+        k,
+        8,
+        FaultRates(seu_per_bit=lam, erasure_per_symbol=lam_e, scrub_rate=scrub),
+        detection_rate=mu,
+        fail_rule=rule,
+    )
+
+
+def state(**kwargs):
+    fields = ("x", "y", "b", "e1", "e2", "ec", "u1", "u2", "m1", "m2", "w", "uu")
+    return tuple(kwargs.get(f, 0) for f in fields)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="detection rate"):
+            model_with(mu=-1.0)
+        with pytest.raises(ValueError, match="fail_rule"):
+            model_with(rule="sometimes")
+        with pytest.raises(ValueError, match="latency"):
+            duplex_detection_model(18, 16, mean_detection_hours=-1.0)
+
+    def test_initial_state(self):
+        assert model_with().initial_state() == (0,) * 12
+
+
+class TestCapability:
+    def test_unlocated_faults_cost_both_word_specific_and_shared(self):
+        m = model_with(n=18, k=16)
+        assert m.is_valid(state(u1=1))          # 2 <= 2
+        assert not m.is_valid(state(u1=1, x=1))  # 1 + 2 > 2
+        assert not m.is_valid(state(uu=1, e1=1))
+        assert m.is_valid(state(y=5, u2=1))      # y free, u2 only hits word2
+
+    def test_both_rule(self):
+        m = model_with(n=18, k=16, rule="both")
+        assert m.is_valid(state(u1=2))           # word2 fine
+        assert not m.is_valid(state(u1=2, u2=2))
+
+
+def rate_to(model, src, dst):
+    """Summed transition rate src -> dst from the local rule."""
+    return sum(r for nxt, r in model.transitions(src) if nxt == dst)
+
+
+class TestTransitionRates:
+    """Rates checked on the local rule (the full n=36 chain is huge)."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return model_with()
+
+    def test_clean_pair_fault_split(self, model):
+        # paper pair convention: total lam_e * n, split per side
+        assert rate_to(model, state(), state(u1=1)) == pytest.approx(
+            LAME * 36 / 2
+        )
+        assert rate_to(model, state(), state(u2=1)) == pytest.approx(
+            LAME * 36 / 2
+        )
+
+    def test_clean_pair_flips(self, model):
+        assert rate_to(model, state(), state(e1=1)) == pytest.approx(
+            8 * LAM * 36
+        )
+
+    def test_error_pair_fault_on_either_side(self, model):
+        src = state(e1=1)
+        assert rate_to(model, src, state(u1=1)) == pytest.approx(LAME)
+        assert rate_to(model, src, state(m2=1)) == pytest.approx(LAME)
+
+    def test_detection_arcs(self, model):
+        assert rate_to(model, state(u1=2), state(u1=1, y=1)) == pytest.approx(
+            2 * MU
+        )
+        assert rate_to(model, state(m1=1), state(b=1)) == pytest.approx(MU)
+        assert rate_to(model, state(w=1), state(x=1)) == pytest.approx(MU)
+        assert rate_to(model, state(uu=1), state(w=1)) == pytest.approx(2 * MU)
+
+    def test_located_partner_arcs_match_base_model(self, model):
+        # y -> w on new fault; y -> b on flip (A and I analogues)
+        assert rate_to(model, state(y=2), state(y=1, w=1)) == pytest.approx(
+            LAME * 2
+        )
+        assert rate_to(model, state(y=2), state(y=1, b=1)) == pytest.approx(
+            8 * LAM * 2
+        )
+
+    def test_scrub_map(self):
+        m = model_with(scrub=7.0)
+        src = state(x=1, y=1, b=1, e1=1, ec=1, u1=1, m2=1, w=1, uu=1)
+        target = state(x=1, y=2, u1=1, u2=1, w=1, uu=1)
+        assert rate_to(m, src, target) == 7.0
+
+
+class TestFastDetectorLimit:
+    def test_converges_to_paper_duplex_pure_permanent(self):
+        """Instantaneous metric with a fast detector lands on the paper
+        chain (whose pure-permanent first passage equals read-at-t)."""
+        t = [17520.0]
+        paper = duplex_model(18, 16, erasure_per_symbol_day=1e-4)
+        fast = duplex_detection_model(
+            18, 16, erasure_per_symbol_day=1e-4, mean_detection_hours=0.001
+        )
+        ratio = fast.read_unreliability(t)[0] / paper.fail_probability(t)[0]
+        assert 0.99 < ratio < 1.05
+
+    def test_slow_detector_erases_the_duplex_advantage(self):
+        t = [17520.0]
+        fast = duplex_detection_model(
+            18, 16, erasure_per_symbol_day=1e-4, mean_detection_hours=0.1
+        )
+        slow = duplex_detection_model(
+            18, 16, erasure_per_symbol_day=1e-4, mean_detection_hours=1000.0
+        )
+        assert (
+            slow.read_unreliability(t)[0]
+            > 50 * fast.read_unreliability(t)[0]
+        )
+
+    def test_instantaneous_below_first_passage(self):
+        m = duplex_detection_model(
+            18, 16, erasure_per_symbol_day=1e-4, mean_detection_hours=10.0
+        )
+        t = [730.0, 17520.0]
+        inst = m.read_unreliability(t)
+        fp = m.fail_probability(t)
+        assert np.all(inst <= fp + 1e-15)
+
+
+class TestPairDecompositionExactness:
+    def test_matches_brute_force_count_chain(self):
+        """For a tiny code the full non-absorbing count chain is
+        enumerable; the per-pair DP must agree to machine precision."""
+        mdl = DuplexDetectionModel(
+            4,
+            2,
+            4,
+            FaultRates(seu_per_bit=0.02, erasure_per_symbol=0.05),
+            detection_rate=0.3,
+        )
+        chain = build_chain(mdl.initial_state(), mdl.open_transitions)
+        times = np.array([0.7, 3.0])
+        probs = chain.transient(times, method="expm")
+        bad = np.array(
+            [(s != FAIL) and (not mdl.is_valid(s)) for s in chain.states]
+        )
+        brute = probs[:, bad].sum(axis=1)
+        pair = mdl.read_unreliability(times)
+        assert np.allclose(pair, brute, rtol=1e-12)
+
+    def test_both_rule_decomposition(self):
+        mdl = DuplexDetectionModel(
+            4,
+            2,
+            4,
+            FaultRates(seu_per_bit=0.02, erasure_per_symbol=0.05),
+            detection_rate=0.3,
+            fail_rule="both",
+        )
+        chain = build_chain(mdl.initial_state(), mdl.open_transitions)
+        times = np.array([1.5])
+        probs = chain.transient(times, method="expm")
+        bad = np.array(
+            [(s != FAIL) and (not mdl.is_valid(s)) for s in chain.states]
+        )
+        brute = probs[:, bad].sum(axis=1)
+        assert np.allclose(mdl.read_unreliability(times), brute, rtol=1e-12)
+
+
+class TestInterfaces:
+    def test_read_unreliability_rejects_scrubbing(self):
+        m = duplex_detection_model(
+            18, 16, seu_per_bit_day=1e-4, scrub_period_seconds=3600.0
+        )
+        with pytest.raises(ValueError, match="scrub"):
+            m.read_unreliability([1.0])
+
+    def test_read_ber_factor(self):
+        m = duplex_detection_model(
+            18, 16, erasure_per_symbol_day=1e-4, mean_detection_hours=1.0
+        )
+        t = [730.0]
+        assert m.read_ber(t)[0] == pytest.approx(
+            m.ber_factor * m.read_unreliability(t)[0]
+        )
+
+    def test_open_transitions_restores_validity_check(self):
+        m = model_with(n=18, k=16)
+        m.open_transitions(state(u1=1))
+        # after the call the capability check must be active again
+        assert not m.is_valid(state(u1=1, x=1))

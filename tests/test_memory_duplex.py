@@ -1,0 +1,170 @@
+"""Unit tests for the duplex memory Markov model (paper Figs. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.memory import FAIL, DuplexMarkovModel, FaultRates, duplex_model
+
+LAM = 2.0   # per-bit SEU rate (per hour) used in rate checks
+LAME = 3.0  # per-symbol erasure rate
+
+
+def model_with(n=36, k=16, m=8, lam=LAM, lam_e=LAME, scrub=0.0, fail_rule="either"):
+    return DuplexMarkovModel(
+        n,
+        k,
+        m,
+        FaultRates(seu_per_bit=lam, erasure_per_symbol=lam_e, scrub_rate=scrub),
+        fail_rule=fail_rule,
+    )
+
+
+class TestConstruction:
+    def test_fail_rule_validation(self):
+        with pytest.raises(ValueError, match="fail_rule"):
+            model_with(fail_rule="sometimes")
+
+    def test_initial_state(self):
+        assert model_with().initial_state() == (0, 0, 0, 0, 0, 0)
+
+    def test_convenience_constructor(self):
+        m = duplex_model(18, 16, seu_per_bit_day=24.0, fail_rule="both")
+        assert m.rates.seu_per_bit == 1.0
+        assert m.fail_rule == "both"
+
+
+class TestCapabilityConditions:
+    def test_word_conditions(self):
+        m = model_with(n=18, k=16)
+        # X + 2(b + ec + e1) <= 2
+        assert m.word_ok((2, 5, 0, 0, 0, 0), 1)
+        assert m.word_ok((0, 0, 1, 0, 0, 0), 1)
+        assert not m.word_ok((1, 0, 1, 0, 0, 0), 1)
+        assert not m.word_ok((0, 0, 0, 2, 0, 0), 1)
+        # word 2 uses e2
+        assert m.word_ok((0, 0, 0, 2, 0, 0), 2)
+
+    def test_either_rule(self):
+        m = model_with(n=18, k=16, fail_rule="either")
+        assert not m.is_valid((0, 0, 0, 2, 0, 0))  # word1 broken
+
+    def test_both_rule(self):
+        m = model_with(n=18, k=16, fail_rule="both")
+        assert m.is_valid((0, 0, 0, 2, 0, 0))       # word2 still fine
+        assert not m.is_valid((0, 0, 0, 2, 2, 0))   # both broken
+
+    def test_y_is_cost_free(self):
+        """Single-sided erasures are masked: any Y is valid."""
+        m = model_with(n=18, k=16)
+        assert m.is_valid((0, 18, 0, 0, 0, 0))
+
+
+class TestTransitionFamilies:
+    """Each arc of paper Fig. 4 with its rate, from a generic state."""
+
+    # generic state with every class populated: needs a roomy code
+    S = (1, 2, 1, 1, 1, 1)  # (X, Y, b, e1, e2, ec); clean = 36 - 7 = 29
+
+    @pytest.fixture(scope="class")
+    def chain(self):
+        return model_with(n=36, k=16).chain
+
+    def rate(self, chain, target):
+        return chain.rate(self.S, target)
+
+    def test_A_second_erasure_on_pair(self, chain):
+        assert self.rate(chain, (2, 1, 1, 1, 1, 1)) == pytest.approx(LAME * 2)
+
+    def test_B_erasure_on_errored_partner_uses_b_not_y(self, chain):
+        """The documented Fig.4-vs-text correction: rate is lam_e * b."""
+        assert self.rate(chain, (2, 2, 0, 1, 1, 1)) == pytest.approx(LAME * 1)
+
+    def test_C_erasure_on_clean_pair(self, chain):
+        assert self.rate(chain, (1, 3, 1, 1, 1, 1)) == pytest.approx(LAME * 29)
+
+    def test_D_erasure_hits_errored_symbol_word1(self, chain):
+        assert self.rate(chain, (1, 3, 1, 0, 1, 1)) == pytest.approx(LAME * 1)
+
+    def test_E_erasure_hits_errored_symbol_word2(self, chain):
+        assert self.rate(chain, (1, 3, 1, 1, 0, 1)) == pytest.approx(LAME * 1)
+
+    def test_F_erasure_on_double_errored_pair(self, chain):
+        assert self.rate(chain, (1, 2, 2, 1, 1, 0)) == pytest.approx(LAME * 1)
+
+    def test_I_flip_on_clean_partner_of_erasure(self, chain):
+        assert self.rate(chain, (1, 1, 2, 1, 1, 1)) == pytest.approx(8 * LAM * 2)
+
+    def test_L_flip_on_clean_pair_word1(self, chain):
+        assert self.rate(chain, (1, 2, 1, 2, 1, 1)) == pytest.approx(8 * LAM * 29)
+
+    def test_M_flip_on_clean_pair_word2(self, chain):
+        assert self.rate(chain, (1, 2, 1, 1, 2, 1)) == pytest.approx(8 * LAM * 29)
+
+    def test_N_flip_on_partner_of_e1(self, chain):
+        assert self.rate(chain, (1, 2, 1, 0, 1, 2)) == pytest.approx(8 * LAM * 1)
+
+    def test_O_flip_on_partner_of_e2(self, chain):
+        assert self.rate(chain, (1, 2, 1, 1, 0, 2)) == pytest.approx(8 * LAM * 1)
+
+    def test_G_H_merge_into_combined_rate(self, chain):
+        """G (e1->b) and the B-target overlap is distinct; check G via a
+        state where only one family can produce the target."""
+        src = (0, 0, 0, 1, 0, 0)
+        # G: erasure on the clean partner of the e1 symbol -> b
+        assert chain.rate(src, (0, 0, 1, 0, 0, 0)) == pytest.approx(LAME * 1)
+        # D: erasure on the errored symbol itself -> Y
+        assert chain.rate(src, (0, 1, 0, 0, 0, 0)) == pytest.approx(LAME * 1)
+
+
+class TestScrubbing:
+    def test_scrub_target_merges_b_into_y(self):
+        m = model_with(n=36, k=16, scrub=7.0)
+        assert m.chain.rate((1, 2, 1, 1, 1, 1), (1, 3, 0, 0, 0, 0)) == 7.0
+
+    def test_scrub_is_noop_from_scrubbed_states(self):
+        m = model_with(n=36, k=16, scrub=7.0)
+        # (1, 3, 0, 0, 0, 0) scrubs to itself: no self-loop emitted
+        assert m.chain.rate((1, 3, 0, 0, 0, 0), (1, 3, 0, 0, 0, 0)) == 0.0
+
+
+class TestFailureDynamics:
+    def test_fail_reachable_and_absorbing(self):
+        m = duplex_model(18, 16, seu_per_bit_day=1e-3)
+        assert FAIL in m.chain.states
+        assert FAIL in m.chain.absorbing_states()
+
+    def test_either_fails_faster_than_both(self):
+        either = duplex_model(18, 16, seu_per_bit_day=1e-3, fail_rule="either")
+        both = duplex_model(18, 16, seu_per_bit_day=1e-3, fail_rule="both")
+        t = [48.0]
+        assert both.fail_probability(t)[0] < either.fail_probability(t)[0]
+
+    def test_duplex_beats_simplex_under_permanent_faults(self):
+        from repro.memory import simplex_model
+
+        dup = duplex_model(18, 16, erasure_per_symbol_day=1e-4)
+        simp = simplex_model(18, 16, erasure_per_symbol_day=1e-4)
+        t = [24 * 730.0]
+        assert dup.fail_probability(t)[0] < simp.fail_probability(t)[0] / 100
+
+    def test_duplex_transient_ber_same_range_as_simplex(self):
+        """Paper Section 6: Figs 5/6 are 'in the same range'."""
+        from repro.memory import simplex_model
+
+        dup = duplex_model(18, 16, seu_per_bit_day=1.7e-5)
+        simp = simplex_model(18, 16, seu_per_bit_day=1.7e-5)
+        t = [48.0]
+        ratio = dup.ber(t)[0] / simp.ber(t)[0]
+        assert 0.5 < ratio < 5.0
+
+    def test_scrubbing_reduces_duplex_ber(self):
+        base = duplex_model(18, 16, seu_per_bit_day=1.7e-5)
+        scrubbed = duplex_model(
+            18, 16, seu_per_bit_day=1.7e-5, scrub_period_seconds=3600.0
+        )
+        t = [48.0]
+        assert scrubbed.ber(t)[0] < base.ber(t)[0]
+
+    def test_ber_zero_without_faults(self):
+        m = duplex_model(18, 16)
+        assert np.all(m.ber([0.0, 48.0]) == 0.0)

@@ -1,0 +1,103 @@
+"""Tests for the scrubbing-overhead models."""
+
+import pytest
+
+from repro.memory import (
+    min_scrub_period_for_availability,
+    scrub_overhead,
+)
+from repro.rs import decoding_time_cycles
+
+
+class TestScrubOverhead:
+    def test_pass_time_uses_decoder_cycles(self):
+        words, clock = 1000, 1e6
+        overhead = scrub_overhead(
+            18, 16, num_words=words, scrub_period_seconds=60.0, clock_hz=clock
+        )
+        expected = words * (decoding_time_cycles(18, 16) + 10) / clock
+        assert overhead.pass_seconds == pytest.approx(expected)
+
+    def test_availability_complements_duty(self):
+        overhead = scrub_overhead(
+            18, 16, num_words=1 << 20, scrub_period_seconds=3600.0
+        )
+        assert overhead.availability + overhead.duty_cycle == pytest.approx(1.0)
+        assert 0.99 < overhead.availability < 1.0
+
+    def test_faster_scrubbing_costs_availability(self):
+        fast = scrub_overhead(18, 16, num_words=1 << 20, scrub_period_seconds=900.0)
+        slow = scrub_overhead(18, 16, num_words=1 << 20, scrub_period_seconds=3600.0)
+        assert fast.availability < slow.availability
+        assert (
+            fast.scrub_bandwidth_bits_per_s > slow.scrub_bandwidth_bits_per_s
+        )
+
+    def test_stronger_code_scrubs_slower(self):
+        weak = scrub_overhead(18, 16, num_words=1000, scrub_period_seconds=60.0)
+        strong = scrub_overhead(36, 16, num_words=1000, scrub_period_seconds=60.0)
+        assert strong.pass_seconds > weak.pass_seconds
+
+    def test_duplex_doubles_bandwidth(self):
+        one = scrub_overhead(
+            18, 16, num_words=1000, scrub_period_seconds=60.0, num_decoders=1
+        )
+        two = scrub_overhead(
+            18, 16, num_words=1000, scrub_period_seconds=60.0, num_decoders=2
+        )
+        assert two.scrub_bandwidth_bits_per_s == pytest.approx(
+            2 * one.scrub_bandwidth_bits_per_s
+        )
+
+    def test_infeasible_period_rejected(self):
+        with pytest.raises(ValueError, match="cannot keep up"):
+            scrub_overhead(
+                36,
+                16,
+                num_words=1 << 24,
+                scrub_period_seconds=0.05,
+                clock_hz=1e6,
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            scrub_overhead(18, 16, num_words=0, scrub_period_seconds=60.0)
+        with pytest.raises(ValueError):
+            scrub_overhead(18, 16, num_words=10, scrub_period_seconds=0.0)
+        with pytest.raises(ValueError):
+            scrub_overhead(
+                18, 16, num_words=10, scrub_period_seconds=60.0, clock_hz=0.0
+            )
+        with pytest.raises(ValueError):
+            scrub_overhead(
+                18, 16, num_words=10, scrub_period_seconds=60.0, num_decoders=0
+            )
+
+
+class TestMinPeriodForAvailability:
+    def test_matches_overhead_model(self):
+        words = 1 << 20
+        target = 0.999
+        period = min_scrub_period_for_availability(
+            18, 16, num_words=words, availability_target=target
+        )
+        overhead = scrub_overhead(
+            18, 16, num_words=words, scrub_period_seconds=period
+        )
+        assert overhead.availability == pytest.approx(target)
+
+    def test_higher_availability_needs_longer_period(self):
+        words = 1 << 20
+        relaxed = min_scrub_period_for_availability(
+            18, 16, num_words=words, availability_target=0.99
+        )
+        strict = min_scrub_period_for_availability(
+            18, 16, num_words=words, availability_target=0.9999
+        )
+        assert strict > relaxed
+
+    def test_target_validation(self):
+        with pytest.raises(ValueError):
+            min_scrub_period_for_availability(
+                18, 16, num_words=10, availability_target=1.0
+            )

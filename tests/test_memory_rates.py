@@ -1,0 +1,88 @@
+"""Unit tests for fault-rate units and conversions."""
+
+import pytest
+
+from repro.memory.rates import (
+    HOURS_PER_DAY,
+    HOURS_PER_MONTH,
+    FaultRates,
+    hours_to_months,
+    months_to_hours,
+    per_day_to_per_hour,
+    per_hour_to_per_day,
+    scrub_rate_from_period,
+)
+
+
+class TestConversions:
+    def test_per_day_roundtrip(self):
+        assert per_hour_to_per_day(per_day_to_per_hour(1.7e-5)) == pytest.approx(
+            1.7e-5
+        )
+
+    def test_per_day_to_per_hour(self):
+        assert per_day_to_per_hour(24.0) == 1.0
+
+    def test_months_roundtrip(self):
+        assert hours_to_months(months_to_hours(24.0)) == pytest.approx(24.0)
+
+    def test_month_convention(self):
+        assert HOURS_PER_MONTH == pytest.approx(730.0)
+        assert HOURS_PER_DAY == 24.0
+
+    def test_scrub_rate_one_hour_period(self):
+        assert scrub_rate_from_period(3600.0) == 1.0
+
+    def test_scrub_rate_fifteen_minutes(self):
+        assert scrub_rate_from_period(900.0) == 4.0
+
+    def test_scrub_rate_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scrub_rate_from_period(0.0)
+        with pytest.raises(ValueError):
+            scrub_rate_from_period(-10.0)
+
+
+class TestFaultRates:
+    def test_defaults_are_zero(self):
+        rates = FaultRates()
+        assert rates.seu_per_bit == 0.0
+        assert rates.erasure_per_symbol == 0.0
+        assert not rates.has_scrubbing
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRates(seu_per_bit=-1.0)
+        with pytest.raises(ValueError):
+            FaultRates(erasure_per_symbol=-1.0)
+        with pytest.raises(ValueError):
+            FaultRates(scrub_rate=-1.0)
+
+    def test_from_paper_units(self):
+        rates = FaultRates.from_paper_units(
+            seu_per_bit_day=1.7e-5,
+            erasure_per_symbol_day=2.4e-5,
+            scrub_period_seconds=1800.0,
+        )
+        assert rates.seu_per_bit == pytest.approx(1.7e-5 / 24)
+        assert rates.erasure_per_symbol == pytest.approx(1e-6)
+        assert rates.scrub_rate == 2.0
+
+    def test_from_paper_units_no_scrub(self):
+        rates = FaultRates.from_paper_units(seu_per_bit_day=1e-6)
+        assert not rates.has_scrubbing
+
+    def test_with_scrub_period(self):
+        base = FaultRates(seu_per_bit=1.0)
+        scrubbed = base.with_scrub_period(3600.0)
+        assert scrubbed.scrub_rate == 1.0
+        assert scrubbed.seu_per_bit == 1.0
+        assert base.scrub_rate == 0.0  # original untouched (frozen)
+
+    def test_with_scrub_period_none_disables(self):
+        rates = FaultRates(scrub_rate=2.0).with_scrub_period(None)
+        assert not rates.has_scrubbing
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FaultRates().seu_per_bit = 1.0  # type: ignore[misc]

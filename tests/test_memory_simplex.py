@@ -1,0 +1,152 @@
+"""Unit tests for the simplex memory Markov model (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.memory import FAIL, FaultRates, SimplexMarkovModel, simplex_model
+
+
+def rates_per_hour(lam_bit=0.0, lam_sym=0.0, scrub=0.0):
+    return FaultRates(
+        seu_per_bit=lam_bit, erasure_per_symbol=lam_sym, scrub_rate=scrub
+    )
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SimplexMarkovModel(16, 16, 8, rates_per_hour())
+        with pytest.raises(ValueError):
+            SimplexMarkovModel(300, 16, 8, rates_per_hour())  # n > 2^m - 1
+
+    def test_ber_factor(self):
+        model = simplex_model(18, 16, m=8)
+        # m (n - k) / k = 8 * 2 / 16 = 1
+        assert model.ber_factor == 1.0
+
+    def test_ber_factor_rs3616(self):
+        model = simplex_model(36, 16, m=8)
+        assert model.ber_factor == 10.0
+
+    def test_convenience_constructor_units(self):
+        model = simplex_model(18, 16, seu_per_bit_day=24.0)
+        assert model.rates.seu_per_bit == 1.0
+
+
+class TestStateSpace:
+    def test_enumerate_valid_states_rs1816(self):
+        model = simplex_model(18, 16)
+        # er + 2 re <= 2: (0,0), (0,1), (1,0), (2,0)
+        assert set(model.enumerate_valid_states()) == {
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (2, 0),
+        }
+
+    def test_chain_reaches_all_valid_states_plus_fail(self):
+        model = simplex_model(18, 16, seu_per_bit_day=1.0, erasure_per_symbol_day=1.0)
+        states = set(model.chain.states)
+        assert states == set(model.enumerate_valid_states()) | {FAIL}
+
+    def test_transient_only_chain_excludes_erasure_states(self):
+        model = simplex_model(18, 16, seu_per_bit_day=1.0)
+        assert (1, 0) not in model.chain.states
+
+    def test_fail_is_absorbing(self):
+        model = simplex_model(18, 16, seu_per_bit_day=1.0)
+        assert FAIL in model.chain.absorbing_states()
+
+    def test_is_valid(self):
+        model = simplex_model(18, 16)
+        assert model.is_valid(2, 0)
+        assert model.is_valid(0, 1)
+        assert not model.is_valid(1, 1)
+        assert not model.is_valid(3, 0)
+
+
+class TestTransitionRates:
+    def test_seu_rate_from_good_state(self):
+        model = SimplexMarkovModel(18, 16, 8, rates_per_hour(lam_bit=2.0))
+        # m * lambda * n = 8 * 2 * 18
+        assert model.chain.rate((0, 0), (0, 1)) == pytest.approx(8 * 2.0 * 18)
+
+    def test_seu_rate_excludes_touched_symbols(self):
+        model = SimplexMarkovModel(36, 16, 8, rates_per_hour(lam_bit=1.0))
+        # from (0, 1): m * lambda * (n - 1)
+        assert model.chain.rate((0, 1), (0, 2)) == pytest.approx(8 * 35)
+
+    def test_erasure_rates(self):
+        model = SimplexMarkovModel(
+            36, 16, 8, rates_per_hour(lam_bit=1.0, lam_sym=3.0)
+        )
+        assert model.chain.rate((0, 0), (1, 0)) == pytest.approx(3.0 * 36)
+        # erasure subsuming a random error: rate lam_sym * re
+        assert model.chain.rate((0, 2), (1, 1)) == pytest.approx(3.0 * 2)
+
+    def test_fail_transition_rate(self):
+        model = SimplexMarkovModel(18, 16, 8, rates_per_hour(lam_bit=1.0))
+        # (0,1) + another SEU violates 2 re <= 2 -> FAIL at m lam (n-1)
+        assert model.chain.rate((0, 1), FAIL) == pytest.approx(8 * 17)
+
+    def test_scrub_transition(self):
+        model = SimplexMarkovModel(
+            18, 16, 8, rates_per_hour(lam_bit=1.0, scrub=5.0)
+        )
+        assert model.chain.rate((0, 1), (0, 0)) == 5.0
+
+    def test_no_scrub_self_transition_from_clean_erasures(self):
+        model = SimplexMarkovModel(
+            18, 16, 8, rates_per_hour(lam_sym=1.0, scrub=5.0)
+        )
+        # (1, 0) scrubs to itself: must not appear as a transition
+        assert model.chain.rate((1, 0), (1, 0)) == 0.0
+
+
+class TestBehaviour:
+    def test_no_faults_zero_ber(self):
+        model = simplex_model(18, 16)
+        ber = model.ber([0.0, 24.0, 48.0])
+        assert np.all(ber == 0.0)
+
+    def test_ber_monotone_without_scrubbing(self):
+        model = simplex_model(18, 16, seu_per_bit_day=1e-4)
+        ber = model.ber(np.linspace(0, 48, 9))
+        assert np.all(np.diff(ber) >= 0)
+
+    def test_ber_is_factor_times_fail_probability(self):
+        model = simplex_model(36, 16, seu_per_bit_day=1e-3)
+        times = [10.0, 40.0]
+        assert np.allclose(
+            model.ber(times), 10.0 * model.fail_probability(times)
+        )
+
+    def test_scrubbing_reduces_ber(self):
+        base = simplex_model(18, 16, seu_per_bit_day=1e-3)
+        scrubbed = simplex_model(
+            18, 16, seu_per_bit_day=1e-3, scrub_period_seconds=900.0
+        )
+        t = [48.0]
+        assert scrubbed.ber(t)[0] < base.ber(t)[0]
+
+    def test_mttf_finite_with_faults(self):
+        model = simplex_model(18, 16, seu_per_bit_day=1e-3)
+        mttf = model.mean_time_to_failure()
+        assert 0 < mttf < float("inf")
+
+    def test_mttf_infinite_without_faults(self):
+        model = simplex_model(18, 16)
+        assert model.mean_time_to_failure() == float("inf")
+
+    def test_scrubbing_extends_mttf(self):
+        base = simplex_model(18, 16, seu_per_bit_day=1e-3)
+        scrubbed = simplex_model(
+            18, 16, seu_per_bit_day=1e-3, scrub_period_seconds=900.0
+        )
+        assert scrubbed.mean_time_to_failure() > base.mean_time_to_failure()
+
+    def test_stronger_code_lowers_ber(self):
+        weak = simplex_model(18, 16, seu_per_bit_day=1e-3)
+        strong = simplex_model(36, 16, seu_per_bit_day=1e-3)
+        t = [48.0]
+        assert strong.fail_probability(t)[0] < weak.fail_probability(t)[0]

@@ -1,0 +1,86 @@
+"""Unit tests for the MIL-HDBK-217-style parts-stress model."""
+
+import pytest
+
+from repro.reliability import (
+    MemoryChip,
+    die_complexity_factor,
+    learning_factor,
+    package_factor,
+    temperature_factor,
+)
+
+
+class TestFactors:
+    def test_temperature_reference_is_unity(self):
+        assert temperature_factor(25.0) == pytest.approx(1.0)
+
+    def test_temperature_increases_rate(self):
+        assert temperature_factor(85.0) > temperature_factor(40.0) > 1.0
+
+    def test_temperature_below_absolute_zero_rejected(self):
+        with pytest.raises(ValueError):
+            temperature_factor(-300.0)
+
+    def test_die_complexity_steps(self):
+        assert die_complexity_factor(16_384) == 0.0052
+        assert die_complexity_factor(16_385) == 0.0104
+        assert die_complexity_factor(1_048_576) == 0.0416
+
+    def test_die_complexity_extends_beyond_table(self):
+        beyond = die_complexity_factor(64 * 1024 * 1024)
+        assert beyond > die_complexity_factor(16 * 1024 * 1024)
+
+    def test_die_complexity_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            die_complexity_factor(0)
+
+    def test_package_factor_grows_with_pins(self):
+        assert package_factor(64) > package_factor(28)
+
+    def test_learning_factor_settles(self):
+        assert learning_factor(0.0) == 2.0
+        assert learning_factor(2.0) == 1.0
+        assert learning_factor(10.0) == 1.0
+        assert 1.0 < learning_factor(1.0) < 2.0
+
+
+class TestMemoryChip:
+    def test_rate_positive(self):
+        chip = MemoryChip(capacity_bits=4 * 1024 * 1024)
+        assert chip.failure_rate_per_hour() > 0
+
+    def test_commercial_parts_worse_than_class_s(self):
+        """The paper's COTS-vs-space-certified tension, quantified."""
+        cots = MemoryChip(capacity_bits=1 << 22, quality="commercial")
+        space = MemoryChip(capacity_bits=1 << 22, quality="class_s")
+        assert (
+            cots.failure_rate_per_hour() / space.failure_rate_per_hour() == 40.0
+        )
+
+    def test_hot_parts_fail_faster(self):
+        cool = MemoryChip(capacity_bits=1 << 20, junction_celsius=30.0)
+        hot = MemoryChip(capacity_bits=1 << 20, junction_celsius=90.0)
+        assert hot.failure_rate_per_hour() > cool.failure_rate_per_hour()
+
+    def test_unknown_environment_rejected(self):
+        with pytest.raises(ValueError, match="environment"):
+            MemoryChip(capacity_bits=1024, environment="underwater").\
+                failure_rate_per_1e6_hours()
+
+    def test_unknown_quality_rejected(self):
+        with pytest.raises(ValueError, match="quality"):
+            MemoryChip(capacity_bits=1024, quality="artisanal").\
+                failure_rate_per_1e6_hours()
+
+    def test_symbol_rate_in_paper_sweep_range(self):
+        """The derived per-symbol per-day rates land inside the paper's
+        swept decade range (1e-10 .. 1e-4)."""
+        chip = MemoryChip(capacity_bits=4 * 1024 * 1024, quality="commercial")
+        rate = chip.symbol_erasure_rate_per_day(symbols_per_chip=512 * 1024)
+        assert 1e-10 < rate < 1e-4
+
+    def test_symbol_rate_validation(self):
+        chip = MemoryChip(capacity_bits=1024)
+        with pytest.raises(ValueError):
+            chip.symbol_erasure_rate_per_day(0)

@@ -1,0 +1,239 @@
+"""Unit tests for the Reed-Solomon encoder/decoder."""
+
+import random
+
+import pytest
+
+from repro.gf import GF2m
+from repro.rs import RSCode, RSDecodingError
+
+
+@pytest.fixture(scope="module")
+def rs1816():
+    return RSCode(18, 16, m=8)
+
+
+@pytest.fixture(scope="module")
+def rs3616():
+    return RSCode(36, 16, m=8)
+
+
+@pytest.fixture(scope="module")
+def rs1511():
+    return RSCode(15, 11, m=4)
+
+
+class TestConstruction:
+    def test_parameters(self, rs1816):
+        assert rs1816.nsym == 2
+        assert rs1816.t == 1
+
+    def test_rejects_k_not_less_than_n(self):
+        with pytest.raises(ValueError):
+            RSCode(10, 10)
+        with pytest.raises(ValueError):
+            RSCode(10, 12)
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            RSCode(10, 0)
+
+    def test_rejects_n_exceeding_field(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            RSCode(20, 10, m=4)  # 2^4 - 1 = 15 < 20
+
+    def test_rejects_mismatched_shared_field(self):
+        with pytest.raises(ValueError, match="does not match"):
+            RSCode(18, 16, m=8, gf=GF2m(4))
+
+    def test_shared_field_instance(self):
+        gf = GF2m(8)
+        code = RSCode(18, 16, m=8, gf=gf)
+        assert code.gf is gf
+
+    def test_generator_has_consecutive_roots(self, rs1816):
+        from repro.gf import poly
+
+        for i in range(rs1816.fcr, rs1816.fcr + rs1816.nsym):
+            assert poly.eval_at(rs1816.gf, rs1816.generator, rs1816.gf.exp(i)) == 0
+
+    def test_repr(self, rs1816):
+        assert "n=18" in repr(rs1816)
+
+
+class TestCapability:
+    def test_within_capability(self, rs3616):
+        assert rs3616.within_capability(20, 0)
+        assert rs3616.within_capability(0, 10)
+        assert rs3616.within_capability(4, 8)
+        assert not rs3616.within_capability(21, 0)
+        assert not rs3616.within_capability(0, 11)
+        assert not rs3616.within_capability(5, 8)
+
+
+class TestEncode:
+    def test_systematic_data_placement(self, rs1816):
+        data = list(range(16))
+        cw = rs1816.encode(data)
+        assert len(cw) == 18
+        assert cw[2:] == data  # data occupies positions nsym..
+
+    def test_encode_produces_codeword(self, rs1816):
+        cw = rs1816.encode([7] * 16)
+        assert rs1816.is_codeword(cw)
+
+    def test_encode_zero_data(self, rs1816):
+        assert rs1816.encode([0] * 16) == [0] * 18
+
+    def test_encode_wrong_length_raises(self, rs1816):
+        with pytest.raises(ValueError, match="expected 16"):
+            rs1816.encode([1] * 15)
+
+    def test_encode_out_of_range_symbol_raises(self, rs1816):
+        with pytest.raises(ValueError):
+            rs1816.encode([256] + [0] * 15)
+
+    def test_extract_data_inverts_encode(self, rs1816):
+        data = [random.randrange(256) for _ in range(16)]
+        assert rs1816.extract_data(rs1816.encode(data)) == data
+
+    def test_linearity(self, rs1816):
+        gf = rs1816.gf
+        d1 = [random.randrange(256) for _ in range(16)]
+        d2 = [random.randrange(256) for _ in range(16)]
+        summed = [gf.add(a, b) for a, b in zip(d1, d2)]
+        cw_sum = [
+            gf.add(a, b)
+            for a, b in zip(rs1816.encode(d1), rs1816.encode(d2))
+        ]
+        assert rs1816.encode(summed) == cw_sum
+
+
+class TestDecodeErrors:
+    def test_no_error_passthrough(self, rs1816):
+        data = [5] * 16
+        cw = rs1816.encode(data)
+        result = rs1816.decode(cw)
+        assert result.data == data
+        assert not result.corrected
+        assert result.num_errors == 0
+
+    def test_single_error_every_position(self, rs1816):
+        data = [random.randrange(256) for _ in range(16)]
+        cw = rs1816.encode(data)
+        for pos in range(18):
+            corrupted = list(cw)
+            corrupted[pos] ^= 0xA5
+            result = rs1816.decode(corrupted)
+            assert result.codeword == cw
+            assert result.corrected
+            assert result.error_positions == [pos]
+            assert result.num_errors == 1
+
+    def test_t_errors_corrected(self, rs3616):
+        random.seed(7)
+        data = [random.randrange(256) for _ in range(16)]
+        cw = rs3616.encode(data)
+        corrupted = list(cw)
+        for pos in random.sample(range(36), 10):  # t = 10
+            corrupted[pos] ^= random.randrange(1, 256)
+        assert rs3616.decode(corrupted).codeword == cw
+
+    def test_beyond_capability_detected_or_valid_miscorrection(self, rs1816):
+        random.seed(11)
+        detected = 0
+        for _ in range(200):
+            cw = rs1816.encode([random.randrange(256) for _ in range(16)])
+            corrupted = list(cw)
+            for pos in random.sample(range(18), 2):
+                corrupted[pos] ^= random.randrange(1, 256)
+            try:
+                result = rs1816.decode(corrupted)
+            except RSDecodingError:
+                detected += 1
+            else:
+                # a miscorrection must still land on a valid codeword
+                assert rs1816.is_codeword(result.codeword)
+        assert detected > 0
+
+    def test_wrong_length_raises(self, rs1816):
+        with pytest.raises(ValueError, match="expected 18"):
+            rs1816.decode([0] * 17)
+
+
+class TestDecodeErasures:
+    def test_full_erasure_budget(self, rs1816):
+        data = [9] * 16
+        cw = rs1816.encode(data)
+        corrupted = list(cw)
+        corrupted[0] ^= 0xFF
+        corrupted[5] ^= 0x01
+        result = rs1816.decode(corrupted, erasure_positions=[0, 5])
+        assert result.codeword == cw
+        assert result.num_erasures == 2
+
+    def test_erasure_with_correct_stored_value(self, rs1816):
+        # a located fault whose stuck value happens to match: zero magnitude
+        cw = rs1816.encode([3] * 16)
+        result = rs1816.decode(cw, erasure_positions=[4])
+        assert result.codeword == cw
+        assert not result.corrected
+
+    def test_too_many_erasures_raises(self, rs1816):
+        cw = rs1816.encode([0] * 16)
+        with pytest.raises(RSDecodingError, match="erasures exceed"):
+            rs1816.decode(cw, erasure_positions=[0, 1, 2])
+
+    def test_erasure_position_out_of_range(self, rs1816):
+        cw = rs1816.encode([0] * 16)
+        with pytest.raises(ValueError, match="out of range"):
+            rs1816.decode(cw, erasure_positions=[18])
+
+    def test_duplicate_erasure_positions_deduplicated(self, rs1816):
+        cw = rs1816.encode([1] * 16)
+        corrupted = list(cw)
+        corrupted[3] ^= 0x42
+        result = rs1816.decode(corrupted, erasure_positions=[3, 3])
+        assert result.codeword == cw
+        assert result.num_erasures == 1
+
+    def test_mixed_errors_and_erasures_at_boundary(self, rs3616):
+        # 2 re + er = n - k exactly: er = 4, re = 8
+        random.seed(3)
+        cw = rs3616.encode([random.randrange(256) for _ in range(16)])
+        positions = random.sample(range(36), 12)
+        erasures, errors = positions[:4], positions[4:]
+        corrupted = list(cw)
+        for pos in positions:
+            corrupted[pos] ^= random.randrange(1, 256)
+        result = rs3616.decode(corrupted, erasure_positions=erasures)
+        assert result.codeword == cw
+        assert result.num_erasures == 4
+        assert result.num_errors == 8
+
+
+class TestFcrVariants:
+    @pytest.mark.parametrize("fcr", [0, 1, 2, 5])
+    def test_roundtrip_with_fcr(self, fcr):
+        random.seed(fcr)
+        code = RSCode(15, 11, m=4, fcr=fcr)
+        data = [random.randrange(16) for _ in range(11)]
+        cw = code.encode(data)
+        corrupted = list(cw)
+        corrupted[2] ^= 0x7
+        corrupted[9] ^= 0x3
+        assert code.decode(corrupted).codeword == cw
+
+
+class TestSmallSymbolWidths:
+    @pytest.mark.parametrize("m,n,k", [(3, 7, 3), (4, 15, 9), (5, 18, 16)])
+    def test_roundtrip(self, m, n, k):
+        random.seed(m)
+        code = RSCode(n, k, m=m)
+        data = [random.randrange(1 << m) for _ in range(k)]
+        cw = code.encode(data)
+        t = (n - k) // 2
+        corrupted = list(cw)
+        for pos in random.sample(range(n), t):
+            corrupted[pos] ^= random.randrange(1, 1 << m)
+        assert code.decode(corrupted).codeword == cw

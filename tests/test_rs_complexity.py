@@ -1,0 +1,74 @@
+"""Tests of the Section 6 decoder complexity/area models."""
+
+import pytest
+
+from repro.rs import (
+    arrangement_cost,
+    decoder_area_gates,
+    decoding_time_cycles,
+    paper_comparison,
+)
+
+
+class TestDecodingTime:
+    def test_paper_value_rs1816(self):
+        # Td = 3*18 + 10*2 = 74 (paper Section 6)
+        assert decoding_time_cycles(18, 16) == 74
+
+    def test_paper_value_rs3616(self):
+        # Td = 3*36 + 10*20 = 308 (paper Section 6)
+        assert decoding_time_cycles(36, 16) == 308
+
+    def test_paper_latency_ratio_exceeds_four(self):
+        assert decoding_time_cycles(36, 16) / decoding_time_cycles(18, 16) > 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            decoding_time_cycles(16, 16)
+        with pytest.raises(ValueError):
+            decoding_time_cycles(10, 0)
+
+
+class TestArea:
+    def test_linear_in_check_symbols(self):
+        a1 = decoder_area_gates(8, 18, 16)
+        a2 = decoder_area_gates(8, 20, 16)
+        assert a2 / a1 == pytest.approx((20 - 16) / (18 - 16))
+
+    def test_linear_in_symbol_width(self):
+        assert decoder_area_gates(16, 18, 16) == pytest.approx(
+            2 * decoder_area_gates(8, 18, 16)
+        )
+
+    def test_calibration_factor(self):
+        assert decoder_area_gates(8, 18, 16, gates_per_unit=1.0) == 16.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            decoder_area_gates(8, 16, 16)
+        with pytest.raises(ValueError):
+            decoder_area_gates(1, 18, 16)
+
+
+class TestArrangementComparison:
+    def test_duplex_area_doubles(self):
+        simplex = arrangement_cost("s", 18, 16, num_decoders=1)
+        duplex = arrangement_cost("d", 18, 16, num_decoders=2)
+        assert duplex.area_gates == 2 * simplex.area_gates
+        assert duplex.decode_cycles == simplex.decode_cycles
+
+    def test_paper_area_claim(self):
+        """One RS(36,16) decoder outweighs two RS(18,16) decoders."""
+        costs = {c.name: c for c in paper_comparison()}
+        assert (
+            costs["simplex RS(36,16)"].area_gates
+            > costs["duplex RS(18,16)"].area_gates
+        )
+
+    def test_paper_comparison_entries(self):
+        names = [c.name for c in paper_comparison()]
+        assert names == [
+            "simplex RS(18,16)",
+            "duplex RS(18,16)",
+            "simplex RS(36,16)",
+        ]

@@ -1,0 +1,184 @@
+"""Unit tests for the decoder building blocks (syndromes, BM, Chien, Forney)."""
+
+import random
+
+import pytest
+
+from repro.gf import GF2m, poly
+from repro.rs import RSCode
+from repro.rs.berlekamp import berlekamp_massey, locator_degree_ok
+from repro.rs.forney import chien_search, error_evaluator, forney_magnitudes
+from repro.rs.syndromes import (
+    compute_syndromes,
+    erasure_locator,
+    forney_syndromes,
+)
+
+
+@pytest.fixture(scope="module")
+def gf():
+    return GF2m(8)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RSCode(36, 16, m=8)
+
+
+class TestSyndromes:
+    def test_codeword_has_zero_syndromes(self, code):
+        cw = code.encode([17] * 16)
+        assert compute_syndromes(code.gf, cw, code.nsym) == [0] * code.nsym
+
+    def test_single_error_syndromes_are_powers(self, code):
+        cw = code.encode([0] * 16)
+        pos, mag = 7, 0x2A
+        received = list(cw)
+        received[pos] ^= mag
+        synd = compute_syndromes(code.gf, received, code.nsym, code.fcr)
+        gf = code.gf
+        for j, s in enumerate(synd):
+            expected = gf.mul(mag, gf.pow(gf.exp(pos), code.fcr + j))
+            assert s == expected
+
+    def test_syndromes_linear_in_error(self, code):
+        gf = code.gf
+        cw = code.encode([random.randrange(256) for _ in range(16)])
+        e1, e2 = list(cw), list(cw)
+        e1[3] ^= 0x11
+        e2[9] ^= 0x22
+        both = list(cw)
+        both[3] ^= 0x11
+        both[9] ^= 0x22
+        s1 = compute_syndromes(gf, e1, code.nsym)
+        s2 = compute_syndromes(gf, e2, code.nsym)
+        sb = compute_syndromes(gf, both, code.nsym)
+        assert sb == [gf.add(a, b) for a, b in zip(s1, s2)]
+
+
+class TestErasureLocator:
+    def test_no_erasures_gives_unity(self, gf):
+        assert erasure_locator(gf, []) == [1]
+
+    def test_roots_at_inverse_positions(self, gf):
+        positions = [0, 4, 11]
+        gamma = erasure_locator(gf, positions)
+        assert poly.degree(gamma) == len(positions)
+        for p in positions:
+            assert poly.eval_at(gf, gamma, gf.exp(-p)) == 0
+
+    def test_constant_term_is_one(self, gf):
+        assert erasure_locator(gf, [2, 5])[0] == 1
+
+
+class TestForneySyndromes:
+    def test_no_erasures_passthrough(self, gf):
+        synd = [1, 2, 3, 4]
+        assert forney_syndromes(gf, synd, []) == synd
+
+    def test_length_shrinks_by_erasure_count(self, code):
+        cw = code.encode([1] * 16)
+        received = list(cw)
+        received[2] ^= 0x10
+        synd = compute_syndromes(code.gf, received, code.nsym)
+        t = forney_syndromes(code.gf, synd, [2, 5, 6])
+        assert len(t) == code.nsym - 3
+
+    def test_erasure_only_pattern_yields_zero_forney_syndromes(self, code):
+        # if all errata are at declared erasure positions, the remaining
+        # unknown-error locator must be trivial
+        cw = code.encode([5] * 16)
+        received = list(cw)
+        positions = [1, 8, 20]
+        for p in positions:
+            received[p] ^= 0x3C
+        synd = compute_syndromes(code.gf, received, code.nsym)
+        t = forney_syndromes(code.gf, synd, positions)
+        assert berlekamp_massey(code.gf, t) == [1]
+
+    def test_all_erasures_empty_forney_syndromes(self, gf):
+        assert forney_syndromes(gf, [1, 2], [0, 1]) == []
+
+
+class TestBerlekampMassey:
+    def test_zero_sequence(self, gf):
+        assert berlekamp_massey(gf, [0, 0, 0, 0]) == [1]
+
+    def test_recovers_single_error_locator(self, code):
+        cw = code.encode([0] * 16)
+        received = list(cw)
+        received[6] ^= 0x55
+        synd = compute_syndromes(code.gf, received, code.nsym)
+        lam = berlekamp_massey(code.gf, synd)
+        assert poly.degree(lam) == 1
+        assert poly.eval_at(code.gf, lam, code.gf.exp(-6)) == 0
+
+    def test_recovers_multi_error_locator_roots(self, code):
+        random.seed(5)
+        cw = code.encode([random.randrange(256) for _ in range(16)])
+        positions = [2, 13, 29]
+        received = list(cw)
+        for p in positions:
+            received[p] ^= random.randrange(1, 256)
+        synd = compute_syndromes(code.gf, received, code.nsym)
+        lam = berlekamp_massey(code.gf, synd)
+        assert poly.degree(lam) == 3
+        for p in positions:
+            assert poly.eval_at(code.gf, lam, code.gf.exp(-p)) == 0
+
+    def test_locator_satisfies_lfsr_recurrence(self, code):
+        random.seed(9)
+        cw = code.encode([random.randrange(256) for _ in range(16)])
+        received = list(cw)
+        for p in (1, 7, 15, 33):
+            received[p] ^= random.randrange(1, 256)
+        synd = compute_syndromes(code.gf, received, code.nsym)
+        lam = berlekamp_massey(code.gf, synd)
+        gf = code.gf
+        deg = poly.degree(lam)
+        for n_i in range(deg, len(synd)):
+            acc = 0
+            for i in range(deg + 1):
+                acc ^= gf.mul(lam[i], synd[n_i - i])
+            assert acc == 0
+
+    def test_locator_degree_ok(self):
+        assert locator_degree_ok([1, 2], 1)
+        assert not locator_degree_ok([1, 2, 3], 1)
+
+
+class TestChienForney:
+    def test_chien_matches_locator_roots(self, code):
+        gf = code.gf
+        positions = [0, 9, 35]
+        locator = erasure_locator(gf, positions)
+        assert chien_search(gf, locator, code.n) == sorted(positions)
+
+    def test_chien_ignores_roots_outside_shortened_length(self):
+        # position 20 exists in GF(32)'s full length 31 but not in n=18
+        gf = GF2m(5)
+        locator = erasure_locator(gf, [20])
+        assert chien_search(gf, locator, 18) == []
+
+    def test_error_evaluator_degree_bound(self, code):
+        cw = code.encode([3] * 16)
+        received = list(cw)
+        received[4] ^= 0x77
+        synd = compute_syndromes(code.gf, received, code.nsym)
+        lam = berlekamp_massey(code.gf, synd)
+        omega = error_evaluator(code.gf, synd, lam)
+        assert poly.degree(omega) < code.nsym
+
+    def test_forney_recovers_magnitudes(self, code):
+        random.seed(21)
+        cw = code.encode([random.randrange(256) for _ in range(16)])
+        injected = {3: 0x5A, 17: 0x01, 30: 0xF0}
+        received = list(cw)
+        for p, mag in injected.items():
+            received[p] ^= mag
+        synd = compute_syndromes(code.gf, received, code.nsym)
+        lam = berlekamp_massey(code.gf, synd)
+        positions = chien_search(code.gf, lam, code.n)
+        assert positions == sorted(injected)
+        mags = forney_magnitudes(code.gf, synd, lam, positions, code.fcr)
+        assert dict(zip(positions, mags)) == injected

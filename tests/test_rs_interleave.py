@@ -1,0 +1,120 @@
+"""Tests for block interleaving and burst protection."""
+
+import random
+
+import pytest
+
+from repro.rs import (
+    BlockInterleaver,
+    RSCode,
+    decode_interleaved,
+    encode_interleaved,
+    max_correctable_burst,
+)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RSCode(18, 16, m=8)
+
+
+def random_datawords(code, depth, seed=0):
+    rng = random.Random(seed)
+    return [
+        [rng.randrange(code.gf.order) for _ in range(code.k)]
+        for _ in range(depth)
+    ]
+
+
+class TestInterleaver:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockInterleaver(0, 18)
+        with pytest.raises(ValueError):
+            BlockInterleaver(4, 0)
+
+    def test_roundtrip(self):
+        il = BlockInterleaver(3, 5)
+        cws = [[i * 10 + j for j in range(5)] for i in range(3)]
+        assert il.deinterleave(il.interleave(cws)) == cws
+
+    def test_wrong_codeword_count_rejected(self):
+        il = BlockInterleaver(3, 5)
+        with pytest.raises(ValueError, match="expected 3"):
+            il.interleave([[0] * 5] * 2)
+
+    def test_wrong_stream_length_rejected(self):
+        il = BlockInterleaver(3, 5)
+        with pytest.raises(ValueError):
+            il.deinterleave([0] * 14)
+
+    def test_adjacent_stream_symbols_in_different_lanes(self):
+        il = BlockInterleaver(4, 6)
+        cws = [[lane] * 6 for lane in range(4)]
+        stream = il.interleave(cws)
+        for p in range(len(stream) - 1):
+            assert stream[p] != stream[p + 1]
+
+    def test_burst_spread_counts(self):
+        il = BlockInterleaver(4, 6)
+        touched = il.codewords_touched_by_burst(start=2, length=6)
+        # 6 consecutive symbols over depth 4: two lanes get 2, two get 1
+        assert sorted(touched.values()) == [1, 1, 2, 2]
+
+    def test_burst_bounds_checked(self):
+        il = BlockInterleaver(4, 6)
+        with pytest.raises(ValueError):
+            il.codewords_touched_by_burst(start=24, length=1)
+
+
+class TestBurstCorrection:
+    def test_max_correctable_burst_formula(self, code):
+        assert max_correctable_burst(code, 1) == 1   # t = 1
+        assert max_correctable_burst(code, 8) == 8
+        strong = RSCode(36, 16, m=8)
+        assert max_correctable_burst(strong, 4) == 40
+
+    def test_burst_at_limit_decodes_every_position(self, code):
+        depth = 5
+        datas = random_datawords(code, depth, seed=1)
+        stream = encode_interleaved(code, datas, depth)
+        limit = max_correctable_burst(code, depth)
+        rng = random.Random(2)
+        for start in range(0, len(stream) - limit, 7):
+            corrupted = list(stream)
+            for p in range(start, start + limit):
+                corrupted[p] ^= rng.randrange(1, 256)
+            assert decode_interleaved(code, corrupted, depth) == datas
+
+    def test_burst_beyond_limit_can_fail(self, code):
+        """One symbol past the bound puts t+1 errors in some lane."""
+        depth = 3
+        datas = random_datawords(code, depth, seed=3)
+        stream = encode_interleaved(code, datas, depth)
+        limit = max_correctable_burst(code, depth)
+        corrupted = list(stream)
+        rng = random.Random(4)
+        for p in range(0, limit + 1):
+            corrupted[p] ^= rng.randrange(1, 256)
+        # the lane hit twice now holds 2 > t errors
+        from repro.rs import RSDecodingError
+
+        with pytest.raises(RSDecodingError):
+            decode_interleaved(code, corrupted, depth)
+
+    def test_without_interleaving_same_burst_kills(self, code):
+        """Contrast: a burst of length depth*t on ONE codeword is fatal,
+        which is the entire point of interleaving."""
+        data = random_datawords(code, 1, seed=5)[0]
+        cw = code.encode(data)
+        corrupted = list(cw)
+        rng = random.Random(6)
+        for p in range(5):  # burst of 5 >> t = 1
+            corrupted[p] ^= rng.randrange(1, 256)
+        from repro.rs import RSDecodingError
+
+        try:
+            result = code.decode(corrupted)
+            assert result.data != data  # mis-correction at best
+        except RSDecodingError:
+            pass

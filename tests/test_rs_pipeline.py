@@ -1,0 +1,75 @@
+"""Tests for the behavioral decoder pipeline timing model."""
+
+import pytest
+
+from repro.rs import (
+    decode_time_seconds,
+    decoder_timing,
+    decoding_time_cycles,
+    validate_paper_formula,
+)
+from repro.rs.pipeline import KE_CYCLES_PER_ITER
+
+
+class TestStageBudgets:
+    def test_stage_names(self):
+        timing = decoder_timing(18, 16)
+        assert list(timing.stage_budgets()) == [
+            "syndrome",
+            "key_equation",
+            "chien_forney",
+            "correction_readout",
+        ]
+
+    def test_syndrome_stage_is_one_cycle_per_symbol(self):
+        assert decoder_timing(36, 16).stage_budgets()["syndrome"] == 36
+
+    def test_key_equation_iterations(self):
+        budgets = decoder_timing(36, 16).stage_budgets()
+        assert budgets["key_equation"] == KE_CYCLES_PER_ITER * 2 * 20
+
+
+class TestPaperFormula:
+    @pytest.mark.parametrize(
+        "n,k", [(18, 16), (36, 16), (255, 223), (15, 11), (7, 3)]
+    )
+    def test_model_reproduces_formula(self, n, k):
+        """The staged datapath derives Td = 3n + 10(n-k) structurally."""
+        assert validate_paper_formula(n, k)
+        assert decoder_timing(n, k).latency_cycles == decoding_time_cycles(n, k)
+
+    def test_paper_values(self):
+        assert decoder_timing(18, 16).latency_cycles == 74
+        assert decoder_timing(36, 16).latency_cycles == 308
+
+
+class TestThroughput:
+    def test_bottleneck_rs1816_is_key_equation_narrowly(self):
+        timing = decoder_timing(18, 16)
+        # 20-cycle key equation just edges out the 18-cycle symbol stages
+        assert timing.bottleneck_cycles == 20
+
+    def test_bottleneck_rs3616_is_key_equation(self):
+        timing = decoder_timing(36, 16)
+        # 200-cycle key equation dwarfs the 36-cycle symbol stages: the
+        # architectural reason the stronger code's throughput collapses
+        assert timing.bottleneck_cycles == 200
+
+    def test_throughput_is_inverse_bottleneck(self):
+        timing = decoder_timing(18, 16)
+        assert timing.pipelined_throughput_words_per_cycle == pytest.approx(
+            1 / 20
+        )
+
+
+class TestWallClock:
+    def test_decode_time_at_50mhz(self):
+        assert decode_time_seconds(18, 16, 50e6) == pytest.approx(74 / 50e6)
+
+    def test_invalid_clock(self):
+        with pytest.raises(ValueError):
+            decode_time_seconds(18, 16, 0.0)
+
+    def test_invalid_code(self):
+        with pytest.raises(ValueError):
+            decoder_timing(16, 16)

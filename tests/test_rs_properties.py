@@ -1,0 +1,98 @@
+"""Property-based tests of the RS codec round-trip guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rs import RSCode, RSDecodingError
+
+_CODES = {
+    (18, 16, 8): RSCode(18, 16, m=8),
+    (36, 16, 8): RSCode(36, 16, m=8),
+    (15, 9, 4): RSCode(15, 9, m=4),
+    (7, 3, 3): RSCode(7, 3, m=3),
+}
+
+
+@st.composite
+def code_data_and_errata(draw):
+    """A code, a dataword, and an error/erasure pattern within capability."""
+    params = draw(st.sampled_from(sorted(_CODES)))
+    code = _CODES[params]
+    data = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=code.gf.order - 1),
+            min_size=code.k,
+            max_size=code.k,
+        )
+    )
+    er = draw(st.integers(min_value=0, max_value=code.nsym))
+    re = draw(st.integers(min_value=0, max_value=(code.nsym - er) // 2))
+    positions = draw(
+        st.permutations(range(code.n)).map(lambda p: list(p[: er + re]))
+    )
+    magnitudes = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=code.gf.order - 1),
+            min_size=er + re,
+            max_size=er + re,
+        )
+    )
+    return code, data, positions[:er], positions[er:], magnitudes
+
+
+class TestRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(code_data_and_errata())
+    def test_decode_recovers_any_pattern_within_capability(self, case):
+        code, data, erasures, errors, magnitudes = case
+        cw = code.encode(data)
+        corrupted = list(cw)
+        for pos, mag in zip(erasures + errors, magnitudes):
+            corrupted[pos] ^= mag
+        result = code.decode(corrupted, erasure_positions=erasures)
+        assert result.codeword == cw
+        assert result.data == data
+
+    @settings(max_examples=60, deadline=None)
+    @given(code_data_and_errata())
+    def test_decode_reports_changed_positions(self, case):
+        code, data, erasures, errors, magnitudes = case
+        cw = code.encode(data)
+        corrupted = list(cw)
+        for pos, mag in zip(erasures + errors, magnitudes):
+            corrupted[pos] ^= mag
+        result = code.decode(corrupted, erasure_positions=erasures)
+        assert sorted(result.error_positions) == sorted(
+            set(erasures + errors)
+        )
+        assert result.corrected == bool(erasures + errors)
+
+    @settings(max_examples=60, deadline=None)
+    @given(code_data_and_errata())
+    def test_encode_is_deterministic_and_systematic(self, case):
+        code, data, _erasures, _errors, _magnitudes = case
+        cw1 = code.encode(data)
+        cw2 = code.encode(data)
+        assert cw1 == cw2
+        assert cw1[code.nsym :] == data
+
+
+class TestBeyondCapability:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=255), min_size=16, max_size=16),
+        st.sets(st.integers(min_value=0, max_value=17), min_size=3, max_size=6),
+        st.randoms(use_true_random=False),
+    )
+    def test_never_returns_invalid_codeword(self, data, positions, rnd):
+        """Whatever the decoder does past capability, its output is a codeword."""
+        code = _CODES[(18, 16, 8)]
+        cw = code.encode(data)
+        corrupted = list(cw)
+        for pos in positions:
+            corrupted[pos] ^= rnd.randrange(1, 256)
+        try:
+            result = code.decode(corrupted)
+        except RSDecodingError:
+            return
+        assert code.is_codeword(result.codeword)

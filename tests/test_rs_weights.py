@@ -1,0 +1,116 @@
+"""Tests for the MDS weight distribution and mis-correction analysis."""
+
+import collections
+import itertools
+import random
+
+import pytest
+
+from repro.rs import (
+    RSCode,
+    RSDecodingError,
+    decoding_sphere_fraction,
+    mds_weight_distribution,
+    miscorrection_probability_beyond_capability,
+    undetected_error_probability,
+)
+from repro.rs.weights import expected_weight_enumerator_checks
+
+
+class TestWeightDistribution:
+    def test_total_is_q_to_k(self):
+        weights = mds_weight_distribution(18, 16, 256)
+        assert sum(weights) == 256**16
+
+    def test_minimum_distance_is_singleton(self):
+        weights = mds_weight_distribution(18, 16, 256)
+        assert weights[1] == weights[2] == 0
+        assert weights[3] > 0  # d = n - k + 1 = 3
+
+    def test_brute_force_rs73(self):
+        """Exhaustive enumeration of all 512 RS(7,3) codewords."""
+        code = RSCode(7, 3, m=3)
+        counts = collections.Counter()
+        for data in itertools.product(range(8), repeat=3):
+            cw = code.encode(list(data))
+            counts[sum(1 for s in cw if s)] += 1
+        theory = mds_weight_distribution(7, 3, 8)
+        for w in range(8):
+            assert counts.get(w, 0) == theory[w], f"weight {w}"
+
+    def test_brute_force_rs1513(self):
+        """A second field: RS(15,13) over GF(16), 16^13 too big — check
+        via the dual-style identity sum w A_w = n (q-1) q^{k-1}."""
+        n, k, q = 15, 13, 16
+        weights = mds_weight_distribution(n, k, q)
+        total_weight = sum(w * a for w, a in enumerate(weights))
+        assert total_weight == n * (q - 1) * q ** (k - 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mds_weight_distribution(16, 16, 256)
+        with pytest.raises(ValueError):
+            mds_weight_distribution(18, 16, 1)
+
+    def test_consistency_helper(self):
+        checks = expected_weight_enumerator_checks(36, 16, 256)
+        assert checks["total_codewords"] == checks["expected_total"]
+        assert checks["min_distance"] == 21
+        assert checks["singleton_slack"] == 0
+
+
+class TestUndetectedError:
+    def test_zero_at_zero_error_rate(self):
+        assert undetected_error_probability(18, 16, 256, 0.0) == 0.0
+
+    def test_increases_with_error_rate_in_low_regime(self):
+        low = undetected_error_probability(18, 16, 256, 1e-3)
+        high = undetected_error_probability(18, 16, 256, 1e-2)
+        assert 0 < low < high
+
+    def test_more_redundancy_fewer_undetected(self):
+        p = 0.01
+        weak = undetected_error_probability(18, 16, 256, p)
+        strong = undetected_error_probability(36, 16, 256, p)
+        assert strong < weak / 1e10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            undetected_error_probability(18, 16, 256, 1.5)
+
+
+class TestMiscorrection:
+    def test_sphere_fraction_rs1816(self):
+        # q^k (1 + n(q-1)) / q^n = (1 + 18*255) / 256^2
+        expected = (1 + 18 * 255) / 256**2
+        assert decoding_sphere_fraction(18, 16, 256) == pytest.approx(expected)
+
+    def test_within_capability_never_miscorrects(self):
+        code = RSCode(18, 16, m=8)
+        assert miscorrection_probability_beyond_capability(code, 1) == 0.0
+
+    def test_matches_monte_carlo_double_errors(self):
+        """The headline validation: random double-error patterns on
+        RS(18,16) mis-correct at about the decoding-sphere fraction."""
+        code = RSCode(18, 16, m=8)
+        predicted = miscorrection_probability_beyond_capability(code, 2)
+        rng = random.Random(77)
+        trials, accepted = 4000, 0
+        data = [rng.randrange(256) for _ in range(16)]
+        cw = code.encode(data)
+        for _ in range(trials):
+            corrupted = list(cw)
+            for pos in rng.sample(range(18), 2):
+                corrupted[pos] ^= rng.randrange(1, 256)
+            try:
+                code.decode(corrupted)
+            except RSDecodingError:
+                continue
+            accepted += 1
+        observed = accepted / trials
+        # binomial noise at 4000 trials: ~3 sigma = 0.012
+        assert observed == pytest.approx(predicted, abs=0.015)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            decoding_sphere_fraction(18, 16, 256, t=-1)

@@ -1,0 +1,65 @@
+"""Tests for fault-injection campaign orchestration."""
+
+import pytest
+
+from repro.simulator import (
+    CampaignCell,
+    campaign_summary,
+    default_validation_campaign,
+    run_campaign,
+)
+
+
+class TestCampaignSetup:
+    def test_default_matrix_shape(self):
+        cells = default_validation_campaign(
+            seu_rates=(1e-3, 2e-3), perm_rates=(0.0, 1e-2)
+        )
+        assert len(cells) == 8  # 2 arrangements x 2 x 2
+
+    def test_cell_labels(self):
+        cell = CampaignCell("duplex", 1e-3, 1e-2, 3600.0)
+        label = cell.label()
+        assert "duplex" in label
+        assert "seu=0.001" in label
+        assert "tsc=3600" in label
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            run_campaign([])
+
+    def test_unknown_arrangement_rejected(self):
+        with pytest.raises(ValueError, match="arrangement"):
+            run_campaign([CampaignCell("triplex", 1e-3, 0.0)], trials=10)
+
+
+class TestCampaignExecution:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        cells = [
+            CampaignCell("simplex", 2e-3, 0.0),
+            CampaignCell("duplex", 2e-3, 0.0),
+            CampaignCell("simplex", 0.0, 1e-2),
+        ]
+        return run_campaign(cells, trials=300, base_seed=99)
+
+    def test_one_row_per_cell(self, rows):
+        assert len(rows) == 3
+
+    def test_deterministic_reruns(self, rows):
+        again = run_campaign(
+            [CampaignCell("simplex", 2e-3, 0.0)], trials=300, base_seed=99
+        )
+        assert again[0].estimate.probability == rows[0].estimate.probability
+
+    def test_all_cells_consistent(self, rows):
+        assert all(row.consistent for row in rows)
+
+    def test_duplex_conservatism_recorded(self, rows):
+        duplex = rows[1]
+        assert duplex.estimate.probability <= duplex.model_fail_probability
+
+    def test_summary_counts(self, rows):
+        summary = campaign_summary(rows)
+        assert summary["simplex"] == (2, 2)
+        assert summary["duplex"] == (1, 1)

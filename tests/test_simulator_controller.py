@@ -1,0 +1,100 @@
+"""Tests for the memory-controller discrete-event simulation."""
+
+import numpy as np
+import pytest
+
+from repro.memory.overhead import scrub_overhead
+from repro.rs.pipeline import decoder_timing
+from repro.simulator import simulate_controller
+
+
+def run(
+    read_rate=1000.0,
+    period=60.0,
+    words=50_000,
+    sim_s=120.0,
+    seed=3,
+    n=18,
+    k=16,
+    clock=50e6,
+):
+    return simulate_controller(
+        n,
+        k,
+        num_words=words,
+        scrub_period_s=period,
+        read_rate_per_s=read_rate,
+        sim_seconds=sim_s,
+        clock_hz=clock,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestValidation:
+    def test_parameter_checks(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            simulate_controller(18, 16, 0, 60.0, 10.0, 10.0, rng=rng)
+        with pytest.raises(ValueError):
+            simulate_controller(18, 16, 10, 0.0, 10.0, 10.0, rng=rng)
+        with pytest.raises(ValueError):
+            simulate_controller(18, 16, 10, 60.0, -1.0, 10.0, rng=rng)
+        with pytest.raises(ValueError):
+            simulate_controller(18, 16, 10, 60.0, 10.0, 0.0, rng=rng)
+
+
+class TestScrubProgress:
+    def test_scrub_walks_the_whole_memory_each_period(self):
+        stats = run(read_rate=0.0, words=10_000, period=30.0, sim_s=90.0)
+        # three periods -> about 30k word steps
+        assert stats.scrub_words_done == pytest.approx(30_000, rel=0.02)
+
+    def test_measured_duty_matches_analytic_overhead(self):
+        words, period, clock = 50_000, 60.0, 50e6
+        stats = run(read_rate=0.0, words=words, period=period, clock=clock)
+        analytic = scrub_overhead(
+            18,
+            16,
+            num_words=words,
+            scrub_period_seconds=period,
+            clock_hz=clock,
+            writeback_cycles=0,  # the DES charges decode latency only
+        )
+        assert stats.scrub_duty == pytest.approx(analytic.duty_cycle, rel=0.02)
+
+    def test_availability_complements_duty(self):
+        stats = run()
+        assert stats.availability == pytest.approx(1.0 - stats.scrub_duty)
+
+
+class TestReadService:
+    def test_read_throughput_matches_arrival_rate(self):
+        stats = run(read_rate=2000.0, sim_s=60.0)
+        assert stats.reads_served == pytest.approx(2000.0 * 60.0, rel=0.05)
+
+    def test_latency_at_least_service_time(self):
+        stats = run()
+        service = decoder_timing(18, 16).latency_cycles / 50e6
+        assert stats.mean_read_latency_s >= service * 0.999
+        assert stats.p99_read_latency_s >= stats.mean_read_latency_s * 0.5
+
+    def test_light_load_latency_close_to_service_time(self):
+        stats = run(read_rate=10.0, words=1000, period=600.0)
+        service = decoder_timing(18, 16).latency_cycles / 50e6
+        assert stats.mean_read_latency_s == pytest.approx(service, rel=0.05)
+
+    def test_heavy_load_increases_latency(self):
+        light = run(read_rate=100.0, sim_s=60.0)
+        heavy = run(read_rate=300_000.0, sim_s=60.0)
+        assert heavy.mean_read_latency_s > light.mean_read_latency_s
+        assert heavy.utilization > light.utilization
+
+    def test_stronger_code_costs_utilization(self):
+        weak = run(read_rate=10_000.0, sim_s=60.0, n=18, k=16)
+        strong = run(read_rate=10_000.0, sim_s=60.0, n=36, k=16)
+        assert strong.utilization > weak.utilization
+
+    def test_no_reads_zero_read_busy(self):
+        stats = run(read_rate=0.0)
+        assert stats.reads_served == 0
+        assert stats.read_busy_seconds == 0.0

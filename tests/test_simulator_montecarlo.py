@@ -1,0 +1,162 @@
+"""Unit and statistical tests for the Monte-Carlo estimators."""
+
+import numpy as np
+import pytest
+
+from repro.memory import duplex_model, simplex_model
+from repro.rs import RSCode
+from repro.simulator import (
+    gillespie_fail_probability,
+    simulate_fail_probability,
+    simulate_read_outcome,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(20, 100)
+        assert low < 0.2 < high
+
+    def test_zero_failures(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        assert 0.0 < high < 0.15
+
+    def test_all_failures(self):
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0
+        assert 0.85 < low < 1.0
+
+    def test_narrows_with_trials(self):
+        narrow = wilson_interval(100, 1000)
+        wide = wilson_interval(10, 100)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            wilson_interval(0, 0)
+
+
+class TestGillespie:
+    def test_simplex_matches_transient_solution(self):
+        model = simplex_model(18, 16, seu_per_bit_day=2e-3)
+        p = model.fail_probability([48.0])[0]
+        est = gillespie_fail_probability(
+            model, 48.0, trials=2500, rng=np.random.default_rng(11)
+        )
+        assert est.consistent_with(p)
+
+    def test_duplex_matches_transient_solution(self):
+        model = duplex_model(18, 16, seu_per_bit_day=2e-3)
+        p = model.fail_probability([48.0])[0]
+        est = gillespie_fail_probability(
+            model, 48.0, trials=2500, rng=np.random.default_rng(12)
+        )
+        assert est.consistent_with(p)
+
+    def test_scrubbed_model(self):
+        model = duplex_model(
+            18, 16, seu_per_bit_day=2e-3, scrub_period_seconds=6 * 3600
+        )
+        p = model.fail_probability([48.0])[0]
+        est = gillespie_fail_probability(
+            model, 48.0, trials=2500, rng=np.random.default_rng(13)
+        )
+        assert est.consistent_with(p)
+
+    def test_zero_rate_never_fails(self):
+        model = simplex_model(18, 16)
+        est = gillespie_fail_probability(
+            model, 48.0, trials=50, rng=np.random.default_rng(1)
+        )
+        assert est.failures == 0
+
+
+class TestCodecLevelSimulation:
+    @pytest.fixture(scope="class")
+    def code(self):
+        return RSCode(18, 16, m=8)
+
+    def test_outcome_counts_sum_to_trials(self, code):
+        est = simulate_fail_probability(
+            "simplex",
+            code,
+            48.0,
+            seu_per_bit=2e-3 / 24,
+            erasure_per_symbol=0.0,
+            trials=200,
+            rng=np.random.default_rng(5),
+        )
+        assert sum(est.outcome_counts.values()) == 200
+
+    def test_simplex_transients_match_markov_model(self, code):
+        """The paper's simplex chain tracks physical behaviour closely."""
+        model = simplex_model(18, 16, seu_per_bit_day=2e-3)
+        p = model.fail_probability([48.0])[0]
+        est = simulate_fail_probability(
+            "simplex",
+            code,
+            48.0,
+            seu_per_bit=2e-3 / 24,
+            erasure_per_symbol=0.0,
+            trials=1200,
+            rng=np.random.default_rng(21),
+        )
+        assert est.consistent_with(p)
+
+    def test_simplex_permanent_match(self, code):
+        model = simplex_model(18, 16, erasure_per_symbol_day=2e-2)
+        p = model.fail_probability([48.0])[0]
+        est = simulate_fail_probability(
+            "simplex",
+            code,
+            48.0,
+            seu_per_bit=0.0,
+            erasure_per_symbol=2e-2 / 24,
+            trials=1200,
+            rng=np.random.default_rng(22),
+        )
+        # benign stuck-ats (matching cell value) make the physical system
+        # slightly different from the located-erasure abstraction; require
+        # agreement within a factor of 2 at these probabilities
+        assert 0.5 * p < est.probability < 2.0 * p
+
+    def test_duplex_model_is_conservative_for_transients(self, code):
+        """Reproduction finding: the paper's either-word fail rule upper-
+        bounds what the real arbiter loses — the physical duplex fails far
+        less often than its chain predicts."""
+        model = duplex_model(18, 16, seu_per_bit_day=2e-3)
+        p_model = model.fail_probability([48.0])[0]
+        est = simulate_fail_probability(
+            "duplex",
+            code,
+            48.0,
+            seu_per_bit=2e-3 / 24,
+            erasure_per_symbol=0.0,
+            trials=600,
+            rng=np.random.default_rng(23),
+        )
+        assert est.probability < p_model
+
+    def test_scrub_reduces_failures(self, code):
+        kwargs = dict(
+            code=code,
+            t_end=48.0,
+            seu_per_bit=5e-3 / 24,
+            erasure_per_symbol=0.0,
+            trials=500,
+        )
+        base = simulate_fail_probability(
+            "simplex", rng=np.random.default_rng(31), **kwargs
+        )
+        scrubbed = simulate_fail_probability(
+            "simplex", rng=np.random.default_rng(31), scrub_period=2.0, **kwargs
+        )
+        assert scrubbed.failures < base.failures
+
+    def test_unknown_arrangement_rejected(self, code):
+        with pytest.raises(ValueError, match="arrangement"):
+            simulate_read_outcome(
+                "triplex", code, 1.0, 0.0, 0.0, np.random.default_rng(0)
+            )

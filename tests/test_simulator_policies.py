@@ -1,0 +1,133 @@
+"""Tests for alternative duplex arbiter policies."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.rs import RSCode, RSDecodingError
+from repro.simulator import ARBITER_POLICIES, MemoryWord, compare_policies
+from repro.simulator.policies import (
+    policy_compare_no_flags,
+    policy_first_decodable,
+    policy_flag_compare,
+    policy_module1_only,
+)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RSCode(18, 16, m=8)
+
+
+@pytest.fixture(scope="module")
+def data(code):
+    rng = random.Random(5)
+    return [rng.randrange(256) for _ in range(code.k)]
+
+
+def fresh_pair(code, data):
+    cw = code.encode(data)
+    return MemoryWord(cw, code.m), MemoryWord(cw, code.m)
+
+
+def miscorrecting_word(code, data):
+    cw = code.encode(data)
+    rng = random.Random(31)
+    for _ in range(5000):
+        corrupted = list(cw)
+        for pos in rng.sample(range(code.n), 2):
+            corrupted[pos] ^= rng.randrange(1, 256)
+        try:
+            result = code.decode(corrupted)
+        except RSDecodingError:
+            continue
+        if result.data != data:
+            return corrupted
+    raise AssertionError("no mis-correcting pattern found")
+
+
+class TestPolicyBehaviour:
+    def test_registry_contains_four_policies(self):
+        assert set(ARBITER_POLICIES) == {
+            "flag_compare",
+            "first_decodable",
+            "compare_no_flags",
+            "module1_only",
+        }
+
+    def test_all_policies_agree_on_clean_words(self, code, data):
+        w1, w2 = fresh_pair(code, data)
+        for policy in ARBITER_POLICIES.values():
+            out, _detail = policy(code, w1, w2)
+            assert out == data
+
+    def test_flag_compare_catches_miscorrection(self, code, data):
+        w1, w2 = fresh_pair(code, data)
+        w1.write(miscorrecting_word(code, data))
+        out, _ = policy_flag_compare(code, w1, w2)
+        assert out == data
+
+    def test_first_decodable_is_fooled_by_miscorrection(self, code, data):
+        """Module 1 mis-corrects; the flagless policy trusts it — silent
+        data corruption, the event the paper's flags exist to stop."""
+        w1, w2 = fresh_pair(code, data)
+        w1.write(miscorrecting_word(code, data))
+        out, detail = policy_first_decodable(code, w1, w2)
+        assert detail == "module1"
+        assert out != data
+
+    def test_compare_no_flags_detects_but_cannot_resolve(self, code, data):
+        w1, w2 = fresh_pair(code, data)
+        w1.write(miscorrecting_word(code, data))
+        out, detail = policy_compare_no_flags(code, w1, w2)
+        assert detail == "disagree"
+        assert out is None
+
+    def test_module1_only_ignores_replica_damage(self, code, data):
+        w1, w2 = fresh_pair(code, data)
+        w2.flip_bit(3, 1)
+        w2.flip_bit(9, 6)  # module 2 is wrecked
+        out, _ = policy_module1_only(code, w1, w2)
+        assert out == data
+
+
+class TestPolicyComparison:
+    @pytest.fixture(scope="class")
+    def results(self, code):
+        return compare_policies(
+            code,
+            t_end=48.0,
+            seu_per_bit=2e-3 / 24,
+            erasure_per_symbol=0.0,
+            trials=500,
+            rng=np.random.default_rng(17),
+        )
+
+    def test_flag_compare_cleanest_on_silent_corruption(self, results):
+        """The flag arbiter's silent paths are corner cases (paper Sec. 3
+        neglects them); every cheaper policy is at least as dirty."""
+        assert (
+            results["flag_compare"]["silent"]
+            <= results["first_decodable"]["silent"]
+        )
+        assert (
+            results["flag_compare"]["silent"]
+            <= results["module1_only"]["silent"]
+        )
+
+    def test_flag_compare_beats_flagless_comparison(self, results):
+        assert (
+            results["flag_compare"]["failure"]
+            <= results["compare_no_flags"]["failure"]
+        )
+
+    def test_module1_only_is_worst(self, results):
+        assert results["module1_only"]["failure"] >= max(
+            results["flag_compare"]["failure"],
+            results["first_decodable"]["failure"],
+        )
+
+    def test_silent_bounded_by_failure(self, results):
+        for counts in results.values():
+            assert counts["silent"] <= counts["failure"]

@@ -1,0 +1,139 @@
+"""Unit tests for the executable simplex/duplex systems."""
+
+import numpy as np
+import pytest
+
+from repro.rs import RSCode
+from repro.simulator import (
+    DuplexSystem,
+    FaultEvent,
+    FaultKind,
+    ReadOutcome,
+    SimplexSystem,
+)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RSCode(18, 16, m=8)
+
+
+def seu(module, symbol, bit, t=1.0):
+    return FaultEvent(t, FaultKind.SEU, module, symbol, bit)
+
+
+def stuck(module, symbol, bit, value, t=1.0):
+    return FaultEvent(t, FaultKind.PERMANENT, module, symbol, bit, value)
+
+
+class TestSimplexSystem:
+    def test_clean_read_correct(self, code):
+        system = SimplexSystem(code, data=[7] * 16)
+        assert system.read() is ReadOutcome.CORRECT
+
+    def test_random_data_generated(self, code):
+        system = SimplexSystem(code, rng=np.random.default_rng(3))
+        assert len(system.data) == 16
+        assert system.read() is ReadOutcome.CORRECT
+
+    def test_single_seu_corrected(self, code):
+        system = SimplexSystem(code, data=[7] * 16)
+        system.apply_event(seu(0, 9, 4))
+        assert system.read() is ReadOutcome.CORRECT
+
+    def test_two_erasures_corrected(self, code):
+        system = SimplexSystem(code, data=[1] * 16)
+        cw = code.encode(system.data)
+        system.apply_event(stuck(0, 2, 0, 1 - (cw[2] & 1)))
+        system.apply_event(stuck(0, 8, 3, 1 - ((cw[8] >> 3) & 1)))
+        assert system.read() is ReadOutcome.CORRECT
+
+    def test_two_seus_fail(self, code):
+        system = SimplexSystem(code, data=[1] * 16)
+        system.apply_event(seu(0, 2, 0))
+        system.apply_event(seu(0, 9, 5))
+        assert system.read().is_failure
+
+    def test_scrub_clears_accumulated_seu(self, code):
+        system = SimplexSystem(code, data=[1] * 16)
+        system.apply_event(seu(0, 2, 0))
+        assert system.scrub()
+        system.apply_event(seu(0, 9, 5))
+        # without the scrub this would be two errors and a failure
+        assert system.read() is ReadOutcome.CORRECT
+
+    def test_scrub_fails_beyond_capability(self, code):
+        system = SimplexSystem(code, data=[1] * 16)
+        system.apply_event(seu(0, 2, 0))
+        system.apply_event(seu(0, 9, 5))
+        ok = system.scrub()
+        if not ok:  # detected: contents untouched, read still fails
+            assert system.read().is_failure
+
+    def test_scrub_event_routing(self, code):
+        system = SimplexSystem(code, data=[1] * 16)
+        system.apply_event(seu(0, 2, 0))
+        system.apply_event(FaultEvent(2.0, FaultKind.SCRUB))
+        system.apply_event(seu(0, 9, 5))
+        assert system.read() is ReadOutcome.CORRECT
+
+    def test_permanent_fault_survives_scrub(self, code):
+        system = SimplexSystem(code, data=[1] * 16)
+        cw = code.encode(system.data)
+        system.apply_event(stuck(0, 4, 0, 1 - (cw[4] & 1)))
+        system.scrub()
+        assert system.word.located_positions == [4]
+        assert system.read() is ReadOutcome.CORRECT
+
+
+class TestDuplexSystem:
+    def test_clean_read(self, code):
+        system = DuplexSystem(code, data=[9] * 16)
+        assert system.read() is ReadOutcome.CORRECT
+
+    def test_events_are_module_addressed(self, code):
+        system = DuplexSystem(code, data=[9] * 16)
+        system.apply_event(seu(0, 3, 1))
+        assert system.modules[0].read_symbol(3) != system.modules[1].read_symbol(3)
+
+    def test_single_sided_erasures_masked(self, code):
+        system = DuplexSystem(code, data=[9] * 16)
+        cw = code.encode(system.data)
+        for pos in (0, 4, 8, 12):
+            system.apply_event(stuck(0, pos, 0, 1 - (cw[pos] & 1)))
+        assert system.read() is ReadOutcome.CORRECT
+
+    def test_errors_in_both_modules_tolerated(self, code):
+        system = DuplexSystem(code, data=[9] * 16)
+        system.apply_event(seu(0, 2, 0))
+        system.apply_event(seu(1, 11, 6))
+        assert system.read() is ReadOutcome.CORRECT
+
+    def test_duplex_scrub_resynchronizes(self, code):
+        system = DuplexSystem(code, data=[9] * 16)
+        system.apply_event(seu(0, 2, 0))
+        system.apply_event(seu(1, 11, 6))
+        assert system.scrub()
+        # all random errors gone from both modules
+        cw = code.encode(system.data)
+        assert system.modules[0].read() == cw
+        assert system.modules[1].read() == cw
+
+    def test_scrub_preserves_stuck_cells(self, code):
+        system = DuplexSystem(code, data=[9] * 16)
+        cw = code.encode(system.data)
+        system.apply_event(stuck(0, 5, 0, 1 - (cw[5] & 1)))
+        system.scrub()
+        assert system.modules[0].is_erased(5)
+        assert system.modules[0].read_symbol(5) != cw[5]
+
+    def test_duplex_outlasts_simplex_on_split_errors(self, code):
+        """Two SEUs split across modules: simplex dies, duplex survives."""
+        simplex = SimplexSystem(code, data=[9] * 16)
+        simplex.apply_event(seu(0, 2, 0))
+        simplex.apply_event(seu(0, 11, 6))
+        duplex = DuplexSystem(code, data=[9] * 16)
+        duplex.apply_event(seu(0, 2, 0))
+        duplex.apply_event(seu(1, 11, 6))
+        assert simplex.read().is_failure
+        assert duplex.read() is ReadOutcome.CORRECT

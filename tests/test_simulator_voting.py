@@ -1,0 +1,149 @@
+"""Tests for the NMR voter system and its Monte-Carlo estimator."""
+
+import numpy as np
+import pytest
+
+from repro.memory import nmr_read_unreliability
+from repro.memory.rates import FaultRates
+from repro.rs import RSCode
+from repro.simulator import (
+    FaultEvent,
+    FaultKind,
+    NMRSystem,
+    ReadOutcome,
+    simulate_nmr_read_unreliability,
+)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RSCode(18, 16, m=8)
+
+
+def seu(module, symbol, bit):
+    return FaultEvent(1.0, FaultKind.SEU, module, symbol, bit)
+
+
+def stuck(module, symbol, bit, value):
+    return FaultEvent(1.0, FaultKind.PERMANENT, module, symbol, bit, value)
+
+
+class TestNMRSystem:
+    def test_needs_at_least_one_module(self, code):
+        with pytest.raises(ValueError):
+            NMRSystem(code, 0)
+
+    def test_clean_read(self, code):
+        system = NMRSystem(code, 3, data=[5] * 16)
+        assert system.read() is ReadOutcome.CORRECT
+
+    def test_tmr_outvotes_single_replica_error(self, code):
+        system = NMRSystem(code, 3, data=[5] * 16)
+        # one symbol corrupted in ONE replica: plurality heals it before
+        # the decoder even sees it
+        system.apply_event(seu(0, 4, 2))
+        voted, erasures = system.vote()
+        assert voted == code.encode(system.data)
+        assert erasures == []
+
+    def test_tmr_survives_many_spread_errors(self, code):
+        """Errors on distinct symbols across replicas all vote away -
+        far beyond the bare code's t = 1."""
+        system = NMRSystem(code, 3, data=[5] * 16)
+        for module, symbol in [(0, 1), (1, 5), (2, 9), (0, 13), (1, 17)]:
+            system.apply_event(seu(module, symbol, 3))
+        assert system.read() is ReadOutcome.CORRECT
+
+    def test_two_replica_agreeing_error_position_overwhelms_vote(self, code):
+        system = NMRSystem(code, 3, data=[5] * 16)
+        # same symbol errored in 2/3 replicas with DIFFERENT wrong values:
+        # correct multiplicity 1 <= 1 -> tie among three distinct values
+        system.apply_event(seu(0, 4, 2))
+        system.apply_event(seu(1, 4, 6))
+        voted, _ = system.vote()
+        # tie-break picks min value; whatever it picks, the decoder sees at
+        # most one error and still corrects the word
+        assert system.read() is ReadOutcome.CORRECT
+
+    def test_all_replicas_erased_becomes_decoder_erasure(self, code):
+        system = NMRSystem(code, 3, data=[5] * 16)
+        cw = code.encode(system.data)
+        for module in range(3):
+            system.apply_event(stuck(module, 7, 0, 1 - (cw[7] & 1)))
+        _voted, erasures = system.vote()
+        assert erasures == [7]
+        assert system.read() is ReadOutcome.CORRECT  # 1 erasure <= n-k
+
+    def test_erased_replicas_excluded_from_vote(self, code):
+        system = NMRSystem(code, 3, data=[5] * 16)
+        cw = code.encode(system.data)
+        system.apply_event(stuck(0, 2, 0, 1 - (cw[2] & 1)))
+        system.apply_event(stuck(1, 2, 3, 1 - ((cw[2] >> 3) & 1)))
+        voted, erasures = system.vote()
+        assert erasures == []
+        assert voted[2] == cw[2]  # the surviving replica wins alone
+
+    def test_scrub_rewrites_all_replicas(self, code):
+        system = NMRSystem(code, 3, data=[5] * 16)
+        system.apply_event(seu(0, 3, 1))
+        system.apply_event(seu(1, 8, 7))
+        assert system.scrub()
+        cw = code.encode(system.data)
+        for module in system.modules:
+            assert module.read() == cw
+
+    def test_scrub_event_routing(self, code):
+        system = NMRSystem(code, 2, data=[5] * 16)
+        system.apply_event(seu(0, 3, 1))
+        system.apply_event(FaultEvent(2.0, FaultKind.SCRUB))
+        assert system.modules[0].read() == code.encode(system.data)
+
+
+class TestMonteCarloAgreement:
+    def test_tmr_matches_closed_form(self, code):
+        rates = FaultRates.from_paper_units(
+            seu_per_bit_day=2e-3, erasure_per_symbol_day=5e-3
+        )
+        closed = nmr_read_unreliability(18, 16, 3, rates, [48.0])[0]
+        est = simulate_nmr_read_unreliability(
+            code,
+            3,
+            48.0,
+            seu_per_bit=rates.seu_per_bit,
+            erasure_per_symbol=rates.erasure_per_symbol,
+            trials=1500,
+            rng=np.random.default_rng(9),
+        )
+        assert est.consistent_with(closed) or abs(
+            est.probability - closed
+        ) < 0.01
+
+    def test_single_module_matches_closed_form(self, code):
+        rates = FaultRates.from_paper_units(seu_per_bit_day=3e-3)
+        closed = nmr_read_unreliability(18, 16, 1, rates, [48.0])[0]
+        est = simulate_nmr_read_unreliability(
+            code,
+            1,
+            48.0,
+            seu_per_bit=rates.seu_per_bit,
+            erasure_per_symbol=0.0,
+            trials=1200,
+            rng=np.random.default_rng(10),
+        )
+        assert est.consistent_with(closed)
+
+    def test_even_n_closed_form_is_conservative(self, code):
+        """Ties: the analysis counts every tie as an error; the physical
+        tie-break rescues about half, so closed >= measured for N=2."""
+        rates = FaultRates.from_paper_units(seu_per_bit_day=2e-3)
+        closed = nmr_read_unreliability(18, 16, 2, rates, [48.0])[0]
+        est = simulate_nmr_read_unreliability(
+            code,
+            2,
+            48.0,
+            seu_per_bit=rates.seu_per_bit,
+            erasure_per_symbol=0.0,
+            trials=800,
+            rng=np.random.default_rng(11),
+        )
+        assert est.probability <= closed

@@ -1,0 +1,86 @@
+"""Unit tests for the bit-level memory word."""
+
+import pytest
+
+from repro.simulator import MemoryWord
+
+
+@pytest.fixture
+def word():
+    return MemoryWord([0x00, 0xFF, 0x55, 0xAA], m=8)
+
+
+class TestConstruction:
+    def test_rejects_out_of_range_symbols(self):
+        with pytest.raises(ValueError):
+            MemoryWord([256], m=8)
+
+    def test_initial_read_matches_write(self, word):
+        assert word.read() == [0x00, 0xFF, 0x55, 0xAA]
+
+    def test_repr(self, word):
+        assert "n=4" in repr(word)
+
+
+class TestSEU:
+    def test_flip_inverts_single_bit(self, word):
+        word.flip_bit(0, 3)
+        assert word.read_symbol(0) == 0x08
+
+    def test_double_flip_restores(self, word):
+        word.flip_bit(2, 6)
+        word.flip_bit(2, 6)
+        assert word.read_symbol(2) == 0x55
+
+    def test_flip_bounds_checked(self, word):
+        with pytest.raises(IndexError):
+            word.flip_bit(4, 0)
+        with pytest.raises(IndexError):
+            word.flip_bit(0, 8)
+
+
+class TestStuckAt:
+    def test_stuck_cell_overrides_stored_value(self, word):
+        word.make_stuck(1, 0, 0)  # 0xFF loses bit 0
+        assert word.read_symbol(1) == 0xFE
+
+    def test_benign_stuck_at_matching_value(self, word):
+        word.make_stuck(1, 0, 1)  # bit already 1
+        assert word.read_symbol(1) == 0xFF
+        # located even though currently benign
+        assert word.is_erased(1)
+
+    def test_stuck_survives_rewrite(self, word):
+        word.make_stuck(0, 7, 1)
+        word.write([0x00, 0x00, 0x00, 0x00])
+        assert word.read_symbol(0) == 0x80
+
+    def test_flip_against_stuck_bit_absorbed(self, word):
+        word.make_stuck(3, 1, 1)
+        word.flip_bit(3, 1)
+        assert word.read_symbol(3) & 0x02 == 0x02
+
+    def test_flip_on_other_bits_of_stuck_symbol_still_works(self, word):
+        word.make_stuck(3, 1, 1)
+        word.flip_bit(3, 0)
+        assert word.read_symbol(3) & 0x01 == (0xAA ^ 0x01) & 0x01
+
+    def test_located_positions_sorted_unique(self, word):
+        word.make_stuck(2, 0, 0)
+        word.make_stuck(0, 5, 1)
+        word.make_stuck(2, 3, 1)  # second fault, same symbol
+        assert word.located_positions == [0, 2]
+
+    def test_stuck_value_validation(self, word):
+        with pytest.raises(ValueError):
+            word.make_stuck(0, 0, 2)
+
+
+class TestWrite:
+    def test_write_length_checked(self, word):
+        with pytest.raises(ValueError):
+            word.write([0, 1, 2])
+
+    def test_write_then_read(self, word):
+        word.write([1, 2, 3, 4])
+        assert word.read() == [1, 2, 3, 4]
