@@ -77,6 +77,16 @@ class ExperimentResult:
     def all_expectations_hold(self) -> bool:
         return not self.failed_expectations()
 
+    def final_ber_map(self) -> Dict[str, float]:
+        """``{curve label: BER at the last grid point}``.
+
+        The horizon BER of every curve is the quantity the paper plots,
+        and it is solver-grid-invariant (the last grid point is always
+        the horizon) — which makes this map the anchor for the
+        golden-vector regression suite (``tests/test_golden_ber.py``).
+        """
+        return {c.label: float(c.final) for c in self.curves}
+
 
 def _transient_grid(points: int = 25) -> np.ndarray:
     return np.linspace(0.0, TRANSIENT_HORIZON_HOURS, points)

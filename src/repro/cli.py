@@ -69,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
     val = sub.add_parser("validate", help="Monte-Carlo cross-check")
     val.add_argument("--trials", type=int, default=1000)
     val.add_argument("--seed", type=int, default=2005)
+    val.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the batch codec-MC path (results are "
+        "seed-deterministic regardless of this value)",
+    )
+    val.add_argument("--chunk-size", type=int, default=512)
 
     report = sub.add_parser(
         "report", help="write the full markdown reproduction report"
@@ -99,6 +107,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument("--trials", type=int, default=300)
     camp.add_argument("--seed", type=int, default=2005)
+    camp.add_argument(
+        "--engine",
+        choices=("batch", "scalar"),
+        default="batch",
+        help="trial executor: vectorized batch codec (default) or the "
+        "one-trial-at-a-time scalar reference",
+    )
+    camp.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the batch engine (estimates are "
+        "seed-deterministic regardless of this value)",
+    )
+    camp.add_argument("--chunk-size", type=int, default=512)
+    camp.add_argument(
+        "--perf",
+        action="store_true",
+        help="print batch-engine work/throughput counters",
+    )
 
     design = sub.add_parser(
         "scrub-design", help="slowest scrub meeting a BER budget"
@@ -173,7 +201,10 @@ def cmd_complexity(_args: argparse.Namespace) -> int:
 def cmd_validate(args: argparse.Namespace) -> int:
     from .memory import duplex_model, simplex_model
     from .rs import RSCode
-    from .simulator import gillespie_fail_probability, simulate_fail_probability
+    from .simulator import (
+        gillespie_fail_probability,
+        simulate_fail_probability_batched,
+    )
 
     rng = np.random.default_rng(args.seed)
     lam_day = 2e-3
@@ -185,14 +216,16 @@ def cmd_validate(args: argparse.Namespace) -> int:
     ):
         p = model.fail_probability([48.0])[0]
         ssa = gillespie_fail_probability(model, 48.0, args.trials, rng)
-        mc = simulate_fail_probability(
+        mc = simulate_fail_probability_batched(
             name,
             code,
             48.0,
             seu_per_bit=lam_day / 24.0,
             erasure_per_symbol=0.0,
             trials=max(200, args.trials // 4),
-            rng=rng,
+            seed=args.seed,
+            chunk_size=args.chunk_size,
+            workers=args.workers,
         )
         agree = ssa.consistent_with(p)
         ok = ok and agree
@@ -292,16 +325,22 @@ def cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    from .perf import PerfCounters
     from .simulator import (
         campaign_summary,
         default_validation_campaign,
         run_campaign,
     )
 
+    counters = PerfCounters()
     rows = run_campaign(
         default_validation_campaign(),
         trials=args.trials,
         base_seed=args.seed,
+        engine=args.engine,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        counters=counters,
     )
     for row in rows:
         mark = "OK " if row.consistent else "!! "
@@ -316,6 +355,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     for arrangement, (ok, total) in summary.items():
         print(f"{arrangement}: {ok}/{total} cells consistent")
         all_ok = all_ok and ok == total
+    if args.perf and args.engine == "batch":
+        print(f"\nbatch engine ({args.workers} worker(s)):")
+        print(counters.summary())
     return 0 if all_ok else 1
 
 

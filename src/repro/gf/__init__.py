@@ -6,9 +6,12 @@ Public surface:
   multiply/divide/pow.
 * :mod:`~repro.gf.poly` — polynomial algebra over the field (ascending
   coefficient lists).
+* :class:`~repro.gf.batch.BatchGF` / :func:`~repro.gf.batch.batch_field` —
+  vectorized numpy-table arithmetic on whole arrays (cached per field).
 """
 
 from . import poly, structure
+from .batch import BatchGF, batch_field
 from .field import DEFAULT_PRIMITIVE_POLYNOMIALS, GF2m
 from .structure import (
     conjugates,
@@ -20,6 +23,8 @@ from .structure import (
 
 __all__ = [
     "GF2m",
+    "BatchGF",
+    "batch_field",
     "DEFAULT_PRIMITIVE_POLYNOMIALS",
     "poly",
     "structure",

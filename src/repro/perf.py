@@ -1,0 +1,146 @@
+"""Lightweight performance instrumentation for the batch execution layer.
+
+The batch codec and the chunked Monte-Carlo engine are performance
+features, so they carry their own meters: :class:`PerfCounters` counts
+the work actually done (words encoded/decoded, how many words took the
+vectorized clean fast path vs. the scalar errors-and-erasures fallback,
+trials completed) and :class:`Stopwatch` accumulates wall-clock time so
+throughput (trials/sec, words/sec) can be reported by benchmarks and the
+CLI without any external profiler.
+
+Counters are plain additive state: merging the per-chunk counters
+returned by worker processes reproduces exactly the counters a
+single-process run would have produced, which keeps the ``workers=N``
+path observable without breaking its determinism contract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterator, Optional
+
+
+@dataclass
+class PerfCounters:
+    """Additive work counters for the batch codec and MC engine.
+
+    Attributes
+    ----------
+    words_encoded: codewords produced by ``encode_batch``.
+    words_decoded: words submitted to ``decode_batch``.
+    clean_fast_path: decoded words that took the all-zero-syndrome
+        vectorized early-out.
+    scalar_fallbacks: decoded words routed to the scalar
+        errors-and-erasures pipeline (dirty words).
+    decode_failures: words the scalar fallback reported uncorrectable.
+    trials: Monte-Carlo trials completed.
+    chunks: Monte-Carlo chunks processed.
+    elapsed_seconds: wall-clock time accumulated by :class:`Stopwatch`.
+    """
+
+    words_encoded: int = 0
+    words_decoded: int = 0
+    clean_fast_path: int = 0
+    scalar_fallbacks: int = 0
+    decode_failures: int = 0
+    trials: int = 0
+    chunks: int = 0
+    elapsed_seconds: float = 0.0
+
+    # -- aggregation -------------------------------------------------------
+
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Add another counter set into this one (returns self)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot (picklable, for worker processes)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, float]) -> "PerfCounters":
+        return cls(**d)
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of decoded words that needed the scalar pipeline."""
+        if self.words_decoded <= 0:
+            return 0.0
+        return self.scalar_fallbacks / self.words_decoded
+
+    @property
+    def trials_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.trials / self.elapsed_seconds
+
+    @property
+    def words_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.words_decoded / self.elapsed_seconds
+
+    def summary(self) -> str:
+        """Human-readable one-block summary for benchmarks and the CLI."""
+        lines = [
+            f"trials             : {self.trials}",
+            f"chunks             : {self.chunks}",
+            f"words encoded      : {self.words_encoded}",
+            f"words decoded      : {self.words_decoded}",
+            f"clean fast path    : {self.clean_fast_path}",
+            f"scalar fallbacks   : {self.scalar_fallbacks} "
+            f"({100.0 * self.fallback_rate:.1f}%)",
+            f"decode failures    : {self.decode_failures}",
+            f"elapsed            : {self.elapsed_seconds:.3f} s",
+        ]
+        if self.trials and self.elapsed_seconds > 0:
+            lines.append(f"trials/sec         : {self.trials_per_second:,.0f}")
+        if self.words_decoded and self.elapsed_seconds > 0:
+            lines.append(f"decoded words/sec  : {self.words_per_second:,.0f}")
+        return "\n".join(lines)
+
+
+class Stopwatch:
+    """Context manager accumulating wall time into a counter set.
+
+    >>> counters = PerfCounters()
+    >>> with Stopwatch(counters):
+    ...     pass
+    >>> counters.elapsed_seconds >= 0.0
+    True
+    """
+
+    def __init__(self, counters: Optional[PerfCounters] = None):
+        self.counters = counters
+        self.elapsed = 0.0
+        self._t0: Optional[float] = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._t0 is not None
+        self.elapsed = time.perf_counter() - self._t0
+        if self.counters is not None:
+            self.counters.elapsed_seconds += self.elapsed
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)``; return ``(result, elapsed_seconds)``."""
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0
+
+
+def merge_counter_dicts(dicts: Iterator[Dict[str, float]]) -> PerfCounters:
+    """Fold picklable chunk-counter dicts into one :class:`PerfCounters`."""
+    total = PerfCounters()
+    for d in dicts:
+        total.merge(PerfCounters.from_dict(d))
+    return total

@@ -9,6 +9,7 @@ Public surface:
 """
 
 from .area import DecoderArea, decoder_area, linearity_check
+from .batch import BatchDecodeReport, BatchRSCodec
 from .codec import DecodeResult, RSCode, RSDecodingError
 from .euclid import berlekamp_euclid_agree, euclid_key_equation
 from .interleave import (
@@ -41,6 +42,8 @@ __all__ = [
     "RSCode",
     "DecodeResult",
     "RSDecodingError",
+    "BatchRSCodec",
+    "BatchDecodeReport",
     "ArrangementCost",
     "arrangement_cost",
     "decoder_area_gates",

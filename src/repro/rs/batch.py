@@ -1,0 +1,320 @@
+"""Batch Reed-Solomon codec: vectorized encode + syndrome-gated decode.
+
+:class:`BatchRSCodec` processes whole ``(B, k)``/``(B, n)`` ndarrays of
+words through the same RS(n, k) code as the scalar :class:`~repro.rs.codec.RSCode`,
+with a strict bit-identity contract enforced by the differential suite in
+``tests/test_batch_differential.py``:
+
+* ``encode_batch`` runs the systematic LFSR division across the batch
+  dimension — ``k`` vectorized steps instead of ``B`` polynomial
+  divisions — and is symbol-identical to ``RSCode.encode`` per row.
+* ``decode_batch`` computes all syndromes in one vectorized Horner pass
+  (:meth:`~repro.gf.batch.BatchGF.poly_eval_batch`).  Words whose
+  syndromes are all zero take the *clean fast path*: they are returned
+  immediately with the exact :class:`~repro.rs.codec.DecodeResult` the
+  scalar decoder would produce.  Dirty words — and only dirty words —
+  fall back to the trusted scalar errors-and-erasures pipeline, so every
+  correction, every mis-correction and every
+  :class:`~repro.rs.codec.RSDecodingError` is produced by the same code
+  path the rest of the repo validates against the paper.
+
+That split is the performance contract of the whole batch layer: in the
+memory-reliability regimes of the paper almost every stored word is
+clean at read time, so the hot loop is "compute syndromes, prove the
+word clean" — which vectorizes perfectly — while the rare dirty word
+pays the scalar price it always paid.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..gf.batch import BatchGF, batch_field
+from ..perf import PerfCounters
+from .codec import DecodeResult, RSCode, RSDecodingError
+
+#: A per-word decode outcome: the scalar result, or the decoding error
+#: the scalar pipeline raised for that word.
+WordOutcome = Union[DecodeResult, RSDecodingError]
+
+
+class BatchDecodeReport:
+    """Outcome of one ``decode_batch`` call.
+
+    Clean words (all syndromes zero) are *proved* clean during
+    ``decode_batch`` but their :class:`DecodeResult` objects are built
+    lazily on first access — proving a 4096-word batch clean is a pure
+    array operation, and most bulk consumers (the Monte-Carlo engine,
+    throughput benchmarks) never need per-word result objects for clean
+    words.  Dirty words were decoded eagerly by the scalar pipeline; the
+    laziness never changes *what* any index returns, only when the clean
+    words' result objects get allocated.
+
+    Attributes
+    ----------
+    ok: boolean mask of words that decoded successfully.
+    clean: boolean mask of words that took the all-zero-syndrome fast
+        path (a subset of ``ok``).
+    results: per-word outcomes, index-aligned with the input batch; each
+        entry is a :class:`DecodeResult` or the :class:`RSDecodingError`
+        raised for that word (materialized on first access).
+    """
+
+    def __init__(
+        self,
+        ok: np.ndarray,
+        clean: np.ndarray,
+        received: np.ndarray,
+        erasure_counts: List[int],
+        fallback: dict,
+        nsym: int,
+    ):
+        self.ok = ok
+        self.clean = clean
+        self._received = received
+        self._erasure_counts = erasure_counts
+        self._fallback = fallback
+        self._nsym = nsym
+        self._results: Optional[List[WordOutcome]] = None
+
+    def _materialize(self, idx: int) -> WordOutcome:
+        if idx in self._fallback:
+            return self._fallback[idx]
+        row = self._received[idx].tolist()
+        return DecodeResult(
+            data=row[self._nsym :],
+            codeword=row,
+            num_errors=0,
+            num_erasures=self._erasure_counts[idx],
+            corrected=False,
+        )
+
+    @property
+    def results(self) -> List[WordOutcome]:
+        if self._results is None:
+            self._results = [
+                self._materialize(i) for i in range(len(self.ok))
+            ]
+        return self._results
+
+    def __len__(self) -> int:
+        return len(self.ok)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, idx: int) -> WordOutcome:
+        if self._results is not None:
+            return self._results[idx]
+        if not -len(self.ok) <= idx < len(self.ok):
+            raise IndexError(idx)
+        return self._materialize(idx % len(self.ok))
+
+    @property
+    def num_clean(self) -> int:
+        return int(self.clean.sum())
+
+    @property
+    def num_fallback(self) -> int:
+        return len(self.ok) - self.num_clean
+
+    @property
+    def num_failures(self) -> int:
+        return len(self.ok) - int(self.ok.sum())
+
+    def result(self, idx: int) -> DecodeResult:
+        """The :class:`DecodeResult` at ``idx``, re-raising its error."""
+        out = self[idx]
+        if isinstance(out, RSDecodingError):
+            raise out
+        return out
+
+    def data_rows(self) -> List[Optional[List[int]]]:
+        """Per-word recovered data (``None`` where decoding failed)."""
+        return [
+            None if isinstance(r, RSDecodingError) else r.data
+            for r in self.results
+        ]
+
+
+class BatchRSCodec:
+    """Batch-mode systematic RS(n, k) codec over GF(2^m).
+
+    Parameters mirror :class:`RSCode`; a prebuilt scalar codec may be
+    supplied to guarantee both views share one generator/field.  An
+    optional :class:`~repro.perf.PerfCounters` records words encoded,
+    words decoded, fast-path hits and scalar fallbacks.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        m: int = 8,
+        fcr: int = 1,
+        key_solver: str = "bm",
+        scalar: Optional[RSCode] = None,
+        counters: Optional[PerfCounters] = None,
+    ):
+        if scalar is None:
+            scalar = RSCode(n, k, m=m, fcr=fcr, key_solver=key_solver)
+        elif (scalar.n, scalar.k, scalar.m, scalar.fcr) != (n, k, m, fcr):
+            raise ValueError(
+                f"supplied scalar codec {scalar!r} does not match "
+                f"(n={n}, k={k}, m={m}, fcr={fcr})"
+            )
+        self.scalar = scalar
+        self.n = n
+        self.k = k
+        self.m = m
+        self.fcr = fcr
+        self.nsym = scalar.nsym
+        self.t = scalar.t
+        self.bgf: BatchGF = batch_field(m, scalar.gf.prim_poly)
+        self.counters = counters
+        # Generator tail g[0..nsym-1] (g is monic of degree nsym) drives the
+        # vectorized LFSR encode step.
+        self._gen_tail = np.asarray(scalar.generator[: self.nsym], dtype=np.int64)
+        # Syndrome evaluation points alpha^fcr .. alpha^(fcr+nsym-1).
+        self._synd_points = np.asarray(
+            [scalar.gf.exp(fcr + j) for j in range(self.nsym)], dtype=np.int64
+        )
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode_batch(self, words: Sequence[Sequence[int]]) -> np.ndarray:
+        """Systematically encode a ``(B, k)`` batch into ``(B, n)`` codewords.
+
+        Row-identical to ``RSCode.encode``: data lands unchanged in
+        positions ``n-k ..``, parity in ``0 .. n-k-1``.
+        """
+        data = self.bgf.validate_elements(np.atleast_2d(np.asarray(words)))
+        if data.ndim != 2 or (data.size and data.shape[1] != self.k):
+            raise ValueError(
+                f"expected a (B, {self.k}) batch, got shape {data.shape}"
+            )
+        B = data.shape[0]
+        if B == 0:
+            return np.zeros((0, self.n), dtype=np.int64)
+        # LFSR division of d(x) * x^nsym by the monic generator, one data
+        # symbol per step, vectorized over the batch dimension.
+        parity = np.zeros((B, self.nsym), dtype=np.int64)
+        for j in range(self.k - 1, -1, -1):
+            feedback = data[:, j] ^ parity[:, -1]
+            shifted = np.empty_like(parity)
+            shifted[:, 1:] = parity[:, :-1]
+            shifted[:, 0] = 0
+            parity = shifted ^ self.bgf.mul(
+                feedback[:, np.newaxis], self._gen_tail[np.newaxis, :]
+            )
+        out = np.concatenate([parity, data], axis=1)
+        if self.counters is not None:
+            self.counters.words_encoded += B
+        return out
+
+    # -- syndromes ----------------------------------------------------------
+
+    def syndromes_batch(self, received: Sequence[Sequence[int]]) -> np.ndarray:
+        """``(B, nsym)`` syndrome matrix of a ``(B, n)`` received batch."""
+        rec = self.bgf.asarray(np.atleast_2d(np.asarray(received)))
+        if rec.ndim != 2 or (rec.size and rec.shape[1] != self.n):
+            raise ValueError(
+                f"expected a (B, {self.n}) batch, got shape {rec.shape}"
+            )
+        if rec.shape[0] == 0:
+            return np.zeros((0, self.nsym), dtype=np.int64)
+        return self.bgf.poly_eval_batch(rec, self._synd_points)
+
+    def is_codeword_mask(self, received: Sequence[Sequence[int]]) -> np.ndarray:
+        """Boolean mask of rows whose syndromes are all zero."""
+        return np.all(self.syndromes_batch(received) == 0, axis=1)
+
+    # -- decoding -----------------------------------------------------------
+
+    def decode_batch(
+        self,
+        received: Sequence[Sequence[int]],
+        erasure_positions: Optional[Sequence[Sequence[int]]] = None,
+    ) -> BatchDecodeReport:
+        """Decode a ``(B, n)`` batch with optional per-word erasures.
+
+        ``erasure_positions`` is ``None`` (no erasures anywhere) or a
+        length-``B`` sequence of per-word position lists.  Uncorrectable
+        words do not raise; their :class:`RSDecodingError` is recorded at
+        the word's index in the report, carrying exactly the message the
+        scalar decoder produced.
+        """
+        rec = self.bgf.validate_elements(np.atleast_2d(np.asarray(received)))
+        if rec.ndim != 2 or (rec.size and rec.shape[1] != self.n):
+            raise ValueError(
+                f"expected a (B, {self.n}) batch, got shape {rec.shape}"
+            )
+        B = rec.shape[0]
+        if erasure_positions is not None and len(erasure_positions) != B:
+            raise ValueError(
+                f"erasure_positions has {len(erasure_positions)} entries "
+                f"for a batch of {B}"
+            )
+        if B == 0:
+            empty = np.zeros(0, dtype=bool)
+            return BatchDecodeReport(
+                ok=empty,
+                clean=empty,
+                received=rec,
+                erasure_counts=[],
+                fallback={},
+                nsym=self.nsym,
+            )
+
+        erasures: List[List[int]] = (
+            [[] for _ in range(B)]
+            if erasure_positions is None
+            else [sorted(set(e)) for e in erasure_positions]
+        )
+        for ers in erasures:
+            if any(not 0 <= p < self.n for p in ers):
+                raise ValueError("erasure position out of range")
+
+        syndromes = self.syndromes_batch(rec)
+        clean = np.all(syndromes == 0, axis=1)
+        # The scalar decoder rejects rho > nsym before looking at the
+        # syndromes, so over-erased words can never take the fast path.
+        over_erased = np.asarray(
+            [len(ers) > self.nsym for ers in erasures], dtype=bool
+        )
+        clean &= ~over_erased
+
+        # Clean words are proved clean here and materialized lazily by
+        # the report; only dirty words run the scalar pipeline now.
+        ok = clean.copy()
+        fallback: dict = {}
+        for i in np.flatnonzero(~clean):
+            try:
+                fallback[int(i)] = self.scalar.decode(
+                    rec[i].tolist(), erasure_positions=erasures[i]
+                )
+                ok[i] = True
+            except RSDecodingError as exc:
+                fallback[int(i)] = exc
+
+        if self.counters is not None:
+            self.counters.words_decoded += B
+            self.counters.clean_fast_path += int(clean.sum())
+            self.counters.scalar_fallbacks += int((~clean).sum())
+            self.counters.decode_failures += B - int(ok.sum())
+        return BatchDecodeReport(
+            ok=ok,
+            clean=clean,
+            received=rec,
+            erasure_counts=[len(e) for e in erasures],
+            fallback=fallback,
+            nsym=self.nsym,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchRSCodec(n={self.n}, k={self.k}, m={self.m}, "
+            f"fcr={self.fcr})"
+        )

@@ -14,7 +14,13 @@ Public surface:
 * :mod:`~repro.simulator.montecarlo` — SSA and fault-injection estimators.
 """
 
-from .arbiter import ArbiterDecision, ArbiterResult, arbitrate, recover_erasures
+from .arbiter import (
+    ArbiterDecision,
+    ArbiterResult,
+    arbitrate,
+    decide_from_decodes,
+    recover_erasures,
+)
 from .campaign import (
     CampaignCell,
     CampaignRow,
@@ -34,9 +40,12 @@ from .faults import (
 from .mbu import sample_mbu_strikes, simulate_mbu_read_unreliability
 from .montecarlo import (
     FailureEstimate,
+    chunk_sizes,
     gillespie_fail_probability,
     simulate_fail_probability,
+    simulate_fail_probability_batched,
     simulate_read_outcome,
+    spawn_chunk_seeds,
     wilson_interval,
 )
 from .policies import ARBITER_POLICIES, compare_policies
@@ -62,7 +71,11 @@ __all__ = [
     "FailureEstimate",
     "gillespie_fail_probability",
     "simulate_fail_probability",
+    "simulate_fail_probability_batched",
     "simulate_read_outcome",
+    "spawn_chunk_seeds",
+    "chunk_sizes",
+    "decide_from_decodes",
     "wilson_interval",
     "NMRSystem",
     "simulate_nmr_read_unreliability",

@@ -95,8 +95,22 @@ def arbitrate(code: RSCode, word1: MemoryWord, word2: MemoryWord) -> ArbiterResu
         except RSDecodingError:
             return None
 
-    r1 = try_decode(s1)
-    r2 = try_decode(s2)
+    return decide_from_decodes(
+        try_decode(s1), try_decode(s2), masked=masked, shared=len(shared)
+    )
+
+
+def decide_from_decodes(
+    r1, r2, masked: int = 0, shared: int = 0
+) -> ArbiterResult:
+    """The Section 3 decision table, applied to two decode outcomes.
+
+    ``r1``/``r2`` are the per-word :class:`~repro.rs.codec.DecodeResult`
+    objects, or ``None`` where that word was detectably uncorrectable.
+    Split out of :func:`arbitrate` so the batch Monte-Carlo engine can
+    decode both replicas through :class:`~repro.rs.batch.BatchRSCodec`
+    and still run *this exact* decision procedure per trial.
+    """
     decoded = (r1 is not None, r2 is not None)
     flags = (
         bool(r1.corrected) if r1 is not None else False,
@@ -125,5 +139,5 @@ def arbitrate(code: RSCode, word1: MemoryWord, word2: MemoryWord) -> ArbiterResu
         flags=flags,
         decoded=decoded,
         masked_erasures=masked,
-        shared_erasures=len(shared),
+        shared_erasures=shared,
     )

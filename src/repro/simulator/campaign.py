@@ -16,8 +16,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..memory import duplex_model, simplex_model
+from ..perf import PerfCounters
 from ..rs import RSCode
-from .montecarlo import FailureEstimate, simulate_fail_probability
+from .montecarlo import (
+    FailureEstimate,
+    simulate_fail_probability,
+    simulate_fail_probability_batched,
+)
 
 
 @dataclass(frozen=True)
@@ -80,14 +85,30 @@ def run_campaign(
     t_end_hours: float = 48.0,
     trials: int = 400,
     base_seed: int = 2005,
+    engine: str = "scalar",
+    workers: int = 1,
+    chunk_size: int = 512,
+    counters: Optional[PerfCounters] = None,
 ) -> List[CampaignRow]:
     """Run every cell with a deterministic per-cell seed.
 
     Seeding is positional (``base_seed + index``) so a campaign is exactly
     reproducible and individual cells can be re-run in isolation.
+
+    ``engine`` selects the trial executor: ``"scalar"`` is the original
+    one-trial-at-a-time reference path (bit-for-bit identical to historic
+    campaigns for a given seed); ``"batch"`` draws each cell's fault
+    events in vectorized chunks and decodes reads through
+    :class:`~repro.rs.batch.BatchRSCodec`, optionally fanning chunks out
+    over ``workers`` processes — batch-engine results are a deterministic
+    function of ``(base_seed, trials, chunk_size)`` only, never of
+    ``workers``.  ``counters`` (batch engine only) accumulates work and
+    throughput across all cells.
     """
     if not cells:
         raise ValueError("empty campaign")
+    if engine not in ("scalar", "batch"):
+        raise ValueError(f"engine must be 'scalar' or 'batch', got {engine!r}")
     code = RSCode(n, k, m=m)
     rows: List[CampaignRow] = []
     for idx, cell in enumerate(cells):
@@ -103,21 +124,38 @@ def run_campaign(
             scrub_period_seconds=cell.scrub_period_seconds,
         )
         p_model = float(model.fail_probability([t_end_hours])[0])
-        estimate = simulate_fail_probability(
-            cell.arrangement,
-            code,
-            t_end_hours,
-            seu_per_bit=cell.seu_per_bit_day / 24.0,
-            erasure_per_symbol=cell.erasure_per_symbol_day / 24.0,
-            trials=trials,
-            rng=np.random.default_rng(base_seed + idx),
-            scrub_period=(
-                None
-                if cell.scrub_period_seconds is None
-                else cell.scrub_period_seconds / 3600.0
-            ),
-            scrub_exponential=True,
+        scrub_period_hours = (
+            None
+            if cell.scrub_period_seconds is None
+            else cell.scrub_period_seconds / 3600.0
         )
+        if engine == "batch":
+            estimate = simulate_fail_probability_batched(
+                cell.arrangement,
+                code,
+                t_end_hours,
+                seu_per_bit=cell.seu_per_bit_day / 24.0,
+                erasure_per_symbol=cell.erasure_per_symbol_day / 24.0,
+                trials=trials,
+                seed=base_seed + idx,
+                scrub_period=scrub_period_hours,
+                scrub_exponential=True,
+                chunk_size=chunk_size,
+                workers=workers,
+                counters=counters,
+            )
+        else:
+            estimate = simulate_fail_probability(
+                cell.arrangement,
+                code,
+                t_end_hours,
+                seu_per_bit=cell.seu_per_bit_day / 24.0,
+                erasure_per_symbol=cell.erasure_per_symbol_day / 24.0,
+                trials=trials,
+                rng=np.random.default_rng(base_seed + idx),
+                scrub_period=scrub_period_hours,
+                scrub_exponential=True,
+            )
         rows.append(CampaignRow(cell, p_model, estimate))
     return rows
 

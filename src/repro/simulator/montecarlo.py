@@ -1,6 +1,6 @@
 """Monte-Carlo estimation harnesses.
 
-Two independent fault-injection validators:
+Three fault-injection validators:
 
 * :func:`gillespie_fail_probability` — stochastic simulation (SSA) of a
   memory model's *own* transition rule.  Converges to the CTMC transient
@@ -10,20 +10,33 @@ Two independent fault-injection validators:
   that the paper's Markov abstraction (erasures-as-located faults, flags,
   masking, capability conditions) tracks "physical" behaviour, including
   effects the chains idealize away (mis-corrections, benign stuck-ats,
-  repeated SEUs on one symbol).
+  repeated SEUs on one symbol).  One trial at a time, trusted reference.
+* :func:`simulate_fail_probability_batched` — the same physics executed
+  by the batch layer: trials are processed in chunks whose fault events
+  are drawn vectorized from per-chunk spawned RNG streams, final reads
+  (and duplex replica pairs) go through :class:`~repro.rs.batch.BatchRSCodec`
+  in bulk, and an opt-in ``workers=N`` pool distributes chunks across
+  processes.  Because every chunk owns an independent spawned
+  ``SeedSequence`` and the aggregation is a commutative sum over chunks,
+  a fixed ``(seed, trials, chunk_size)`` triple yields an identical
+  :class:`FailureEstimate` for any worker count.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..memory.base import FAIL, MemoryMarkovModel
-from ..rs import RSCode
+from ..perf import PerfCounters, Stopwatch
+from ..rs import BatchRSCodec, RSCode, RSDecodingError
+from .arbiter import decide_from_decodes, recover_erasures
 from .faults import (
+    FaultEvent,
+    FaultKind,
     merge_event_streams,
     sample_permanent_events,
     sample_seu_events,
@@ -185,6 +198,409 @@ def simulate_fail_probability(
         counts[outcome.value] += 1
         if outcome.is_failure:
             failures += 1
+    low, high = wilson_interval(failures, trials)
+    return FailureEstimate(
+        failures / trials, trials, failures, low, high, outcome_counts=counts
+    )
+
+
+# --------------------------------------------------------------------------
+# batched / chunked fault injection through the batch codec
+# --------------------------------------------------------------------------
+
+SeedLike = Union[int, np.random.SeedSequence, None]
+
+
+def spawn_chunk_seeds(
+    seed: SeedLike, n_chunks: int
+) -> List[np.random.SeedSequence]:
+    """Independent per-chunk seed sequences from one root seed.
+
+    Uses ``SeedSequence.spawn``, whose spawn-key mechanism guarantees the
+    child streams are non-overlapping regardless of which process or in
+    which order each chunk runs — this is the determinism backbone of the
+    ``workers=N`` path.
+    """
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return root.spawn(n_chunks)
+
+
+def chunk_sizes(trials: int, chunk_size: int) -> List[int]:
+    """Split ``trials`` into fixed-size chunks (last one may be short)."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    full, rest = divmod(trials, chunk_size)
+    return [chunk_size] * full + ([rest] if rest else [])
+
+
+def _cached_batch_codec(n: int, k: int, m: int, fcr: int) -> BatchRSCodec:
+    # One codec per (n, k, m, fcr) per process; worker processes rebuild
+    # their own copy on first use (tables come from the lru-cached field).
+    key = (n, k, m, fcr)
+    codec = _CODEC_CACHE.get(key)
+    if codec is None:
+        codec = _CODEC_CACHE[key] = BatchRSCodec(n, k, m=m, fcr=fcr)
+    return codec
+
+
+_CODEC_CACHE: Dict[Tuple[int, int, int, int], BatchRSCodec] = {}
+
+
+def _draw_event_table(
+    rng: np.random.Generator,
+    rate_total: float,
+    t_end: float,
+    n_trials: int,
+    n_symbols: int,
+    m: int,
+    with_values: bool,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray], np.ndarray]:
+    """Vectorized Poisson event draw for a whole chunk of trials.
+
+    Returns ``(counts, times, symbols, bits, values, offsets)`` where the
+    flat arrays hold the events of every trial back to back and
+    ``offsets`` are the per-trial split points (``cumsum`` of counts).
+    Distribution-identical to running :func:`sample_seu_events` /
+    :func:`sample_permanent_events` once per trial.
+    """
+    if rate_total <= 0 or t_end <= 0:
+        zeros = np.zeros(n_trials, dtype=np.int64)
+        empty = np.zeros(0)
+        return zeros, empty, empty, empty, (empty if with_values else None), zeros
+    counts = rng.poisson(rate_total * t_end, size=n_trials)
+    total = int(counts.sum())
+    times = rng.uniform(0.0, t_end, size=total)
+    symbols = rng.integers(0, n_symbols, size=total)
+    bits = rng.integers(0, m, size=total)
+    values = rng.integers(0, 2, size=total) if with_values else None
+    return counts, times, symbols, bits, values, np.cumsum(counts)
+
+
+def _trial_events(
+    trial: int,
+    kind: FaultKind,
+    module: int,
+    table,
+) -> List[FaultEvent]:
+    """Materialize one trial's slice of a flat event table."""
+    counts, times, symbols, bits, values, offsets = table
+    if counts[trial] == 0:
+        return []
+    hi = offsets[trial]
+    lo = hi - counts[trial]
+    if values is None:
+        return [
+            FaultEvent(float(times[i]), kind, module, int(symbols[i]), int(bits[i]))
+            for i in range(lo, hi)
+        ]
+    return [
+        FaultEvent(
+            float(times[i]),
+            kind,
+            module,
+            int(symbols[i]),
+            int(bits[i]),
+            int(values[i]),
+        )
+        for i in range(lo, hi)
+    ]
+
+
+def _draw_scrub_times(
+    rng: np.random.Generator,
+    t_end: float,
+    period: Optional[float],
+    exponential: bool,
+    n_trials: int,
+) -> List[np.ndarray]:
+    """Per-trial scrub instants, matching :func:`scrub_schedule` in law.
+
+    The exponential schedule is a Poisson process of rate ``1/period``;
+    drawing ``Poisson(t/period)`` counts and sorting uniform instants is
+    the standard equivalent construction, vectorized over the chunk.
+    """
+    if period is None or period <= 0 or t_end <= 0:
+        return [np.zeros(0)] * n_trials
+    if not exponential:
+        ticks = np.arange(1, int(t_end / period) + 1) * period
+        return [ticks] * n_trials
+    counts = rng.poisson(t_end / period, size=n_trials)
+    flat = rng.uniform(0.0, t_end, size=int(counts.sum()))
+    out: List[np.ndarray] = []
+    offset = 0
+    for c in counts:
+        out.append(np.sort(flat[offset : offset + int(c)]))
+        offset += int(c)
+    return out
+
+
+def _run_injection_chunk(args: tuple) -> Dict[str, object]:
+    """Execute one chunk of trials; picklable, runs in worker processes.
+
+    Strategy: draw everything vectorized, skip trials with zero fault
+    events outright (their read is trivially ``CORRECT``), replay the few
+    dirty trials' event streams through the real bit-level systems, then
+    push *all* final reads through one ``decode_batch`` call and apply
+    the scalar classification/arbitration rules to the per-word results.
+    """
+    (
+        arrangement,
+        n,
+        k,
+        m,
+        fcr,
+        t_end,
+        seu_per_bit,
+        erasure_per_symbol,
+        scrub_period,
+        scrub_exponential,
+        n_trials,
+        seed_seq,
+    ) = args
+    codec = _cached_batch_codec(n, k, m, fcr)
+    code = codec.scalar
+    counters = PerfCounters()
+    codec.counters = counters
+    try:
+        rng = np.random.default_rng(seed_seq)
+        n_modules = 2 if arrangement == "duplex" else 1
+        if arrangement not in ("simplex", "duplex"):
+            raise ValueError(f"unknown arrangement {arrangement!r}")
+
+        data = rng.integers(0, code.gf.order, size=(n_trials, k))
+        codewords = codec.encode_batch(data)
+
+        seu_tables = [
+            _draw_event_table(
+                rng, seu_per_bit * n * m, t_end, n_trials, n, m, False
+            )
+            for _ in range(n_modules)
+        ]
+        perm_tables = [
+            _draw_event_table(
+                rng, erasure_per_symbol * n, t_end, n_trials, n, m, True
+            )
+            for _ in range(n_modules)
+        ]
+        scrub_times = _draw_scrub_times(
+            rng, t_end, scrub_period, scrub_exponential, n_trials
+        )
+
+        counts = {outcome.value: 0 for outcome in ReadOutcome}
+        # Trials with no fault events at all read back CORRECT by
+        # construction (scrubs are no-ops on fault-free words): count them
+        # without touching the codec.
+        seu_counts = sum(t[0] for t in seu_tables)
+        perm_counts = sum(t[0] for t in perm_tables)
+        fault_counts = seu_counts + perm_counts
+        scrubless = np.asarray(
+            [len(times) == 0 for times in scrub_times], dtype=bool
+        )
+        dirty = fault_counts > 0
+        counts[ReadOutcome.CORRECT.value] += int(n_trials - dirty.sum())
+
+        # SEU-only trials with no scrubs need no event replay: with no
+        # stuck cells and no rewrites, flips commute, so the final stored
+        # word is just the codeword XOR the scatter of all flip masks.
+        vector_mask = dirty & (perm_counts == 0) & scrubless
+        vec_trials = np.flatnonzero(vector_mask)
+        replay_trials = np.flatnonzero(dirty & ~vector_mask)
+
+        # Per-trial ground truth / erasures / decode inputs, accumulated
+        # across both paths, decoded in one batch at the end.  Each entry
+        # of *_meta describes one trial: (truth row index, masked, shared).
+        pending_words: List[Sequence[int]] = []
+        pending_erasures: List[List[int]] = []
+        trial_meta: List[Tuple[int, int, int]] = []
+
+        if vec_trials.size:
+            compact = np.full(n_trials, -1, dtype=np.int64)
+            compact[vec_trials] = np.arange(vec_trials.size)
+            received_per_module = []
+            for module in range(n_modules):
+                mod_counts, _times, symbols, bits, _values, _off = seu_tables[
+                    module
+                ]
+                ev_trial = np.repeat(np.arange(n_trials), mod_counts)
+                ev_mask = vector_mask[ev_trial]
+                rec = codewords[vec_trials].copy()
+                np.bitwise_xor.at(
+                    rec,
+                    (compact[ev_trial[ev_mask]], symbols[ev_mask]),
+                    np.int64(1) << bits[ev_mask].astype(np.int64),
+                )
+                received_per_module.append(rec)
+            for row, trial in enumerate(vec_trials):
+                for module in range(n_modules):
+                    pending_words.append(received_per_module[module][row])
+                    pending_erasures.append([])
+                trial_meta.append((int(trial), 0, 0))
+
+        # Replay the remaining dirty trials (permanent faults and/or
+        # scrubs: stateful, order-dependent) through the bit-level
+        # systems, still deferring the final read's decode to the batch.
+        for trial in replay_trials:
+            events: List[FaultEvent] = []
+            for module in range(n_modules):
+                events += _trial_events(
+                    trial, FaultKind.SEU, module, seu_tables[module]
+                )
+                events += _trial_events(
+                    trial, FaultKind.PERMANENT, module, perm_tables[module]
+                )
+            events += [
+                FaultEvent(float(t), FaultKind.SCRUB) for t in scrub_times[trial]
+            ]
+            events.sort()
+            codeword = codewords[trial].tolist()
+            if arrangement == "simplex":
+                system: SimplexSystem | DuplexSystem = SimplexSystem(
+                    code, codeword=codeword
+                )
+            else:
+                system = DuplexSystem(code, codeword=codeword)
+            for event in events:
+                system.apply_event(event)
+            if arrangement == "simplex":
+                pending_words.append(system.word.read())
+                pending_erasures.append(system.word.located_positions)
+                trial_meta.append((int(trial), 0, 0))
+            else:
+                s1, s2, shared, masked = recover_erasures(
+                    system.modules[0], system.modules[1]
+                )
+                pending_words.append(s1)
+                pending_words.append(s2)
+                pending_erasures.append(shared)
+                pending_erasures.append(shared)
+                trial_meta.append((int(trial), masked, len(shared)))
+
+        if pending_words:
+            report = codec.decode_batch(
+                np.asarray(pending_words, dtype=np.int64), pending_erasures
+            )
+            truth_rows = data.tolist()
+            for slot, (trial, masked, shared) in enumerate(trial_meta):
+                truth = truth_rows[trial]
+                if arrangement == "simplex":
+                    r = report.results[slot]
+                    if isinstance(r, RSDecodingError):
+                        outcome = ReadOutcome.UNREADABLE
+                    elif r.data == truth:
+                        outcome = ReadOutcome.CORRECT
+                    else:
+                        outcome = ReadOutcome.CORRUPTED
+                else:
+                    r1 = report.results[2 * slot]
+                    r2 = report.results[2 * slot + 1]
+                    result = decide_from_decodes(
+                        None if isinstance(r1, RSDecodingError) else r1,
+                        None if isinstance(r2, RSDecodingError) else r2,
+                        masked=masked,
+                        shared=shared,
+                    )
+                    if not result.produced_output:
+                        outcome = ReadOutcome.UNREADABLE
+                    elif result.data == truth:
+                        outcome = ReadOutcome.CORRECT
+                    else:
+                        outcome = ReadOutcome.CORRUPTED
+                counts[outcome.value] += 1
+
+        failures = sum(
+            counts[o.value] for o in ReadOutcome if o.is_failure
+        )
+        counters.trials += n_trials
+        counters.chunks += 1
+        return {
+            "failures": failures,
+            "counts": counts,
+            "trials": n_trials,
+            "counters": counters.as_dict(),
+        }
+    finally:
+        codec.counters = None
+
+
+def simulate_fail_probability_batched(
+    arrangement: str,
+    code: RSCode,
+    t_end: float,
+    seu_per_bit: float,
+    erasure_per_symbol: float,
+    trials: int,
+    seed: SeedLike = 0,
+    scrub_period: float | None = None,
+    scrub_exponential: bool = False,
+    chunk_size: int = 512,
+    workers: int = 1,
+    counters: Optional[PerfCounters] = None,
+) -> FailureEstimate:
+    """Batched Monte-Carlo failure probability through the batch codec.
+
+    Same physics as :func:`simulate_fail_probability`, executed in
+    vectorized chunks (see :func:`_run_injection_chunk`).  The estimate
+    is a deterministic function of ``(seed, trials, chunk_size)`` and all
+    physical parameters — and of nothing else:
+
+    * each chunk draws from its own spawned :class:`numpy.random.SeedSequence`
+      (:func:`spawn_chunk_seeds`), so streams never overlap;
+    * chunk results are combined by commutative summation, so scheduling
+      order and ``workers`` cannot change the outcome.
+
+    ``workers > 1`` distributes chunks over a process pool; ``counters``
+    (optional) receives the merged work/throughput counters of all
+    chunks, wherever they ran.
+    """
+    if arrangement not in ("simplex", "duplex"):
+        raise ValueError(f"unknown arrangement {arrangement!r}")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    sizes = chunk_sizes(trials, chunk_size)
+    seeds = spawn_chunk_seeds(seed, len(sizes))
+    job_args = [
+        (
+            arrangement,
+            code.n,
+            code.k,
+            code.m,
+            code.fcr,
+            t_end,
+            seu_per_bit,
+            erasure_per_symbol,
+            scrub_period,
+            scrub_exponential,
+            size,
+            chunk_seed,
+        )
+        for size, chunk_seed in zip(sizes, seeds)
+    ]
+
+    own_counters = counters if counters is not None else PerfCounters()
+    with Stopwatch(own_counters):
+        if workers == 1 or len(job_args) == 1:
+            chunk_results = [_run_injection_chunk(a) for a in job_args]
+        else:
+            import multiprocessing
+
+            with multiprocessing.Pool(min(workers, len(job_args))) as pool:
+                chunk_results = pool.map(_run_injection_chunk, job_args)
+
+    counts: Dict[str, int] = {outcome.value: 0 for outcome in ReadOutcome}
+    failures = 0
+    for res in chunk_results:
+        failures += res["failures"]
+        for key, value in res["counts"].items():
+            counts[key] += value
+        own_counters.merge(
+            PerfCounters.from_dict(res["counters"])  # type: ignore[arg-type]
+        )
     low, high = wilson_interval(failures, trials)
     return FailureEstimate(
         failures / trials, trials, failures, low, high, outcome_counts=counts

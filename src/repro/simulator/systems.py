@@ -48,14 +48,22 @@ class SimplexSystem:
         code: RSCode,
         data: Optional[Sequence[int]] = None,
         rng: Optional[np.random.Generator] = None,
+        codeword: Optional[Sequence[int]] = None,
     ):
         self.code = code
         if data is None:
-            if rng is None:
-                rng = np.random.default_rng()
-            data = [int(v) for v in rng.integers(0, code.gf.order, size=code.k)]
+            if codeword is not None:
+                data = code.extract_data(codeword)
+            else:
+                if rng is None:
+                    rng = np.random.default_rng()
+                data = [
+                    int(v) for v in rng.integers(0, code.gf.order, size=code.k)
+                ]
         self.data = list(data)
-        self.word = MemoryWord(code.encode(self.data), code.m)
+        if codeword is None:
+            codeword = code.encode(self.data)
+        self.word = MemoryWord(codeword, code.m)
 
     # -- event application -------------------------------------------------
 
@@ -107,14 +115,21 @@ class DuplexSystem:
         code: RSCode,
         data: Optional[Sequence[int]] = None,
         rng: Optional[np.random.Generator] = None,
+        codeword: Optional[Sequence[int]] = None,
     ):
         self.code = code
         if data is None:
-            if rng is None:
-                rng = np.random.default_rng()
-            data = [int(v) for v in rng.integers(0, code.gf.order, size=code.k)]
+            if codeword is not None:
+                data = code.extract_data(codeword)
+            else:
+                if rng is None:
+                    rng = np.random.default_rng()
+                data = [
+                    int(v) for v in rng.integers(0, code.gf.order, size=code.k)
+                ]
         self.data = list(data)
-        codeword = code.encode(self.data)
+        if codeword is None:
+            codeword = code.encode(self.data)
         self.modules: List[MemoryWord] = [
             MemoryWord(codeword, code.m),
             MemoryWord(codeword, code.m),

@@ -1,0 +1,149 @@
+"""Determinism and reproducibility of the batched Monte-Carlo engine.
+
+The contract under test: a batched campaign's estimate is a function of
+``(seed, trials, chunk_size)`` and the physical parameters only — never
+of the worker count or of scheduling — and the chunk RNG streams are
+mutually non-overlapping by spawn-key construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf import PerfCounters
+from repro.rs import RSCode
+from repro.simulator import (
+    CampaignCell,
+    chunk_sizes,
+    run_campaign,
+    simulate_fail_probability_batched,
+    spawn_chunk_seeds,
+)
+
+CODE = RSCode(18, 16, m=8)
+LAM = 2e-3 / 24.0  # MC-visible SEU rate per hour
+PERM = 1e-2 / 24.0
+
+
+def batched(trials=600, seed=42, workers=1, **kw):
+    kw.setdefault("chunk_size", 128)
+    return simulate_fail_probability_batched(
+        "simplex", CODE, 48.0, LAM, 0.0, trials, seed=seed, workers=workers, **kw
+    )
+
+
+class TestWorkerCountInvariance:
+    def test_workers_1_vs_4_identical_estimate(self):
+        est1 = batched(workers=1)
+        est4 = batched(workers=4)
+        assert est1 == est4  # full FailureEstimate, outcome counts included
+
+    def test_workers_invariance_with_scrub_and_permanents(self):
+        kw = dict(
+            trials=400,
+            seed=7,
+            chunk_size=100,
+            scrub_period=12.0,
+            scrub_exponential=True,
+        )
+        est1 = simulate_fail_probability_batched(
+            "duplex", CODE, 48.0, LAM, PERM, workers=1, **kw
+        )
+        est3 = simulate_fail_probability_batched(
+            "duplex", CODE, 48.0, LAM, PERM, workers=3, **kw
+        )
+        assert est1 == est3
+
+    def test_same_seed_reruns_identical(self):
+        assert batched() == batched()
+
+    def test_different_seeds_differ(self):
+        # Probability-1 sanity check that the seed actually matters.
+        assert batched(seed=1) != batched(seed=2)
+
+    def test_chunk_size_is_part_of_the_contract(self):
+        # Different chunking means different stream consumption; the
+        # result may legitimately change, so chunk_size is documented as
+        # part of the reproducibility key.  Both remain self-consistent.
+        a = batched(chunk_size=128)
+        b = batched(chunk_size=128)
+        assert a == b
+
+    def test_counters_aggregate_across_workers(self):
+        c1, c4 = PerfCounters(), PerfCounters()
+        batched(counters=c1, workers=1)
+        batched(counters=c4, workers=4)
+        assert c1.trials == c4.trials == 600
+        assert c1.words_decoded == c4.words_decoded
+        assert c1.clean_fast_path == c4.clean_fast_path
+        assert c1.scalar_fallbacks == c4.scalar_fallbacks
+
+
+class TestCampaignBatchEngine:
+    CELLS = [
+        CampaignCell("simplex", 2e-3, 0.0),
+        CampaignCell("duplex", 2e-3, 1e-2),
+    ]
+
+    def test_campaign_workers_invariance(self):
+        rows1 = run_campaign(
+            self.CELLS, trials=300, base_seed=11, engine="batch", workers=1
+        )
+        rows4 = run_campaign(
+            self.CELLS, trials=300, base_seed=11, engine="batch", workers=4
+        )
+        for r1, r4 in zip(rows1, rows4):
+            assert r1.estimate == r4.estimate
+            assert r1.model_fail_probability == r4.model_fail_probability
+
+    def test_campaign_batch_engine_consistent_with_models(self):
+        rows = run_campaign(
+            self.CELLS, trials=400, base_seed=5, engine="batch", workers=2
+        )
+        assert all(row.consistent for row in rows)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            run_campaign(self.CELLS, trials=10, engine="gpu")
+
+
+class TestChunkSeeding:
+    def test_chunk_sizes_partition_trials(self):
+        assert chunk_sizes(1000, 256) == [256, 256, 256, 232]
+        assert chunk_sizes(256, 256) == [256]
+        assert chunk_sizes(10, 256) == [10]
+        assert sum(chunk_sizes(99999, 512)) == 99999
+        with pytest.raises(ValueError):
+            chunk_sizes(0, 256)
+        with pytest.raises(ValueError):
+            chunk_sizes(10, 0)
+
+    def test_spawn_keys_are_unique(self):
+        seeds = spawn_chunk_seeds(2005, 64)
+        keys = {s.spawn_key for s in seeds}
+        assert len(keys) == 64
+        assert all(s.entropy == seeds[0].entropy for s in seeds)
+
+    def test_spawned_streams_never_overlap(self):
+        """Distinct spawn keys give statistically independent streams.
+
+        Compare the raw state words drawn from every pair of chunk
+        generators: with non-overlapping streams a collision of a whole
+        64-bit draw sequence is impossible in practice.
+        """
+        seeds = spawn_chunk_seeds(123, 16)
+        draws = [
+            tuple(np.random.default_rng(s).integers(0, 2**63, size=8).tolist())
+            for s in seeds
+        ]
+        assert len(set(draws)) == 16
+
+    def test_seed_sequence_accepted_as_seed(self):
+        root = np.random.SeedSequence(77)
+        est_a = batched(seed=np.random.SeedSequence(77))
+        est_b = batched(seed=root)
+        est_c = batched(seed=77)
+        assert est_a == est_b == est_c
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            batched(workers=0)

@@ -1,0 +1,262 @@
+"""Differential suite: the batch codec is bit-identical to the scalar codec.
+
+Every supported configuration drives random batches through
+:class:`repro.rs.batch.BatchRSCodec` and the scalar
+:class:`repro.rs.codec.RSCode` side by side and demands *symbol-identical*
+outcomes for encode, clean decode, random-error decode and erasure decode
+— including capability-boundary patterns ``2*re + er == n - k`` and
+uncorrectable words, which must surface the same
+:class:`~repro.rs.RSDecodingError` on both paths.  This is the lockdown
+that lets every later performance PR trust the batch layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf import PerfCounters
+from repro.rs import BatchRSCodec, RSCode, RSDecodingError
+
+# (n, k, m) spanning all supported symbol widths of the batch layer.
+CONFIGS = [
+    (7, 3, 3),
+    (7, 5, 3),
+    (15, 9, 4),
+    (15, 11, 4),
+    (18, 16, 8),
+    (36, 16, 8),
+    (255, 223, 8),
+]
+
+
+@pytest.fixture(params=CONFIGS, ids=lambda c: f"RS({c[0]},{c[1]})m{c[2]}")
+def pair(request):
+    n, k, m = request.param
+    scalar = RSCode(n, k, m=m)
+    return scalar, BatchRSCodec(n, k, m=m, scalar=scalar)
+
+
+def random_batch(rng, code, batch):
+    return rng.integers(0, code.gf.order, size=(batch, code.k))
+
+
+def assert_same_result(batch_outcome, scalar_call):
+    """Batch entry and scalar call must agree result-for-result."""
+    try:
+        expected = scalar_call()
+    except RSDecodingError as exc:
+        assert isinstance(batch_outcome, RSDecodingError), (
+            f"scalar raised {exc!r} but batch returned {batch_outcome!r}"
+        )
+        assert str(batch_outcome) == str(exc)
+        return
+    assert not isinstance(batch_outcome, RSDecodingError), (
+        f"batch raised {batch_outcome!r} but scalar decoded"
+    )
+    assert batch_outcome.data == expected.data
+    assert batch_outcome.codeword == expected.codeword
+    assert batch_outcome.num_errors == expected.num_errors
+    assert batch_outcome.num_erasures == expected.num_erasures
+    assert batch_outcome.corrected == expected.corrected
+    assert batch_outcome.error_positions == expected.error_positions
+
+
+class TestEncodeDifferential:
+    def test_encode_batch_matches_scalar(self, pair):
+        scalar, batch = pair
+        rng = np.random.default_rng(101)
+        words = random_batch(rng, scalar, 40)
+        encoded = batch.encode_batch(words)
+        assert encoded.shape == (40, scalar.n)
+        for row, data in zip(encoded, words):
+            assert row.tolist() == scalar.encode(data.tolist())
+
+    def test_encoded_rows_are_codewords(self, pair):
+        scalar, batch = pair
+        rng = np.random.default_rng(102)
+        encoded = batch.encode_batch(random_batch(rng, scalar, 16))
+        assert batch.is_codeword_mask(encoded).all()
+        assert all(scalar.is_codeword(row.tolist()) for row in encoded)
+
+
+class TestCleanDecodeDifferential:
+    def test_clean_decode_takes_fast_path_and_matches(self, pair):
+        scalar, batch = pair
+        counters = PerfCounters()
+        batch.counters = counters
+        rng = np.random.default_rng(103)
+        encoded = batch.encode_batch(random_batch(rng, scalar, 24))
+        report = batch.decode_batch(encoded)
+        assert report.clean.all() and report.ok.all()
+        assert counters.clean_fast_path == 24
+        assert counters.scalar_fallbacks == 0
+        for i, row in enumerate(encoded):
+            assert_same_result(
+                report[i], lambda row=row: scalar.decode(row.tolist())
+            )
+
+    def test_clean_decode_with_benign_erasures(self, pair):
+        """Erased positions that happen to hold correct values."""
+        scalar, batch = pair
+        rng = np.random.default_rng(104)
+        encoded = batch.encode_batch(random_batch(rng, scalar, 12))
+        erasures = [
+            sorted(
+                rng.choice(scalar.n, size=min(i % 4, scalar.nsym), replace=False)
+                .astype(int)
+                .tolist()
+            )
+            for i in range(12)
+        ]
+        report = batch.decode_batch(encoded, erasures)
+        for i, row in enumerate(encoded):
+            assert_same_result(
+                report[i],
+                lambda row=row, e=erasures[i]: scalar.decode(
+                    row.tolist(), erasure_positions=e
+                ),
+            )
+            assert report.result(i).num_erasures == len(erasures[i])
+
+
+def corrupt(rng, code, codeword, num_errors, num_erasures):
+    """Apply distinct-position random errors + erasures; return word, erasures."""
+    word = list(codeword)
+    positions = rng.choice(
+        code.n, size=num_errors + num_erasures, replace=False
+    ).astype(int)
+    error_pos = positions[:num_errors]
+    erasure_pos = sorted(int(p) for p in positions[num_errors:])
+    for p in positions:  # corrupt erased positions too (worst case)
+        word[p] ^= int(rng.integers(1, code.gf.order))
+    return word, erasure_pos, error_pos
+
+
+class TestErrorDecodeDifferential:
+    def test_random_correctable_errors(self, pair):
+        scalar, batch = pair
+        rng = np.random.default_rng(105)
+        words = random_batch(rng, scalar, 30)
+        encoded = batch.encode_batch(words)
+        received = []
+        for row in encoded:
+            re = int(rng.integers(0, scalar.t + 1))
+            word, _, _ = corrupt(rng, scalar, row.tolist(), re, 0)
+            received.append(word)
+        report = batch.decode_batch(np.asarray(received))
+        for i, word in enumerate(received):
+            assert_same_result(
+                report[i], lambda w=word: scalar.decode(w)
+            )
+
+    def test_error_erasure_mixes_at_capability_boundary(self, pair):
+        """Every boundary pattern 2*re + er == n - k must decode identically."""
+        scalar, batch = pair
+        rng = np.random.default_rng(106)
+        received, erasures = [], []
+        patterns = [
+            (re, scalar.nsym - 2 * re) for re in range(scalar.t + 1)
+        ]
+        for re, er in patterns * 3:
+            data = random_batch(rng, scalar, 1)[0]
+            codeword = scalar.encode(data.tolist())
+            word, erasure_pos, _ = corrupt(rng, scalar, codeword, re, er)
+            received.append(word)
+            erasures.append(erasure_pos)
+        report = batch.decode_batch(np.asarray(received), erasures)
+        for i, word in enumerate(received):
+            assert_same_result(
+                report[i],
+                lambda w=word, e=erasures[i]: scalar.decode(
+                    w, erasure_positions=e
+                ),
+            )
+
+    def test_uncorrectable_words_raise_identically(self, pair):
+        """Beyond-capability patterns: same error type, same message."""
+        scalar, batch = pair
+        rng = np.random.default_rng(107)
+        received, erasures = [], []
+        for _ in range(20):
+            data = random_batch(rng, scalar, 1)[0]
+            codeword = scalar.encode(data.tolist())
+            re = scalar.t + 1 + int(rng.integers(0, max(1, scalar.t)))
+            re = min(re, scalar.n)
+            word, _, _ = corrupt(rng, scalar, codeword, re, 0)
+            received.append(word)
+            erasures.append([])
+        # Also: too many erasures must be rejected identically.
+        data = random_batch(rng, scalar, 1)[0]
+        codeword = scalar.encode(data.tolist())
+        word, erasure_pos, _ = corrupt(rng, scalar, codeword, 0, scalar.nsym)
+        received.append(word)
+        erasures.append(sorted(set(erasure_pos) | {0, 1, scalar.n - 1}))
+        report = batch.decode_batch(np.asarray(received), erasures)
+        for i, word in enumerate(received):
+            assert_same_result(
+                report[i],
+                lambda w=word, e=erasures[i]: scalar.decode(
+                    w, erasure_positions=e
+                ),
+            )
+
+    def test_mixed_batch_masks_are_consistent(self, pair):
+        """ok/clean masks agree with the per-word outcomes."""
+        scalar, batch = pair
+        rng = np.random.default_rng(108)
+        encoded = batch.encode_batch(random_batch(rng, scalar, 9))
+        received = []
+        for i, row in enumerate(encoded):
+            word = row.tolist()
+            if i % 3 == 1:  # correctable
+                word, _, _ = corrupt(rng, scalar, word, 1, 0)
+            elif i % 3 == 2:  # very likely uncorrectable
+                word, _, _ = corrupt(
+                    rng, scalar, word, min(scalar.n, scalar.nsym + 1), 0
+                )
+            received.append(word)
+        report = batch.decode_batch(np.asarray(received))
+        assert len(report) == 9
+        for i in range(9):
+            outcome = report[i]
+            assert report.ok[i] == (not isinstance(outcome, RSDecodingError))
+            if report.clean[i]:
+                assert report.ok[i]
+                assert not outcome.corrected
+        assert report.num_clean + report.num_fallback == 9
+
+
+class TestBatchValidation:
+    def test_wrong_shapes_rejected(self, pair):
+        scalar, batch = pair
+        with pytest.raises(ValueError, match="batch"):
+            batch.encode_batch(np.zeros((2, scalar.k + 1), dtype=int))
+        with pytest.raises(ValueError, match="batch"):
+            batch.decode_batch(np.zeros((2, scalar.n + 1), dtype=int))
+
+    def test_erasure_list_length_must_match(self, pair):
+        scalar, batch = pair
+        rng = np.random.default_rng(109)
+        encoded = batch.encode_batch(random_batch(rng, scalar, 3))
+        with pytest.raises(ValueError, match="erasure_positions"):
+            batch.decode_batch(encoded, [[0]])
+
+    def test_out_of_range_symbols_rejected(self, pair):
+        scalar, batch = pair
+        bad = np.zeros((1, scalar.n), dtype=int)
+        bad[0, 0] = scalar.gf.order
+        with pytest.raises(ValueError, match="outside"):
+            batch.decode_batch(bad)
+
+    def test_empty_batch(self, pair):
+        scalar, batch = pair
+        assert batch.encode_batch(np.zeros((0, scalar.k), dtype=int)).shape == (
+            0,
+            scalar.n,
+        )
+        report = batch.decode_batch(np.zeros((0, scalar.n), dtype=int))
+        assert len(report) == 0
+        assert report.num_clean == 0 and report.num_failures == 0
+
+    def test_mismatched_scalar_codec_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            BatchRSCodec(18, 16, m=8, scalar=RSCode(18, 14, m=8))
