@@ -14,6 +14,10 @@ Subcommands:
   with its availability/bandwidth overhead.
 * ``report`` — regenerate every artifact into one markdown report.
 * ``sensitivity`` — BER elasticities of a configuration.
+* ``campaign`` — bulk model-vs-simulation validation with supervised
+  workers, chunk-level checkpoint/resume (``--checkpoint``), run
+  manifests (``--manifest``), and deterministic fault injection
+  (``--chaos``, dev).
 """
 
 from __future__ import annotations
@@ -126,6 +130,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--perf",
         action="store_true",
         help="print batch-engine work/throughput counters",
+    )
+    camp.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="append-only JSONL journal of completed chunks; rerunning "
+        "the same command against an existing journal resumes it with "
+        "bit-identical results (batch engine only)",
+    )
+    camp.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="write a machine-readable JSON run manifest (seed, engine, "
+        "retry/fallback counts, git describe, wall clock, results)",
+    )
+    camp.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-chunk deadline; an overdue worker is presumed hung, "
+        "killed, and its chunk retried (default: no timeout)",
+    )
+    camp.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per chunk on the batch engine before degrading "
+        "that chunk to the scalar engine (default 3)",
+    )
+    camp.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="[dev] deterministic fault injection, e.g. "
+        "'crash@0;hang@2:30;poison@1;slow@*:0.1' — proves the "
+        "supervisor's retry/fallback machinery end to end",
     )
 
     design = sub.add_parser(
@@ -325,23 +365,90 @@ def cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    import time as _time
+
     from .perf import PerfCounters
+    from .runtime import (
+        CheckpointJournal,
+        CheckpointMismatchError,
+        RetryPolicy,
+        RuntimeConfig,
+        build_manifest,
+        chaos_from_arg,
+        write_manifest,
+    )
     from .simulator import (
+        campaign_fingerprint,
         campaign_summary,
         default_validation_campaign,
         run_campaign,
     )
 
+    if args.checkpoint and args.engine != "batch":
+        print(
+            "--checkpoint requires --engine batch (the scalar engine has "
+            "no chunk structure to journal)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_retries < 1:
+        print("--max-retries must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        chaos = chaos_from_arg(args.chaos)
+    except ValueError as exc:
+        print(f"bad --chaos spec: {exc}", file=sys.stderr)
+        return 2
+
+    cells = default_validation_campaign()
     counters = PerfCounters()
-    rows = run_campaign(
-        default_validation_campaign(),
-        trials=args.trials,
-        base_seed=args.seed,
-        engine=args.engine,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
-        counters=counters,
+    journal = CheckpointJournal(args.checkpoint) if args.checkpoint else None
+    resumed = journal is not None and journal.n_chunks > 0
+    if resumed:
+        print(
+            f"resuming from {args.checkpoint}: "
+            f"{journal.n_chunks} chunk(s) already journaled"
+        )
+    runtime = RuntimeConfig(
+        retry=RetryPolicy(max_attempts=args.max_retries),
+        chunk_timeout=args.chunk_timeout,
+        chaos=chaos,
+        journal=journal,
     )
+    t0 = _time.perf_counter()
+    try:
+        rows = run_campaign(
+            cells,
+            trials=args.trials,
+            base_seed=args.seed,
+            engine=args.engine,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            counters=counters,
+            runtime=runtime if args.engine == "batch" else None,
+        )
+    except CheckpointMismatchError as exc:
+        print(f"checkpoint refused: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        if journal is not None:
+            print(
+                f"\ninterrupted; {journal.n_chunks} completed chunk(s) "
+                f"checkpointed in {args.checkpoint} — rerun the same "
+                "command to resume",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "\ninterrupted (no --checkpoint given; progress lost)",
+                file=sys.stderr,
+            )
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
+    wall = _time.perf_counter() - t0
+
     for row in rows:
         mark = "OK " if row.consistent else "!! "
         est = row.estimate
@@ -355,9 +462,35 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     for arrangement, (ok, total) in summary.items():
         print(f"{arrangement}: {ok}/{total} cells consistent")
         all_ok = all_ok and ok == total
+    if counters.had_faults:
+        print("\nresilience:")
+        print(counters.resilience_summary())
     if args.perf and args.engine == "batch":
         print(f"\nbatch engine ({args.workers} worker(s)):")
         print(counters.summary())
+    if args.manifest:
+        manifest = build_manifest(
+            command="campaign",
+            fingerprint=campaign_fingerprint(
+                cells,
+                18,
+                16,
+                8,
+                48.0,
+                args.trials,
+                args.seed,
+                args.engine,
+                args.chunk_size,
+            ),
+            rows=rows,
+            counters=counters,
+            events=runtime.events,
+            wall_clock_seconds=wall,
+            resumed=resumed,
+            checkpoint_path=args.checkpoint,
+        )
+        path = write_manifest(args.manifest, manifest)
+        print(f"manifest: {path}")
     return 0 if all_ok else 1
 
 

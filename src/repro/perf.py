@@ -37,6 +37,17 @@ class PerfCounters:
     trials: Monte-Carlo trials completed.
     chunks: Monte-Carlo chunks processed.
     elapsed_seconds: wall-clock time accumulated by :class:`Stopwatch`.
+
+    Resilience counters (filled by :mod:`repro.runtime`):
+
+    retries: chunk attempts re-dispatched after a failure.
+    chunk_failures: individual chunk attempt failures observed.
+    chunk_timeouts: chunks that exceeded the per-chunk deadline.
+    worker_crashes: worker-process deaths detected via a broken pool.
+    pool_restarts: times the worker pool was torn down and rebuilt.
+    engine_fallbacks: chunks degraded from the batch to scalar engine.
+    serial_fallbacks: times pooled execution degraded to serial.
+    chunks_resumed: chunks replayed from a checkpoint journal.
     """
 
     words_encoded: int = 0
@@ -47,6 +58,14 @@ class PerfCounters:
     trials: int = 0
     chunks: int = 0
     elapsed_seconds: float = 0.0
+    retries: int = 0
+    chunk_failures: int = 0
+    chunk_timeouts: int = 0
+    worker_crashes: int = 0
+    pool_restarts: int = 0
+    engine_fallbacks: int = 0
+    serial_fallbacks: int = 0
+    chunks_resumed: int = 0
 
     # -- aggregation -------------------------------------------------------
 
@@ -62,7 +81,10 @@ class PerfCounters:
 
     @classmethod
     def from_dict(cls, d: Dict[str, float]) -> "PerfCounters":
-        return cls(**d)
+        # Tolerate dicts from older journal/checkpoint records that
+        # predate newer counter fields (they default to zero).
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in known})
 
     # -- derived metrics ---------------------------------------------------
 
@@ -102,6 +124,45 @@ class PerfCounters:
             lines.append(f"trials/sec         : {self.trials_per_second:,.0f}")
         if self.words_decoded and self.elapsed_seconds > 0:
             lines.append(f"decoded words/sec  : {self.words_per_second:,.0f}")
+        resilience = self.resilience_summary()
+        if resilience:
+            lines.append(resilience)
+        return "\n".join(lines)
+
+    # -- resilience reporting ---------------------------------------------
+
+    @property
+    def had_faults(self) -> bool:
+        """True if the run saw any retries, faults, fallbacks, or resume."""
+        return bool(
+            self.retries
+            or self.chunk_failures
+            or self.chunk_timeouts
+            or self.worker_crashes
+            or self.pool_restarts
+            or self.engine_fallbacks
+            or self.serial_fallbacks
+            or self.chunks_resumed
+        )
+
+    def resilience_summary(self) -> str:
+        """Non-empty only when something went wrong (or was resumed)."""
+        if not self.had_faults:
+            return ""
+        lines = []
+        pairs = [
+            ("retries", self.retries),
+            ("chunk failures", self.chunk_failures),
+            ("chunk timeouts", self.chunk_timeouts),
+            ("worker crashes", self.worker_crashes),
+            ("pool restarts", self.pool_restarts),
+            ("engine fallbacks", self.engine_fallbacks),
+            ("serial fallbacks", self.serial_fallbacks),
+            ("chunks resumed", self.chunks_resumed),
+        ]
+        for name, value in pairs:
+            if value:
+                lines.append(f"{name:<19}: {value}")
         return "\n".join(lines)
 
 

@@ -1,0 +1,94 @@
+"""Resilient campaign runtime: checkpointing, supervision, chaos.
+
+The Monte-Carlo layer treats the *analysis infrastructure itself* as a
+reliability problem: long campaigns must survive worker crashes, hangs,
+poisoned batch chunks, and operator interrupts without discarding
+completed trials — the same fault classes the paper's memories model.
+
+Public surface:
+
+* :class:`CheckpointJournal` — append-only JSONL journal of completed
+  chunks; resuming replays journaled chunks for bit-identical results.
+* :class:`ChunkSupervisor` / :class:`RetryPolicy` — supervised pool
+  dispatch with per-chunk timeouts, bounded exponential-backoff
+  retries, engine fallback (batch -> scalar) and serial degradation.
+* :class:`ChaosSpec` / :func:`parse_chaos_spec` — deterministic
+  crash/hang/poison/slow injection to prove the above under test.
+* :class:`RuntimeConfig` — the bundle threaded through
+  ``simulate_fail_probability_batched`` and ``run_campaign``.
+* :func:`build_manifest` / :func:`write_manifest` — machine-readable
+  provenance records for campaign runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .chaos import (
+    CHAOS_EXIT_CODE,
+    ChaosCrashError,
+    ChaosError,
+    ChaosHangError,
+    ChaosPoisonError,
+    ChaosSpec,
+    chaos_from_arg,
+    parse_chaos_spec,
+)
+from .checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    CheckpointMismatchError,
+    seed_key,
+)
+from .manifest import build_manifest, git_describe, write_manifest
+from .supervisor import (
+    ChunkFailedError,
+    ChunkSupervisor,
+    ResilienceWarning,
+    RetryPolicy,
+    SupervisorEvent,
+)
+
+
+@dataclass
+class RuntimeConfig:
+    """Resilience options threaded through the Monte-Carlo entry points.
+
+    ``None`` members disable the corresponding feature; the default
+    config (all ``None``/defaults) reproduces plain supervised execution
+    with bounded retries and no journaling or chaos.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    chunk_timeout: Optional[float] = None
+    chaos: Optional[ChaosSpec] = None
+    journal: Optional[CheckpointJournal] = None
+
+    #: Supervisor events accumulated across cells (filled during runs).
+    events: list = field(default_factory=list)
+
+
+__all__ = [
+    "CHAOS_EXIT_CODE",
+    "ChaosCrashError",
+    "ChaosError",
+    "ChaosHangError",
+    "ChaosPoisonError",
+    "ChaosSpec",
+    "chaos_from_arg",
+    "parse_chaos_spec",
+    "CheckpointError",
+    "CheckpointJournal",
+    "CheckpointMismatchError",
+    "seed_key",
+    "build_manifest",
+    "git_describe",
+    "write_manifest",
+    "ChunkFailedError",
+    "ChunkSupervisor",
+    "ResilienceWarning",
+    "RetryPolicy",
+    "SupervisorEvent",
+    "RuntimeConfig",
+]

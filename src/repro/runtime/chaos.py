@@ -1,0 +1,231 @@
+"""Deterministic chaos injection for the chunked Monte-Carlo engine.
+
+The resilience layer (:mod:`repro.runtime.supervisor`) claims to survive
+worker crashes, hangs, and poisoned batch chunks.  This module makes
+those fault classes *injectable on purpose*, keyed by chunk index and
+attempt number, so the claims are provable under test and from the CLI
+(``repro campaign --chaos ...``) without any nondeterministic flakiness.
+
+A :class:`ChaosSpec` is parsed from a compact string grammar::
+
+    spec    := clause (';' clause)*
+    clause  := kind '@' targets [':' param]
+    kind    := 'crash' | 'hang' | 'poison' | 'slow'
+    targets := '*' | index (',' index)*
+
+* ``crash@i[:a]``  — the worker process executing chunk ``i`` dies with
+  ``os._exit`` on its first ``a`` attempts (default 1, so the first
+  retry succeeds).  In the serial (in-process) path a crash cannot kill
+  the interpreter, so it degrades to raising :class:`ChaosCrashError`,
+  which exercises the same retry machinery.
+* ``hang@i[:s]``   — the worker sleeps ``s`` seconds (default 3600) on
+  chunk ``i``'s first attempt, simulating a livelocked worker; the
+  supervisor's per-chunk timeout must fire.  Serially this raises
+  :class:`ChaosHangError` instead (a blocking sleep in the parent could
+  never be supervised).
+* ``poison@i[:a]`` — the batch executor raises :class:`ChaosPoisonError`
+  for chunk ``i`` on every attempt (``a = -1``, the default), forcing
+  the supervisor's engine fallback to the scalar path.
+* ``slow@i[:s]``   — benign: sleep ``s`` seconds (default 0.1) before
+  computing chunk ``i``.  Widens race windows for interrupt tests
+  without changing any result.
+
+``*`` targets every chunk.  Chaos only perturbs *scheduling and worker
+health*, never the RNG streams, so any run that completes under chaos
+(via retries) is bit-identical to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Pseudo-index meaning "every chunk" in the per-kind target maps.
+WILDCARD = -1
+
+#: Exit status used by injected worker crashes (recognizable in logs).
+CHAOS_EXIT_CODE = 86
+
+
+class ChaosError(RuntimeError):
+    """Base class for injected faults."""
+
+
+class ChaosCrashError(ChaosError):
+    """Serial-mode stand-in for a worker process crash."""
+
+
+class ChaosHangError(ChaosError):
+    """Serial-mode stand-in for a hung worker."""
+
+
+class ChaosPoisonError(ChaosError):
+    """A deterministically poisoned batch chunk (persistent failure)."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Per-chunk fault injection plan (picklable, crosses process lines).
+
+    Each mapping goes ``chunk index -> parameter``; :data:`WILDCARD`
+    applies to all chunks.  ``crash``/``poison`` parameters are *attempt
+    budgets*: the fault fires while ``attempt < budget`` (``-1`` means
+    every attempt).  ``hang``/``slow`` parameters are seconds.
+    """
+
+    crash: Dict[int, int] = field(default_factory=dict)
+    hang: Dict[int, float] = field(default_factory=dict)
+    poison: Dict[int, int] = field(default_factory=dict)
+    slow: Dict[int, float] = field(default_factory=dict)
+
+    def _lookup(self, table, chunk_index):
+        if chunk_index in table:
+            return table[chunk_index]
+        return table.get(WILDCARD)
+
+    def crash_attempts(self, chunk_index: int) -> int:
+        budget = self._lookup(self.crash, chunk_index)
+        return 0 if budget is None else budget
+
+    def hang_seconds(self, chunk_index: int, attempt: int) -> float:
+        if attempt > 0:  # hangs are first-attempt faults
+            return 0.0
+        seconds = self._lookup(self.hang, chunk_index)
+        return 0.0 if seconds is None else seconds
+
+    def poison_attempts(self, chunk_index: int) -> int:
+        budget = self._lookup(self.poison, chunk_index)
+        return 0 if budget is None else budget
+
+    def slow_seconds(self, chunk_index: int) -> float:
+        seconds = self._lookup(self.slow, chunk_index)
+        return 0.0 if seconds is None else seconds
+
+    # -- injection ---------------------------------------------------------
+
+    def before_chunk(self, chunk_index: int, attempt: int) -> None:
+        """Fire any faults scheduled for this ``(chunk, attempt)``.
+
+        Called by the worker entry point immediately before the real
+        chunk executor.  Crash/hang behaviour depends on whether we are
+        inside a spawned worker (real death / real sleep) or the parent
+        process (typed exceptions the supervisor treats identically).
+        """
+        import multiprocessing
+
+        in_worker = multiprocessing.parent_process() is not None
+
+        delay = self.slow_seconds(chunk_index)
+        if delay > 0:
+            time.sleep(delay)
+
+        budget = self.crash_attempts(chunk_index)
+        if budget < 0 or attempt < budget:
+            if budget:
+                if in_worker:
+                    os._exit(CHAOS_EXIT_CODE)
+                raise ChaosCrashError(
+                    f"injected crash: chunk {chunk_index} attempt {attempt}"
+                )
+
+        seconds = self.hang_seconds(chunk_index, attempt)
+        if seconds > 0:
+            if in_worker:
+                time.sleep(seconds)
+            else:
+                raise ChaosHangError(
+                    f"injected hang: chunk {chunk_index} attempt {attempt}"
+                )
+
+        budget = self.poison_attempts(chunk_index)
+        if budget < 0 or attempt < budget:
+            if budget:
+                raise ChaosPoisonError(
+                    f"injected poison: chunk {chunk_index} attempt {attempt}"
+                )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.crash or self.hang or self.poison or self.slow)
+
+
+_DEFAULT_PARAMS = {
+    "crash": 1,
+    "hang": 3600.0,
+    "poison": -1,
+    "slow": 0.1,
+}
+
+
+def parse_chaos_spec(text: str) -> ChaosSpec:
+    """Parse the ``--chaos`` CLI grammar into a :class:`ChaosSpec`.
+
+    >>> spec = parse_chaos_spec("crash@0;poison@2;slow@*:0.05")
+    >>> spec.crash_attempts(0), spec.poison_attempts(2)
+    (1, -1)
+    """
+    tables: Dict[str, Dict[int, float]] = {
+        "crash": {},
+        "hang": {},
+        "poison": {},
+        "slow": {},
+    }
+    for raw in text.split(";"):
+        clause = raw.strip()
+        if not clause:
+            continue
+        if "@" not in clause:
+            raise ValueError(
+                f"bad chaos clause {clause!r}: expected kind@targets[:param]"
+            )
+        kind, _, rest = clause.partition("@")
+        kind = kind.strip()
+        if kind not in tables:
+            raise ValueError(
+                f"unknown chaos kind {kind!r}: "
+                "expected crash, hang, poison, or slow"
+            )
+        targets, sep, param_text = rest.partition(":")
+        if sep:
+            try:
+                param = float(param_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad chaos parameter {param_text!r} in {clause!r}"
+                ) from None
+        else:
+            param = _DEFAULT_PARAMS[kind]
+        if kind in ("crash", "poison"):
+            param = int(param)
+        for target in targets.split(","):
+            target = target.strip()
+            if target == "*":
+                index = WILDCARD
+            else:
+                try:
+                    index = int(target)
+                except ValueError:
+                    raise ValueError(
+                        f"bad chaos target {target!r} in {clause!r}"
+                    ) from None
+                if index < 0:
+                    raise ValueError(
+                        f"chaos chunk index must be >= 0, got {index}"
+                    )
+            tables[kind][index] = param
+    return ChaosSpec(
+        crash={k: int(v) for k, v in tables["crash"].items()},
+        hang=dict(tables["hang"]),
+        poison={k: int(v) for k, v in tables["poison"].items()},
+        slow=dict(tables["slow"]),
+    )
+
+
+def chaos_from_arg(text: Optional[str]) -> Optional[ChaosSpec]:
+    """CLI helper: ``None``/empty stays ``None``, else parse."""
+    if not text:
+        return None
+    spec = parse_chaos_spec(text)
+    return None if spec.is_empty else spec

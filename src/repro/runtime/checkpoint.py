@@ -1,0 +1,196 @@
+"""Append-only chunk-level checkpoint journal for Monte-Carlo campaigns.
+
+Long campaigns at near-paper rates are hours of work; a Ctrl-C or an
+OOM-killed process must not discard completed trials.  The journal is a
+JSONL file with one record per line:
+
+* a single ``header`` record carrying a campaign *fingerprint* — every
+  parameter the estimates depend on (code geometry, rates, horizon,
+  trials, chunk size, seed entropy, engine, cell matrix).  Resuming
+  against a journal whose fingerprint differs raises
+  :class:`CheckpointMismatchError` instead of silently merging
+  incompatible trials.
+* one ``chunk`` record per completed chunk, keyed by
+  ``(cell, chunk_index, seed_entropy/spawn_key)`` and carrying the
+  chunk's result payload (failures, outcome counts, perf counters).
+
+Records are appended with ``flush`` + ``fsync`` the moment a chunk
+completes, so the journal never lags the computation by more than one
+line.  A torn trailing line (the write that was interrupted) is detected
+and ignored on load.  Because chunk seeds come from
+``SeedSequence.spawn`` and aggregation is a commutative sum, replaying
+journaled chunks and computing only the missing ones is bit-identical to
+an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+JOURNAL_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Base class for journal failures."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """Journal was written by a campaign with different parameters."""
+
+
+def seed_key(seed_seq) -> str:
+    """Stable identity of a spawned ``SeedSequence``: entropy + spawn key."""
+    return json.dumps(
+        {
+            "entropy": str(seed_seq.entropy),
+            "spawn_key": list(seed_seq.spawn_key),
+        },
+        sort_keys=True,
+    )
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed Monte-Carlo chunks."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._header: Optional[Dict[str, Any]] = None
+        self._chunks: Dict[Tuple[str, int], Dict[str, Any]] = {}
+        self._torn_lines = 0
+        self._fh = None
+        self._load()
+
+    # -- loading -----------------------------------------------------------
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+        for pos, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Only the final (torn) line may be malformed; anything
+                # earlier means real corruption.
+                if pos >= len(lines) - 2:
+                    self._torn_lines += 1
+                    continue
+                raise CheckpointError(
+                    f"corrupt journal {self.path}: bad record at line {pos + 1}"
+                )
+            kind = record.get("kind")
+            if kind == "header":
+                self._header = record
+            elif kind == "chunk":
+                key = (str(record["cell"]), int(record["chunk"]))
+                self._chunks[key] = record
+            # Unknown kinds are skipped for forward compatibility.
+
+    # -- writing -----------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- protocol ----------------------------------------------------------
+
+    def ensure_header(self, fingerprint: Dict[str, Any]) -> bool:
+        """Bind the journal to a campaign fingerprint.
+
+        Writes the header on a fresh journal; on an existing one,
+        verifies the stored fingerprint matches and raises
+        :class:`CheckpointMismatchError` on any difference.  Returns
+        ``True`` when resuming an existing journal.
+        """
+        if self._header is None:
+            self._header = {
+                "kind": "header",
+                "version": JOURNAL_VERSION,
+                "fingerprint": fingerprint,
+            }
+            self._append(self._header)
+            return False
+        stored = self._header.get("fingerprint")
+        if stored != fingerprint:
+            diff = sorted(
+                k
+                for k in set(stored or {}) | set(fingerprint)
+                if (stored or {}).get(k) != fingerprint.get(k)
+            )
+            raise CheckpointMismatchError(
+                f"journal {self.path} was written by a different campaign "
+                f"(mismatched fields: {', '.join(diff) or 'all'}); "
+                "use a fresh --checkpoint path or rerun the original "
+                "parameters"
+            )
+        return True
+
+    def completed(
+        self, cell: str, chunk_index: int, seed_identity: str
+    ) -> Optional[Dict[str, Any]]:
+        """The journaled result payload for a chunk, if present and valid.
+
+        A record whose seed identity does not match the chunk's spawned
+        seed is ignored (defensive: it can only happen if a journal is
+        doctored, since the fingerprint pins the root entropy).
+        """
+        record = self._chunks.get((str(cell), int(chunk_index)))
+        if record is None:
+            return None
+        if record.get("seed") != seed_identity:
+            return None
+        return record["result"]
+
+    def record_chunk(
+        self,
+        cell: str,
+        chunk_index: int,
+        seed_identity: str,
+        result: Dict[str, Any],
+    ) -> None:
+        """Durably append one completed chunk (flush + fsync)."""
+        record = {
+            "kind": "chunk",
+            "cell": str(cell),
+            "chunk": int(chunk_index),
+            "seed": seed_identity,
+            "result": result,
+        }
+        self._append(record)
+        self._chunks[(str(cell), int(chunk_index))] = record
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def header_fingerprint(self) -> Optional[Dict[str, Any]]:
+        return None if self._header is None else self._header.get("fingerprint")
+
+    @property
+    def torn_lines(self) -> int:
+        """Malformed trailing lines tolerated on load (0 or 1 normally)."""
+        return self._torn_lines

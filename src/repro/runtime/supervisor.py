@@ -1,0 +1,408 @@
+"""Worker supervision for the chunked Monte-Carlo engine.
+
+``multiprocessing.Pool.map`` — the original PR-1 dispatch — deadlocks if
+a worker is OOM-killed mid-chunk and aborts the whole campaign on any
+chunk exception.  :class:`ChunkSupervisor` replaces it with a supervised
+dispatch loop built on ``concurrent.futures.ProcessPoolExecutor``:
+
+* **crash detection** — a dead worker breaks the pool promptly
+  (``BrokenProcessPool``); the supervisor rebuilds the pool, re-queues
+  the chunks that were in flight, and charges a retry only to chunks
+  whose future actually failed.
+* **hang detection** — each in-flight chunk carries a deadline
+  (``chunk_timeout``); an expired deadline terminates the stuck pool,
+  kills its processes, and retries the offending chunk.  Chunks that
+  merely shared the pool are re-queued without penalty.
+* **bounded retries with exponential backoff** — each chunk gets
+  ``RetryPolicy.max_attempts`` tries on the primary executor, separated
+  by ``base_delay * growth**n`` (capped at ``max_delay``).  Backoff is
+  tracked per chunk via a not-before timestamp, so one flapping chunk
+  never stalls the rest of the queue.
+* **graceful degradation** — a chunk that exhausts its attempts falls
+  back to the (slower, simpler) ``fallback`` executor in-process; a pool
+  that keeps dying (``max_pool_restarts``) degrades the remaining work
+  to serial in-process execution.  Both paths emit a
+  :class:`ResilienceWarning` and count into :class:`~repro.perf.PerfCounters`,
+  so a degraded campaign is loud, but it *completes*.
+
+Because chunk RNG streams are spawned ``SeedSequence`` children and
+aggregation is commutative, retries and re-dispatch cannot change the
+estimate: any schedule that completes yields bit-identical results.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import time
+import warnings
+from collections import defaultdict
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..perf import PerfCounters
+from .chaos import ChaosSpec
+
+
+class ResilienceWarning(UserWarning):
+    """Structured warning for retries, fallbacks, and degradation."""
+
+
+class ChunkFailedError(RuntimeError):
+    """A chunk failed on the primary executor *and* the fallback."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry/backoff/degradation knobs for the supervisor."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    growth: float = 2.0
+    max_delay: float = 2.0
+    max_pool_restarts: int = 3
+
+    def delay(self, failures: int) -> float:
+        """Backoff before retry number ``failures`` (1-based)."""
+        if failures <= 0:
+            return 0.0
+        return min(self.max_delay, self.base_delay * self.growth ** (failures - 1))
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One recorded resilience event (for summaries and manifests)."""
+
+    kind: str  # retry | timeout | crash | pool_restart | engine_fallback
+    #         | serial_degrade | chunk_failed
+    chunk: int
+    attempt: int
+    detail: str
+
+
+def _supervised_call(payload: tuple) -> Dict[str, Any]:
+    """Worker entry point: apply chaos injection, then run the executor.
+
+    Module-level so it pickles; runs in worker processes (pooled mode)
+    or the parent (serial mode) — :meth:`ChaosSpec.before_chunk` adapts
+    crash/hang semantics to whichever side it is on.
+    """
+    fn, chunk_index, attempt, chaos, args = payload
+    if chaos is not None:
+        chaos.before_chunk(chunk_index, attempt)
+    return fn(args)
+
+
+class ChunkSupervisor:
+    """Supervised dispatch of Monte-Carlo chunks over a process pool."""
+
+    #: Poll granularity of the dispatch loop, seconds.
+    TICK = 0.2
+
+    def __init__(
+        self,
+        workers: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        chunk_timeout: Optional[float] = None,
+        chaos: Optional[ChaosSpec] = None,
+        counters: Optional[PerfCounters] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive")
+        self.workers = workers
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.chunk_timeout = chunk_timeout
+        self.chaos = chaos
+        self.counters = counters if counters is not None else PerfCounters()
+        self.events: List[SupervisorEvent] = []
+
+    # -- event plumbing ----------------------------------------------------
+
+    def _event(self, kind: str, chunk: int, attempt: int, detail: str) -> None:
+        self.events.append(SupervisorEvent(kind, chunk, attempt, detail))
+
+    def _warn(self, message: str) -> None:
+        warnings.warn(message, ResilienceWarning, stacklevel=2)
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[Tuple[int, tuple]],
+        primary: Callable[[tuple], Dict[str, Any]],
+        fallback: Optional[Callable[[tuple], Dict[str, Any]]] = None,
+        on_complete: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+    ) -> Dict[int, Dict[str, Any]]:
+        """Run every ``(chunk_index, args)`` job to completion.
+
+        ``primary`` is the fast batch executor; ``fallback`` (optional)
+        is the degraded per-chunk engine used once a chunk exhausts its
+        primary attempts.  ``on_complete(index, result)`` fires the
+        moment each chunk finishes (in completion order) — the journal
+        hook.  Returns ``{chunk_index: result}`` for all jobs.
+        """
+        if not jobs:
+            return {}
+        if self.workers == 1 or len(jobs) == 1:
+            return self._run_serial(jobs, primary, fallback, on_complete)
+        return self._run_pooled(jobs, primary, fallback, on_complete)
+
+    # -- serial path -------------------------------------------------------
+
+    def _run_one_serial(
+        self,
+        index: int,
+        args: tuple,
+        primary: Callable,
+        fallback: Optional[Callable],
+        first_attempt: int = 0,
+    ) -> Dict[str, Any]:
+        failures = 0
+        for attempt in range(first_attempt, self.retry.max_attempts):
+            try:
+                return _supervised_call((primary, index, attempt, self.chaos, args))
+            except Exception as exc:  # noqa: BLE001 - chunk isolation boundary
+                failures += 1
+                self.counters.chunk_failures += 1
+                if attempt + 1 < self.retry.max_attempts:
+                    self.counters.retries += 1
+                    self._event("retry", index, attempt, repr(exc))
+                    time.sleep(self.retry.delay(failures))
+                else:
+                    self._event("chunk_failed", index, attempt, repr(exc))
+        return self._run_fallback(index, args, fallback)
+
+    def _run_serial(
+        self,
+        jobs: Sequence[Tuple[int, tuple]],
+        primary: Callable,
+        fallback: Optional[Callable],
+        on_complete: Optional[Callable],
+    ) -> Dict[int, Dict[str, Any]]:
+        results: Dict[int, Dict[str, Any]] = {}
+        for index, args in jobs:
+            result = self._run_one_serial(index, args, primary, fallback)
+            results[index] = result
+            if on_complete is not None:
+                on_complete(index, result)
+        return results
+
+    def _run_fallback(
+        self, index: int, args: tuple, fallback: Optional[Callable]
+    ) -> Dict[str, Any]:
+        if fallback is None:
+            raise ChunkFailedError(
+                f"chunk {index} failed {self.retry.max_attempts} attempts "
+                "and no fallback engine is available"
+            )
+        self.counters.engine_fallbacks += 1
+        self._event(
+            "engine_fallback",
+            index,
+            self.retry.max_attempts,
+            "degrading chunk to fallback engine",
+        )
+        self._warn(
+            f"chunk {index}: batch engine failed "
+            f"{self.retry.max_attempts} attempt(s); degrading this chunk "
+            "to the scalar engine"
+        )
+        try:
+            return fallback(args)
+        except Exception as exc:
+            raise ChunkFailedError(
+                f"chunk {index} failed on the fallback engine too: {exc!r}"
+            ) from exc
+
+    # -- pooled path -------------------------------------------------------
+
+    def _new_pool(self, n_jobs: int) -> cf.ProcessPoolExecutor:
+        return cf.ProcessPoolExecutor(max_workers=min(self.workers, n_jobs))
+
+    @staticmethod
+    def _kill_pool(executor: cf.ProcessPoolExecutor) -> None:
+        """Tear a pool down hard, including hung worker processes."""
+        try:
+            processes = list(getattr(executor, "_processes", {}).values())
+        except Exception:  # pragma: no cover - interpreter internals moved
+            processes = []
+        for proc in processes:
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - cancel_futures needs 3.9
+            executor.shutdown(wait=False)
+
+    def _run_pooled(
+        self,
+        jobs: Sequence[Tuple[int, tuple]],
+        primary: Callable,
+        fallback: Optional[Callable],
+        on_complete: Optional[Callable],
+    ) -> Dict[int, Dict[str, Any]]:
+        retry = self.retry
+        results: Dict[int, Dict[str, Any]] = {}
+        failures: Dict[int, int] = defaultdict(int)
+        # queue entries: (chunk_index, args, not_before_monotonic)
+        queue: List[Tuple[int, tuple, float]] = [(i, a, 0.0) for i, a in jobs]
+        fallback_jobs: List[Tuple[int, tuple]] = []
+        pool_restarts = 0
+        degraded_serial = False
+        executor = self._new_pool(len(jobs))
+        inflight: Dict[cf.Future, Tuple[int, tuple, float]] = {}
+
+        def charge_failure(index: int, args: tuple, attempt: int, why: str) -> None:
+            """One failed attempt: schedule a retry or route to fallback."""
+            failures[index] += 1
+            self.counters.chunk_failures += 1
+            if failures[index] < retry.max_attempts:
+                self.counters.retries += 1
+                self._event("retry", index, attempt, why)
+                queue.append(
+                    (index, args, time.monotonic() + retry.delay(failures[index]))
+                )
+            else:
+                self._event("chunk_failed", index, attempt, why)
+                fallback_jobs.append((index, args))
+
+        def finish(index: int, result: Dict[str, Any]) -> None:
+            results[index] = result
+            if on_complete is not None:
+                on_complete(index, result)
+
+        try:
+            while queue or inflight or fallback_jobs:
+                if degraded_serial:
+                    # Pool is gone for good: drain everything in-process.
+                    for index, args, _nb in queue:
+                        finish(
+                            index,
+                            self._run_one_serial(
+                                index, args, primary, fallback, failures[index]
+                            ),
+                        )
+                    queue.clear()
+                    for index, args in fallback_jobs:
+                        finish(index, self._run_fallback(index, args, fallback))
+                    fallback_jobs.clear()
+                    continue
+
+                # Fallback chunks run in-process immediately (the batch
+                # engine already proved unreliable for them).
+                for index, args in fallback_jobs:
+                    finish(index, self._run_fallback(index, args, fallback))
+                fallback_jobs.clear()
+
+                now = time.monotonic()
+                ready = [job for job in queue if job[2] <= now]
+                for job in ready:
+                    if len(inflight) >= self.workers:
+                        break
+                    index, args, _nb = job
+                    queue.remove(job)
+                    future = executor.submit(
+                        _supervised_call,
+                        (primary, index, failures[index], self.chaos, args),
+                    )
+                    deadline = (
+                        now + self.chunk_timeout
+                        if self.chunk_timeout is not None
+                        else float("inf")
+                    )
+                    inflight[future] = (index, args, deadline)
+
+                if not inflight:
+                    if queue:
+                        # Everything queued is backing off; sleep to the
+                        # earliest not-before point.
+                        time.sleep(
+                            max(
+                                0.0,
+                                min(nb for _i, _a, nb in queue)
+                                - time.monotonic(),
+                            )
+                        )
+                    continue
+
+                done, _ = cf.wait(
+                    set(inflight),
+                    timeout=self.TICK,
+                    return_when=cf.FIRST_COMPLETED,
+                )
+                pool_broken = False
+                for future in done:
+                    index, args, _deadline = inflight.pop(future)
+                    attempt = failures[index]
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        self.counters.worker_crashes += 1
+                        self._event("crash", index, attempt, "worker process died")
+                        charge_failure(index, args, attempt, "worker crash")
+                    except Exception as exc:  # noqa: BLE001 - chunk boundary
+                        charge_failure(index, args, attempt, repr(exc))
+                    else:
+                        finish(index, result)
+
+                # Hang detection: any in-flight chunk past its deadline
+                # condemns the pool (we cannot evict a single worker).
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_i, _a, deadline) in inflight.items()
+                    if now >= deadline
+                ]
+                for future in expired:
+                    index, args, _deadline = inflight.pop(future)
+                    attempt = failures[index]
+                    self.counters.chunk_timeouts += 1
+                    self._event(
+                        "timeout",
+                        index,
+                        attempt,
+                        f"chunk exceeded {self.chunk_timeout:g}s",
+                    )
+                    charge_failure(index, args, attempt, "chunk timeout")
+                    pool_broken = True
+
+                if pool_broken:
+                    # Innocent bystanders go back to the queue unpenalized.
+                    for future, (index, args, _deadline) in inflight.items():
+                        queue.append((index, args, 0.0))
+                    inflight.clear()
+                    self._kill_pool(executor)
+                    pool_restarts += 1
+                    self.counters.pool_restarts += 1
+                    self._event(
+                        "pool_restart",
+                        -1,
+                        pool_restarts,
+                        f"restart {pool_restarts}/{retry.max_pool_restarts}",
+                    )
+                    if pool_restarts >= retry.max_pool_restarts and (
+                        queue or fallback_jobs
+                    ):
+                        degraded_serial = True
+                        self.counters.serial_fallbacks += 1
+                        self._event(
+                            "serial_degrade",
+                            -1,
+                            pool_restarts,
+                            "pool keeps dying; finishing serially in-process",
+                        )
+                        self._warn(
+                            f"worker pool died {pool_restarts} times; "
+                            "degrading the remaining chunks to serial "
+                            "in-process execution"
+                        )
+                    else:
+                        executor = self._new_pool(max(1, len(queue)))
+        finally:
+            self._kill_pool(executor)
+        return results

@@ -24,6 +24,7 @@ from .arbiter import (
 from .campaign import (
     CampaignCell,
     CampaignRow,
+    campaign_fingerprint,
     campaign_summary,
     default_validation_campaign,
     run_campaign,
@@ -87,6 +88,7 @@ __all__ = [
     "compare_policies",
     "CampaignCell",
     "CampaignRow",
+    "campaign_fingerprint",
     "run_campaign",
     "default_validation_campaign",
     "campaign_summary",

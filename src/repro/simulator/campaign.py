@@ -18,6 +18,7 @@ import numpy as np
 from ..memory import duplex_model, simplex_model
 from ..perf import PerfCounters
 from ..rs import RSCode
+from ..runtime import RuntimeConfig
 from .montecarlo import (
     FailureEstimate,
     simulate_fail_probability,
@@ -35,12 +36,21 @@ class CampaignCell:
     scrub_period_seconds: Optional[float] = None
 
     def label(self) -> str:
-        parts = [self.arrangement]
-        if self.seu_per_bit_day:
-            parts.append(f"seu={self.seu_per_bit_day:g}")
-        if self.erasure_per_symbol_day:
-            parts.append(f"perm={self.erasure_per_symbol_day:g}")
-        if self.scrub_period_seconds:
+        """Unambiguous cell label for journals, manifests, and summaries.
+
+        Every field is always rendered (a zero rate is a real
+        configuration, distinct from a different-rate cell), and a
+        configured-but-zero scrub period (``tsc=0``) is distinguished
+        from "no scrubbing" (``scrub_period_seconds=None``), which omits
+        the field.  Truthiness tests here previously collapsed those
+        cases into identical labels.
+        """
+        parts = [
+            self.arrangement,
+            f"seu={self.seu_per_bit_day:g}",
+            f"perm={self.erasure_per_symbol_day:g}",
+        ]
+        if self.scrub_period_seconds is not None:
             parts.append(f"tsc={self.scrub_period_seconds:g}s")
         return " ".join(parts)
 
@@ -77,6 +87,46 @@ class CampaignRow:
         )
 
 
+def campaign_fingerprint(
+    cells: Sequence[CampaignCell],
+    n: int,
+    k: int,
+    m: int,
+    t_end_hours: float,
+    trials: int,
+    base_seed: int,
+    engine: str,
+    chunk_size: int,
+) -> Dict[str, object]:
+    """Every parameter the campaign estimates depend on, as plain JSON.
+
+    This is the identity a checkpoint journal is bound to: two campaigns
+    with equal fingerprints produce bit-identical estimates, so their
+    journaled chunks are interchangeable.  Worker count is deliberately
+    absent — it cannot affect results.
+    """
+    return {
+        "schema": 1,
+        "n": n,
+        "k": k,
+        "m": m,
+        "t_end_hours": t_end_hours,
+        "trials": trials,
+        "base_seed": base_seed,
+        "engine": engine,
+        "chunk_size": chunk_size,
+        "cells": [
+            {
+                "arrangement": cell.arrangement,
+                "seu_per_bit_day": cell.seu_per_bit_day,
+                "erasure_per_symbol_day": cell.erasure_per_symbol_day,
+                "scrub_period_seconds": cell.scrub_period_seconds,
+            }
+            for cell in cells
+        ],
+    }
+
+
 def run_campaign(
     cells: Sequence[CampaignCell],
     n: int = 18,
@@ -89,6 +139,7 @@ def run_campaign(
     workers: int = 1,
     chunk_size: int = 512,
     counters: Optional[PerfCounters] = None,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> List[CampaignRow]:
     """Run every cell with a deterministic per-cell seed.
 
@@ -104,16 +155,43 @@ def run_campaign(
     function of ``(base_seed, trials, chunk_size)`` only, never of
     ``workers``.  ``counters`` (batch engine only) accumulates work and
     throughput across all cells.
+
+    ``runtime`` (batch engine only) threads the resilience layer
+    through every cell: supervised retries, per-chunk timeouts, chaos
+    injection, and — when ``runtime.journal`` is set — chunk-level
+    checkpointing.  The journal is bound to this campaign's
+    :func:`campaign_fingerprint`; resuming with different parameters
+    raises :class:`~repro.runtime.CheckpointMismatchError`, and resuming
+    with the same ones replays completed chunks for bit-identical
+    results.
     """
     if not cells:
         raise ValueError("empty campaign")
     if engine not in ("scalar", "batch"):
         raise ValueError(f"engine must be 'scalar' or 'batch', got {engine!r}")
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if workers <= 0:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    for cell in cells:
+        if cell.arrangement not in ("simplex", "duplex"):
+            raise ValueError(f"unknown arrangement {cell.arrangement!r}")
+    if runtime is not None and runtime.journal is not None:
+        if engine != "batch":
+            raise ValueError(
+                "checkpoint journaling requires engine='batch' "
+                "(the scalar engine has no chunk structure to journal)"
+            )
+        runtime.journal.ensure_header(
+            campaign_fingerprint(
+                cells, n, k, m, t_end_hours, trials, base_seed, engine, chunk_size
+            )
+        )
     code = RSCode(n, k, m=m)
     rows: List[CampaignRow] = []
     for idx, cell in enumerate(cells):
-        if cell.arrangement not in ("simplex", "duplex"):
-            raise ValueError(f"unknown arrangement {cell.arrangement!r}")
         factory = simplex_model if cell.arrangement == "simplex" else duplex_model
         model = factory(
             n,
@@ -143,6 +221,8 @@ def run_campaign(
                 chunk_size=chunk_size,
                 workers=workers,
                 counters=counters,
+                runtime=runtime,
+                cell_key=f"{idx}:{cell.label()}",
             )
         else:
             estimate = simulate_fail_probability(

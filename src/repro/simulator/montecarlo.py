@@ -33,6 +33,7 @@ import numpy as np
 from ..memory.base import FAIL, MemoryMarkovModel
 from ..perf import PerfCounters, Stopwatch
 from ..rs import BatchRSCodec, RSCode, RSDecodingError
+from ..runtime import ChunkSupervisor, RuntimeConfig, seed_key
 from .arbiter import decide_from_decodes, recover_erasures
 from .faults import (
     FaultEvent,
@@ -528,6 +529,59 @@ def _run_injection_chunk(args: tuple) -> Dict[str, object]:
         codec.counters = None
 
 
+def _run_scalar_chunk(args: tuple) -> Dict[str, object]:
+    """Scalar (one-trial-at-a-time) executor for one chunk; the fallback.
+
+    Takes the same args tuple as :func:`_run_injection_chunk` and
+    produces the same result payload, but runs every trial through the
+    trusted :func:`simulate_read_outcome` reference path.  The chunk's
+    spawned ``SeedSequence`` seeds the generator, so the fallback is
+    deterministic; it consumes the stream in a different *order* than
+    the batch executor, so a degraded chunk is distribution-identical
+    (same physics, same seed independence) but not stream-identical to
+    its batch counterpart.
+    """
+    (
+        arrangement,
+        n,
+        k,
+        m,
+        fcr,
+        t_end,
+        seu_per_bit,
+        erasure_per_symbol,
+        scrub_period,
+        scrub_exponential,
+        n_trials,
+        seed_seq,
+    ) = args
+    code = _cached_batch_codec(n, k, m, fcr).scalar
+    rng = np.random.default_rng(seed_seq)
+    counts = {outcome.value: 0 for outcome in ReadOutcome}
+    failures = 0
+    for _ in range(n_trials):
+        outcome = simulate_read_outcome(
+            arrangement,
+            code,
+            t_end,
+            seu_per_bit,
+            erasure_per_symbol,
+            rng,
+            scrub_period=scrub_period,
+            scrub_exponential=scrub_exponential,
+        )
+        counts[outcome.value] += 1
+        if outcome.is_failure:
+            failures += 1
+    counters = PerfCounters(trials=n_trials, chunks=1)
+    return {
+        "failures": failures,
+        "counts": counts,
+        "trials": n_trials,
+        "counters": counters.as_dict(),
+    }
+
+
 def simulate_fail_probability_batched(
     arrangement: str,
     code: RSCode,
@@ -541,6 +595,8 @@ def simulate_fail_probability_batched(
     chunk_size: int = 512,
     workers: int = 1,
     counters: Optional[PerfCounters] = None,
+    runtime: Optional[RuntimeConfig] = None,
+    cell_key: str = "0",
 ) -> FailureEstimate:
     """Batched Monte-Carlo failure probability through the batch codec.
 
@@ -554,14 +610,29 @@ def simulate_fail_probability_batched(
     * chunk results are combined by commutative summation, so scheduling
       order and ``workers`` cannot change the outcome.
 
-    ``workers > 1`` distributes chunks over a process pool; ``counters``
-    (optional) receives the merged work/throughput counters of all
+    ``workers > 1`` distributes chunks over a supervised process pool
+    (:class:`~repro.runtime.ChunkSupervisor`): crashed or hung workers
+    are detected, failed chunks retried with bounded backoff, and
+    persistently failing chunks degraded to the scalar reference
+    executor so the run always completes.  ``counters`` (optional)
+    receives the merged work/throughput/resilience counters of all
     chunks, wherever they ran.
+
+    ``runtime`` bundles the resilience options (retry policy, per-chunk
+    timeout, chaos injection, checkpoint journal); ``cell_key``
+    namespaces this call's chunks inside a shared journal.  Journaled
+    chunks are replayed instead of recomputed, which — by the
+    commutative-sum property above — makes an interrupted-and-resumed
+    run bit-identical to an uninterrupted one.
     """
     if arrangement not in ("simplex", "duplex"):
         raise ValueError(f"unknown arrangement {arrangement!r}")
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     if workers < 1:
-        raise ValueError("workers must be >= 1")
+        raise ValueError(f"workers must be >= 1, got {workers}")
     sizes = chunk_sizes(trials, chunk_size)
     seeds = spawn_chunk_seeds(seed, len(sizes))
     job_args = [
@@ -582,19 +653,53 @@ def simulate_fail_probability_batched(
         for size, chunk_seed in zip(sizes, seeds)
     ]
 
+    cfg = runtime if runtime is not None else RuntimeConfig()
+    journal = cfg.journal
     own_counters = counters if counters is not None else PerfCounters()
-    with Stopwatch(own_counters):
-        if workers == 1 or len(job_args) == 1:
-            chunk_results = [_run_injection_chunk(a) for a in job_args]
-        else:
-            import multiprocessing
+    seed_ids = [seed_key(s) for s in seeds]
 
-            with multiprocessing.Pool(min(workers, len(job_args))) as pool:
-                chunk_results = pool.map(_run_injection_chunk, job_args)
+    results: Dict[int, Dict[str, object]] = {}
+    jobs: List[Tuple[int, tuple]] = []
+    for index, args in enumerate(job_args):
+        cached = (
+            journal.completed(cell_key, index, seed_ids[index])
+            if journal is not None
+            else None
+        )
+        if cached is not None:
+            results[index] = cached
+            own_counters.chunks_resumed += 1
+        else:
+            jobs.append((index, args))
+
+    with Stopwatch(own_counters):
+        if jobs:
+            supervisor = ChunkSupervisor(
+                workers=workers,
+                retry=cfg.retry,
+                chunk_timeout=cfg.chunk_timeout,
+                chaos=cfg.chaos,
+                counters=own_counters,
+            )
+
+            def record(index: int, result: Dict[str, object]) -> None:
+                if journal is not None:
+                    journal.record_chunk(cell_key, index, seed_ids[index], result)
+
+            results.update(
+                supervisor.run(
+                    jobs,
+                    primary=_run_injection_chunk,
+                    fallback=_run_scalar_chunk,
+                    on_complete=record,
+                )
+            )
+            cfg.events.extend(supervisor.events)
 
     counts: Dict[str, int] = {outcome.value: 0 for outcome in ReadOutcome}
     failures = 0
-    for res in chunk_results:
+    for index in sorted(results):
+        res = results[index]
         failures += res["failures"]
         for key, value in res["counts"].items():
             counts[key] += value

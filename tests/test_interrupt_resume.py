@@ -1,0 +1,152 @@
+"""Interrupt/resume determinism, end to end through the CLI.
+
+A checkpointed campaign is SIGINT-ed mid-run in a real subprocess,
+resumed with the same command, and the merged estimates are compared —
+field by field — against an uninterrupted reference run with the same
+seed.  The checkpoint contract requires them to be bit-identical.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+BASE_CMD = [
+    sys.executable,
+    "-m",
+    "repro",
+    "campaign",
+    "--trials",
+    "80",
+    "--seed",
+    "7",
+    "--chunk-size",
+    "20",
+]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _run(args, cwd, timeout=300):
+    return subprocess.run(
+        BASE_CMD + args,
+        cwd=cwd,
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def _journal_chunks(path: Path) -> int:
+    if not path.exists():
+        return 0
+    return sum(
+        1 for line in path.read_text().splitlines() if '"kind": "chunk"' in line
+    )
+
+
+def _result_key(manifest_path: Path):
+    doc = json.loads(manifest_path.read_text())
+    return [
+        (
+            row["cell"],
+            row["probability"],
+            row["failures"],
+            row["trials"],
+            row["ci_low"],
+            row["ci_high"],
+            row["outcome_counts"],
+        )
+        for row in doc["results"]
+    ]
+
+
+@pytest.mark.chaos
+class TestInterruptResume:
+    def test_sigint_then_resume_is_bit_identical(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+
+        # Phase 1: start a checkpointed campaign slowed by benign chaos
+        # (so the interrupt window is wide), SIGINT it mid-flight.
+        proc = subprocess.Popen(
+            BASE_CMD
+            + ["--checkpoint", str(journal), "--chaos", "slow@*:0.2"],
+            cwd=tmp_path,
+            env=_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while _journal_chunks(journal) < 2:
+                if time.monotonic() >= deadline:
+                    raise AssertionError("campaign never journaled a chunk")
+                if proc.poll() is not None:
+                    raise AssertionError(
+                        f"campaign exited early: {proc.communicate()}"
+                    )
+                time.sleep(0.05)
+            proc.send_signal(signal.SIGINT)
+            _stdout, stderr = proc.communicate(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+        assert proc.returncode == 130
+        assert "checkpointed" in stderr
+        interrupted_chunks = _journal_chunks(journal)
+        assert 2 <= interrupted_chunks < 32  # mid-run, not complete
+
+        # Phase 2: resume (same command, no chaos) to completion.
+        resumed = _run(
+            ["--checkpoint", str(journal), "--manifest", "resumed.json"],
+            cwd=tmp_path,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert f"{interrupted_chunks} chunk(s) already journaled" in resumed.stdout
+
+        # Phase 3: uninterrupted reference with the same seed.
+        reference = _run(["--manifest", "reference.json"], cwd=tmp_path)
+        assert reference.returncode == 0, reference.stderr
+
+        resumed_key = _result_key(tmp_path / "resumed.json")
+        reference_key = _result_key(tmp_path / "reference.json")
+        assert resumed_key == reference_key
+
+        resumed_doc = json.loads((tmp_path / "resumed.json").read_text())
+        assert resumed_doc["resumed"] is True
+        assert resumed_doc["counters"]["chunks_resumed"] == interrupted_chunks
+
+    def test_resume_with_changed_parameters_is_refused(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        first = _run(["--checkpoint", str(journal)], cwd=tmp_path)
+        assert first.returncode == 0, first.stderr
+
+        clashing = subprocess.run(
+            BASE_CMD[:-2]  # drop "--chunk-size 20"
+            + ["--chunk-size", "40", "--checkpoint", str(journal)],
+            cwd=tmp_path,
+            env=_env(),
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert clashing.returncode == 2
+        assert "checkpoint refused" in clashing.stderr
+        assert "different campaign" in clashing.stderr
