@@ -21,7 +21,7 @@ See ``examples/`` for full walkthroughs and ``benchmarks/`` for the
 figure-by-figure reproduction.
 """
 
-from . import analysis, gf, markov, memory, reliability, rs, runtime, simulator
+from . import analysis, gf, markov, memory, obs, reliability, rs, runtime, simulator
 from .gf import GF2m
 from .markov import CTMC, build_chain
 from .memory import (
@@ -60,5 +60,7 @@ __all__ = [
     "simulator",
     "reliability",
     "analysis",
+    "runtime",
+    "obs",
     "__version__",
 ]

@@ -16,8 +16,9 @@ Subcommands:
 * ``sensitivity`` — BER elasticities of a configuration.
 * ``campaign`` — bulk model-vs-simulation validation with supervised
   workers, chunk-level checkpoint/resume (``--checkpoint``), run
-  manifests (``--manifest``), and deterministic fault injection
-  (``--chaos``, dev).
+  manifests (``--manifest``), deterministic fault injection
+  (``--chaos``, dev), a JSONL span/event/metric trace (``--trace``),
+  and live per-chunk heartbeats with ETA (``--progress``).
 """
 
 from __future__ import annotations
@@ -166,6 +167,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="[dev] deterministic fault injection, e.g. "
         "'crash@0;hang@2:30;poison@1;slow@*:0.1' — proves the "
         "supervisor's retry/fallback machinery end to end",
+    )
+    camp.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL observability trace: solver spans (terms "
+        "used, tail bounds, expm cache hits), chunk heartbeat events "
+        "with ETA, and a metrics snapshot (chunk-latency histogram)",
+    )
+    camp.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-chunk heartbeats (done/total, rate, ETA) to "
+        "stderr as the campaign runs (batch engine only)",
     )
 
     design = sub.add_parser(
@@ -367,6 +381,9 @@ def cmd_scenario(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     import time as _time
 
+    from .obs import metrics as obs_metrics
+    from .obs import trace as obs_trace
+    from .obs.progress import ProgressTracker, format_progress
     from .perf import PerfCounters
     from .runtime import (
         CheckpointJournal,
@@ -391,6 +408,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.progress and args.engine != "batch":
+        print(
+            "--progress requires --engine batch (heartbeats are emitted "
+            "per chunk; the scalar engine has none)",
+            file=sys.stderr,
+        )
+        return 2
     if args.max_retries < 1:
         print("--max-retries must be >= 1", file=sys.stderr)
         return 2
@@ -409,11 +433,29 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             f"resuming from {args.checkpoint}: "
             f"{journal.n_chunks} chunk(s) already journaled"
         )
+
+    collector = obs_trace.TraceCollector() if args.trace else None
+    if collector is not None:
+        obs_trace.install_collector(collector)
+    heartbeats: list = []
+
+    def on_progress(event) -> None:
+        heartbeats.append(event.as_dict())
+        if args.progress:
+            print(f"  {format_progress(event)}", file=sys.stderr)
+
+    tracker = None
+    if args.engine == "batch" and (args.progress or args.trace or args.manifest):
+        tracker = ProgressTracker(
+            total=args.trials * len(cells), unit="trials"
+        )
     runtime = RuntimeConfig(
         retry=RetryPolicy(max_attempts=args.max_retries),
         chunk_timeout=args.chunk_timeout,
         chaos=chaos,
         journal=journal,
+        progress=tracker,
+        on_progress=on_progress if tracker is not None else None,
     )
     t0 = _time.perf_counter()
     try:
@@ -447,6 +489,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     finally:
         if journal is not None:
             journal.close()
+        # Mirror the counters into the metrics registry so both the
+        # trace export and the manifest carry one coherent snapshot.
+        counters.publish(obs_metrics.get_registry())
+        if collector is not None:
+            obs_trace.install_collector(None)
+            trace_path = collector.export_jsonl(
+                args.trace, metrics=obs_metrics.get_registry().snapshot()
+            )
+            print(f"trace: {trace_path}", file=sys.stderr)
     wall = _time.perf_counter() - t0
 
     for row in rows:
@@ -488,6 +539,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             wall_clock_seconds=wall,
             resumed=resumed,
             checkpoint_path=args.checkpoint,
+            progress_events=heartbeats,
+            metrics=obs_metrics.get_registry().snapshot(),
         )
         path = write_manifest(args.manifest, manifest)
         print(f"manifest: {path}")

@@ -11,6 +11,14 @@ Three independent solution methods for ``p(t) = p0 · exp(Q t)``:
   propagation; absolute accuracy ~1e-15, used as an independent check.
 * :func:`transient_ode` — RK45 integration of the Kolmogorov forward
   equations, the third cross-check.
+
+Every solver is traced (:mod:`repro.obs.trace`): the span attributes
+record each truncation decision — terms used, ``L·t``, the Poisson tail
+bound at exit, whether the large-``L·t`` fallback ran, expm cache
+hits/misses — so cross-solver differential tests can assert on *why*
+answers agree, not just that they do.  Aggregate counts also land in the
+process metrics registry (:mod:`repro.obs.metrics`) under
+``repro.solver.*``.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from scipy import sparse
 from scipy.integrate import solve_ivp
 from scipy.linalg import expm
 
+from ..obs import metrics, trace
 from .chain import CTMC
 
 
@@ -48,48 +57,69 @@ def uniformization_propagate(
     smallest positive accumulated entry.  This is what lets absorbing-state
     probabilities of 1e-200 come out with full significance instead of
     being lost against the O(1) bulk.
+
+    The span recorded under the name ``"uniformization_propagate"``
+    carries the truncation decision: ``terms_used``, ``lt``,
+    ``tail_bound`` at exit, and ``fallback`` (whether the log-domain
+    large-``L·t`` path ran).
     """
     if t < 0:
         raise ValueError("time must be nonnegative")
-    out_rates = np.asarray(rates.sum(axis=1)).ravel()
-    lam = float(out_rates.max(initial=0.0))
-    # subnormal rates make the kernel division meaningless; any total rate
-    # below ~1e-250 cannot move representable probability mass anyway
-    if lam < 1e-250 or t == 0.0:
-        return np.asarray(p0, dtype=float).copy()
-    kernel = (rates + sparse.diags(lam - out_rates)) / lam  # row-stochastic
-    n_states = rates.shape[0]
-    if min_terms is None:
-        # every state is first reached within num_states terms; cap to keep
-        # very large models affordable (their callers can raise it)
-        min_terms = min(n_states + 1, 10_000)
-    lt = lam * t
-    v = np.asarray(p0, dtype=float).copy()
-    weight = math.exp(-lt)
-    if weight == 0.0:
-        # L*t too large for linear-domain Poisson weights: use the
-        # log-domain windowed fallback.
-        return _uniformization_large_lt(v, kernel, lt, rtol)
-    acc = weight * v
-    j = 0
-    while j < max_terms:
-        j += 1
-        v = v @ kernel
-        weight *= lt / j
-        acc += weight * v
+    registry = metrics.get_registry()
+    with trace.span(
+        "uniformization_propagate",
+        n_states=rates.shape[0],
+        t=float(t),
+        rtol=rtol,
+    ) as sp:
+        registry.counter("repro.solver.uniformization.calls").inc()
+        out_rates = np.asarray(rates.sum(axis=1)).ravel()
+        lam = float(out_rates.max(initial=0.0))
+        # subnormal rates make the kernel division meaningless; any total
+        # rate below ~1e-250 cannot move representable probability mass
+        if lam < 1e-250 or t == 0.0:
+            sp.set_attrs(lt=0.0, terms_used=0, tail_bound=0.0, fallback=False)
+            return np.asarray(p0, dtype=float).copy()
+        kernel = (rates + sparse.diags(lam - out_rates)) / lam  # row-stochastic
+        n_states = rates.shape[0]
+        if min_terms is None:
+            # every state is first reached within num_states terms; cap to
+            # keep very large models affordable (their callers can raise it)
+            min_terms = min(n_states + 1, 10_000)
+        lt = lam * t
+        sp.set_attr("lt", lt)
+        v = np.asarray(p0, dtype=float).copy()
+        weight = math.exp(-lt)
         if weight == 0.0:
-            break
-        if j < min_terms:
-            continue
-        ratio = lt / (j + 2)
-        if ratio >= 1.0:
-            continue  # Poisson weights still growing / not yet decaying
-        tail_bound = weight * ratio / (1.0 - ratio)
-        positive = acc[acc > 0.0]
-        floor = positive.min() if positive.size else 1.0
-        if tail_bound < max(rtol * floor, 1e-305):
-            break
-    return acc
+            # L*t too large for linear-domain Poisson weights: use the
+            # log-domain windowed fallback.
+            sp.set_attr("fallback", True)
+            registry.counter("repro.solver.uniformization.fallbacks").inc()
+            return _uniformization_large_lt(v, kernel, lt, rtol, sp)
+        acc = weight * v
+        j = 0
+        tail_bound = float("inf")
+        while j < max_terms:
+            j += 1
+            v = v @ kernel
+            weight *= lt / j
+            acc += weight * v
+            if weight == 0.0:
+                tail_bound = 0.0
+                break
+            if j < min_terms:
+                continue
+            ratio = lt / (j + 2)
+            if ratio >= 1.0:
+                continue  # Poisson weights still growing / not yet decaying
+            tail_bound = weight * ratio / (1.0 - ratio)
+            positive = acc[acc > 0.0]
+            floor = positive.min() if positive.size else 1.0
+            if tail_bound < max(rtol * floor, 1e-305):
+                break
+        sp.set_attrs(terms_used=j, tail_bound=tail_bound, fallback=False)
+        registry.counter("repro.solver.uniformization.terms").inc(j)
+        return acc
 
 
 def transient_uniformization(
@@ -115,30 +145,47 @@ def transient_uniformization(
     times = np.atleast_1d(np.asarray(times, dtype=float))
     if np.any(times < 0):
         raise ValueError("times must be nonnegative")
-    result = np.empty((len(times), chain.num_states))
-    for pos, t in enumerate(times):
-        result[pos] = uniformization_propagate(
-            chain.rate_matrix, chain.p0, float(t), rtol=rtol, max_terms=max_terms
-        )
-    return result
+    with trace.span(
+        "transient_uniformization",
+        n_states=chain.num_states,
+        n_times=len(times),
+    ):
+        result = np.empty((len(times), chain.num_states))
+        for pos, t in enumerate(times):
+            result[pos] = uniformization_propagate(
+                chain.rate_matrix, chain.p0, float(t), rtol=rtol, max_terms=max_terms
+            )
+        return result
 
 
 def _uniformization_large_lt(
-    p0: np.ndarray, kernel: sparse.spmatrix, lt: float, rtol: float
+    p0: np.ndarray,
+    kernel: sparse.spmatrix,
+    lt: float,
+    rtol: float,
+    sp: trace.Span | None = None,
 ) -> np.ndarray:
     """Uniformization fallback when ``e^{-Lt}`` underflows.
 
-    Scales the recursion by its running maximum and tracks the scale in
-    the log domain, normalizing by the accumulated Poisson mass at the
-    end.  Only exercised for extreme ``L*t`` (not reached by the paper's
-    parameter ranges, but kept for generality).
+    Sums the series inside a window of Poisson-significant terms around
+    ``j = L·t``, rescaling the running weight when it grows large, and
+    normalizes by the accumulated Poisson mass at the end (the common
+    scale of numerator and denominator cancels, so no log-domain
+    bookkeeping is needed).  Only exercised for extreme ``L*t`` (not
+    reached by the paper's parameter ranges, but kept for generality).
     """
-    # log Poisson(j; lt) is maximized near j = lt; sum terms within a
-    # +-10 sqrt(lt) window (covers the mass to ~1e-20).
+    # The Poisson(lt) mass beyond +-k*sqrt(lt) decays like exp(-k^2/2),
+    # so choose k from the caller's rtol (the discarded tail is below it)
+    # with a floor of 10 (~1e-22) preserving the historical safety margin.
+    k = math.sqrt(-2.0 * math.log(max(rtol, 1e-300)))
     centre = int(lt)
-    half = int(10.0 * math.sqrt(lt)) + 10
+    half = int(max(k, 10.0) * math.sqrt(lt)) + 10
     j_lo = max(0, centre - half)
     j_hi = centre + half
+    if sp is not None:
+        sp.set_attrs(
+            window_lo=j_lo, window_hi=j_hi, terms_used=j_hi - j_lo + 1
+        )
     v = p0.copy()
     if j_lo > 4096:
         # jump to the window with dense repeated squaring instead of j_lo
@@ -147,12 +194,9 @@ def _uniformization_large_lt(
     else:
         for _ in range(j_lo):
             v = v @ kernel
-    log_w = j_lo * math.log(lt) - lt - math.lgamma(j_lo + 1)
     acc = np.zeros_like(p0)
-    scale = 0.0  # log-domain scale of acc
     total = 0.0
-    w = 1.0  # weight relative to exp(scale)
-    scale = log_w
+    w = 1.0  # relative weight; overall scale cancels in acc / total
     for j in range(j_lo, j_hi + 1):
         acc += w * v
         total += w
@@ -161,8 +205,10 @@ def _uniformization_large_lt(
         if w > 1e200:
             acc /= w
             total /= w
-            scale += math.log(w)
             w = 1.0
+    if sp is not None:
+        # relative mass outside the window, bounded by the Gaussian tail
+        sp.set_attr("tail_bound", math.exp(-0.5 * max(k, 10.0) ** 2))
     return acc / total
 
 
@@ -171,28 +217,50 @@ def transient_expm(chain: CTMC, times: np.ndarray) -> np.ndarray:
 
     Sorts the time grid and propagates ``p`` across each interval with
     ``expm(Q * dt)``; exponentials are cached per distinct ``dt`` so a
-    uniform grid costs a single Padé evaluation.
+    uniform grid costs a single Padé evaluation.  Cache keys are ``dt``
+    rounded to 12 significant digits, so the accumulated floating-point
+    drift of a nominally uniform grid (``0.1 + 0.1 + ...``) cannot
+    silently defeat the cache; reusing a step across a sub-ulp ``dt``
+    difference perturbs the result far below the method's own ~1e-15
+    accuracy.
+
+    The span ``"transient_expm"`` reports ``pade_evals`` (cache misses)
+    and ``cache_hits``; the same counts accumulate in the metrics
+    registry under ``repro.solver.expm.*``.
     """
     times = np.atleast_1d(np.asarray(times, dtype=float))
     if np.any(times < 0):
         raise ValueError("times must be nonnegative")
-    q = chain.generator(dense=True)
-    order = np.argsort(times)
-    result = np.empty((len(times), chain.num_states))
-    cache: Dict[float, np.ndarray] = {}
-    p = chain.p0.copy()
-    t_prev = 0.0
-    for pos in order:
-        dt = times[pos] - t_prev
-        if dt > 0:
-            step = cache.get(dt)
-            if step is None:
-                step = expm(q * dt)
-                cache[dt] = step
-            p = p @ step
-            t_prev = times[pos]
-        result[pos] = p
-    return result
+    registry = metrics.get_registry()
+    with trace.span(
+        "transient_expm", n_states=chain.num_states, n_times=len(times)
+    ) as sp:
+        q = chain.generator(dense=True)
+        order = np.argsort(times)
+        result = np.empty((len(times), chain.num_states))
+        cache: Dict[float, np.ndarray] = {}
+        pade_evals = 0
+        cache_hits = 0
+        p = chain.p0.copy()
+        t_prev = 0.0
+        for pos in order:
+            dt = times[pos] - t_prev
+            if dt > 0:
+                key = float(np.format_float_scientific(dt, precision=12))
+                step = cache.get(key)
+                if step is None:
+                    step = expm(q * dt)
+                    cache[key] = step
+                    pade_evals += 1
+                else:
+                    cache_hits += 1
+                p = p @ step
+                t_prev = times[pos]
+            result[pos] = p
+        sp.set_attrs(pade_evals=pade_evals, cache_hits=cache_hits)
+        registry.counter("repro.solver.expm.pade_evals").inc(pade_evals)
+        registry.counter("repro.solver.expm.cache_hits").inc(cache_hits)
+        return result
 
 
 def transient_ode(
@@ -213,19 +281,23 @@ def transient_ode(
     t_max = float(times.max())
     if t_max == 0.0:
         return np.tile(chain.p0, (len(times), 1))
-    sol = solve_ivp(
-        rhs,
-        (0.0, t_max),
-        chain.p0,
-        t_eval=np.unique(np.concatenate([[0.0], times])),
-        rtol=rtol,
-        atol=atol,
-        method="RK45",
-    )
-    if not sol.success:
-        raise RuntimeError(f"ODE transient solve failed: {sol.message}")
-    lookup = {t: sol.y[:, i] for i, t in enumerate(sol.t)}
-    return np.array([lookup[t] for t in times])
+    with trace.span(
+        "transient_ode", n_states=chain.num_states, n_times=len(times)
+    ) as sp:
+        sol = solve_ivp(
+            rhs,
+            (0.0, t_max),
+            chain.p0,
+            t_eval=np.unique(np.concatenate([[0.0], times])),
+            rtol=rtol,
+            atol=atol,
+            method="RK45",
+        )
+        if not sol.success:
+            raise RuntimeError(f"ODE transient solve failed: {sol.message}")
+        sp.set_attrs(rhs_evaluations=int(sol.nfev))
+        lookup = {t: sol.y[:, i] for i, t in enumerate(sol.t)}
+        return np.array([lookup[t] for t in times])
 
 
 TRANSIENT_SOLVERS: Dict[str, Callable[..., np.ndarray]] = {

@@ -28,8 +28,30 @@ class BERCurve:
     ber: np.ndarray
 
     def at(self, t_hours: float) -> float:
-        """BER at the grid point closest to ``t_hours``."""
-        idx = int(np.argmin(np.abs(self.times_hours - t_hours)))
+        """BER at the grid point closest to ``t_hours``.
+
+        Nearest-point lookup is a *grid* convenience, not extrapolation:
+        a query lying outside the grid span by more than one grid step
+        (the largest spacing of the grid) raises :class:`ValueError`
+        instead of silently returning the nearest endpoint — e.g.
+        ``at(1e6)`` on a 48-hour grid is a caller bug, not "the 48 h
+        value".  Single-point grids keep the legacy nearest behaviour
+        (they define no step).
+        """
+        t = float(t_hours)
+        times = self.times_hours
+        if times.size > 1:
+            lo = float(times.min())
+            hi = float(times.max())
+            step = float(np.max(np.abs(np.diff(np.sort(times)))))
+            if t < lo - step or t > hi + step:
+                raise ValueError(
+                    f"t={t:g} h lies outside the curve's grid "
+                    f"[{lo:g}, {hi:g}] h by more than one grid step "
+                    f"({step:g} h); evaluate the model there instead of "
+                    "snapping to the nearest grid point"
+                )
+        idx = int(np.argmin(np.abs(times - t)))
         return float(self.ber[idx])
 
     @property

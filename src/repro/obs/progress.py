@@ -1,0 +1,141 @@
+"""Campaign progress: per-chunk heartbeats with a rolling-throughput ETA.
+
+A long campaign should never be a black box between launch and summary.
+:class:`ProgressTracker` turns chunk completions into
+:class:`ProgressEvent` heartbeats carrying done/total counts, a rolling
+throughput estimate, and the derived ETA.  The estimate is computed over
+a sliding window of recent completions (not the full history), so it
+adapts when throughput changes mid-run — e.g. after the supervisor
+degrades a pool to serial execution.
+
+The tracker is deliberately clock-injectable (``clock=``) so tests can
+drive it deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One heartbeat: completion state plus throughput/ETA estimates."""
+
+    done: int
+    total: int
+    elapsed_seconds: float
+    rate_per_second: Optional[float]  # None until two samples exist
+    eta_seconds: Optional[float]  # None until a rate exists
+    unit: str = "trials"
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "done": self.done,
+            "total": self.total,
+            "fraction": self.fraction,
+            "elapsed_seconds": self.elapsed_seconds,
+            "rate_per_second": self.rate_per_second,
+            "eta_seconds": self.eta_seconds,
+            "unit": self.unit,
+        }
+
+
+class ProgressTracker:
+    """Accumulates completed work and estimates throughput over a window.
+
+    ``advance(n)`` records ``n`` more completed units and returns the
+    heartbeat event for that instant.  The rate is the slope across the
+    oldest and newest of the last ``window`` samples; the ETA divides
+    the remaining work by that rate.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        unit: str = "trials",
+        window: int = 20,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if total < 0:
+            raise ValueError("total must be nonnegative")
+        if window < 2:
+            raise ValueError("window must be at least 2 samples")
+        self.total = total
+        self.unit = unit
+        self._clock = clock
+        self._t0: Optional[float] = None
+        self.done = 0
+        self._samples: Deque[Tuple[float, int]] = deque(maxlen=window)
+
+    def start(self) -> None:
+        """Mark the start instant (idempotent; ``advance`` calls it too)."""
+        if self._t0 is None:
+            self._t0 = self._clock()
+            self._samples.append((self._t0, 0))
+
+    def advance(self, n: int = 1) -> ProgressEvent:
+        """Record ``n`` completed units; return the heartbeat event."""
+        if n < 0:
+            raise ValueError("cannot advance by a negative amount")
+        self.start()
+        now = self._clock()
+        self.done += n
+        self._samples.append((now, self.done))
+        return self._event(now)
+
+    def snapshot(self) -> ProgressEvent:
+        """The current heartbeat without recording new work."""
+        self.start()
+        return self._event(self._clock())
+
+    def _event(self, now: float) -> ProgressEvent:
+        assert self._t0 is not None  # start() has run
+        elapsed = now - self._t0
+        rate: Optional[float] = None
+        eta: Optional[float] = None
+        if len(self._samples) >= 2:
+            (t_old, done_old) = self._samples[0]
+            (t_new, done_new) = self._samples[-1]
+            span = t_new - t_old
+            gained = done_new - done_old
+            if span > 0 and gained > 0:
+                rate = gained / span
+                remaining = max(0, self.total - self.done)
+                eta = remaining / rate
+        return ProgressEvent(
+            done=self.done,
+            total=self.total,
+            elapsed_seconds=elapsed,
+            rate_per_second=rate,
+            eta_seconds=eta,
+            unit=self.unit,
+        )
+
+
+def format_progress(event: ProgressEvent) -> str:
+    """One-line human rendering, e.g. for ``repro campaign --progress``."""
+    head = f"{event.done}/{event.total} {event.unit}"
+    if event.total > 0:
+        head += f" ({100.0 * event.fraction:5.1f}%)"
+    if event.rate_per_second is not None:
+        head += f" | {event.rate_per_second:,.0f}/s"
+    if event.eta_seconds is not None:
+        head += f" | eta {_format_seconds(event.eta_seconds)}"
+    return head
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"

@@ -1,0 +1,253 @@
+"""Nestable span tracing with an in-process collector and JSONL export.
+
+The solver and campaign layers are instrumented with *spans* — named,
+attributed, timed regions — so a run can explain not just *what* it
+computed but *why* (how many uniformization terms, what tail bound at
+exit, whether the large-``L·t`` fallback ran, how many Padé evaluations
+the expm cache saved).  Tracing is off by default: ``span()`` and
+``event()`` cost one small object and two ``perf_counter`` calls when no
+collector is installed, and nothing is retained.
+
+Usage::
+
+    from repro.obs import trace
+
+    collector = trace.TraceCollector()
+    with trace.use_collector(collector):
+        with trace.span("solve", method="uniformization") as sp:
+            ...
+            sp.set_attrs(terms_used=42, tail_bound=1e-18)
+        trace.event("chunk_heartbeat", chunk=3, eta_seconds=1.5)
+    collector.export_jsonl("run_trace.jsonl")
+
+Spans nest through a thread-local stack: a span opened while another is
+active records that span as its parent, so the exported JSONL reproduces
+the call tree (``span_id`` / ``parent_id`` / ``depth``).  Records are
+plain dicts; the JSONL schema is one object per line with a ``kind``
+discriminator (``"span"`` | ``"event"`` | ``"metric"``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+_ids = itertools.count(1)
+_local = threading.local()
+
+#: JSONL schema version stamped on every exported line.
+TRACE_SCHEMA = 1
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+class Span:
+    """One named, attributed, timed region (created by :func:`span`)."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "t_start",
+        "duration_s",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Dict[str, Any],
+        parent: Optional["Span"] = None,
+    ):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = next(_ids)
+        self.parent_id = parent.span_id if parent is not None else None
+        self.depth = parent.depth + 1 if parent is not None else 0
+        self.t_start = time.time()
+        self.duration_s: Optional[float] = None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute on the live span."""
+        self.attrs[key] = value
+
+    def set_attrs(self, **attrs: Any) -> None:
+        """Attach several attributes at once."""
+        self.attrs.update(attrs)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "kind": "span",
+            "schema": TRACE_SCHEMA,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "t_start": self.t_start,
+            "duration_s": self.duration_s,
+            "attrs": _jsonable(self.attrs),
+        }
+
+
+def _jsonable(attrs: Mapping[str, Any]) -> Dict[str, Any]:
+    """Coerce attribute values to JSON-serializable builtins."""
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, (list, tuple)):
+            out[key] = [_jsonable({"v": v})["v"] for v in value]
+        elif isinstance(value, Mapping):
+            out[key] = _jsonable(value)
+        elif hasattr(value, "item"):  # numpy scalars
+            out[key] = value.item()
+        else:
+            out[key] = repr(value)
+    return out
+
+
+class TraceCollector:
+    """Accumulates finished span/event records; exports them as JSONL."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[Dict[str, Any]] = []
+
+    def add(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def records(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Snapshot of collected records, optionally filtered by kind."""
+        with self._lock:
+            records = list(self._records)
+        if kind is None:
+            return records
+        return [r for r in records if r.get("kind") == kind]
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Collected span records, optionally filtered by span name."""
+        spans = self.records("span")
+        if name is None:
+            return spans
+        return [s for s in spans if s.get("name") == name]
+
+    def events(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Collected event records, optionally filtered by event name."""
+        events = self.records("event")
+        if name is None:
+            return events
+        return [e for e in events if e.get("name") == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def export_jsonl(
+        self,
+        path: Union[str, Path],
+        metrics: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    ) -> Path:
+        """Write every record (one JSON object per line) to ``path``.
+
+        ``metrics`` (optional) is a registry snapshot
+        (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`); each metric
+        is appended as a ``{"kind": "metric", ...}`` line so one file
+        carries the complete observability record of a run.
+        """
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w") as fh:
+            for record in self.records():
+                fh.write(json.dumps(record) + "\n")
+            if metrics:
+                for name, data in sorted(metrics.items()):
+                    line = {"kind": "metric", "schema": TRACE_SCHEMA, "name": name}
+                    line.update(_jsonable(data))
+                    fh.write(json.dumps(line) + "\n")
+        return out
+
+
+#: Process-wide collector; ``None`` means tracing is disabled.
+_collector: Optional[TraceCollector] = None
+
+
+def install_collector(collector: Optional[TraceCollector]) -> None:
+    """Install (or, with ``None``, remove) the process-wide collector."""
+    global _collector
+    _collector = collector
+
+
+def current_collector() -> Optional[TraceCollector]:
+    return _collector
+
+
+@contextlib.contextmanager
+def use_collector(collector: TraceCollector) -> Iterator[TraceCollector]:
+    """Temporarily install ``collector`` (restores the previous one)."""
+    previous = _collector
+    install_collector(collector)
+    try:
+        yield collector
+    finally:
+        install_collector(previous)
+
+
+@contextlib.contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Span]:
+    """Open a nestable span; records to the collector on exit (if any).
+
+    The yielded :class:`Span` accepts :meth:`Span.set_attr` /
+    :meth:`Span.set_attrs` from inside the region — this is how the
+    solvers report truncation decisions as they make them.
+    """
+    stack = _stack()
+    parent = stack[-1] if stack else None
+    sp = Span(name, dict(attrs), parent)
+    stack.append(sp)
+    t0 = time.perf_counter()
+    try:
+        yield sp
+    finally:
+        sp.duration_s = time.perf_counter() - t0
+        if stack and stack[-1] is sp:
+            stack.pop()
+        collector = _collector
+        if collector is not None:
+            collector.add(sp.to_record())
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Record one instantaneous event (no-op when tracing is disabled)."""
+    collector = _collector
+    if collector is None:
+        return
+    stack = _stack()
+    parent = stack[-1] if stack else None
+    collector.add(
+        {
+            "kind": "event",
+            "schema": TRACE_SCHEMA,
+            "name": name,
+            "t": time.time(),
+            "parent_id": parent.span_id if parent is not None else None,
+            "attrs": _jsonable(attrs),
+        }
+    )
+
+
+def current_span() -> Optional[Span]:
+    """The innermost live span on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None

@@ -4,21 +4,41 @@ The batch codec and the chunked Monte-Carlo engine are performance
 features, so they carry their own meters: :class:`PerfCounters` counts
 the work actually done (words encoded/decoded, how many words took the
 vectorized clean fast path vs. the scalar errors-and-erasures fallback,
-trials completed) and :class:`Stopwatch` accumulates wall-clock time so
-throughput (trials/sec, words/sec) can be reported by benchmarks and the
-CLI without any external profiler.
+trials completed) and :class:`Stopwatch` accumulates time so throughput
+(trials/sec, words/sec) can be reported by benchmarks and the CLI
+without any external profiler.
 
-Counters are plain additive state: merging the per-chunk counters
-returned by worker processes reproduces exactly the counters a
+Time is accounted on two separate axes, because they mean different
+things under multiprocessing:
+
+* ``cpu_seconds`` — busy time measured *inside* each chunk executor,
+  wherever it ran.  Additive: merging per-worker counters sums it, and
+  with ``workers=N`` it can legitimately exceed wall clock N-fold.
+* ``elapsed_seconds`` — true wall-clock time, measured once by the
+  coordinator's :class:`Stopwatch`.  **Not** additive: :meth:`PerfCounters.merge`
+  deliberately leaves it alone, because summing per-worker elapsed time
+  reports N× the true wall time and understates ``trials_per_second``
+  by the worker count (the original single-field accounting bug).
+
+All other counters are plain additive state: merging the per-chunk
+counters returned by worker processes reproduces exactly the counters a
 single-process run would have produced, which keeps the ``workers=N``
 path observable without breaking its determinism contract.
+
+:class:`PerfCounters` is intentionally a plain picklable dataclass — the
+carrier worker processes return — while :mod:`repro.obs.metrics` is the
+richer registry (gauges, histograms).  :meth:`PerfCounters.publish`
+bridges the two by mirroring every field into a registry.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, fields
-from typing import Dict, Iterator, Optional
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -36,7 +56,12 @@ class PerfCounters:
     decode_failures: words the scalar fallback reported uncorrectable.
     trials: Monte-Carlo trials completed.
     chunks: Monte-Carlo chunks processed.
-    elapsed_seconds: wall-clock time accumulated by :class:`Stopwatch`.
+    elapsed_seconds: true wall-clock time, measured by the
+        *coordinator's* :class:`Stopwatch`.  Excluded from :meth:`merge`
+        (wall time is not additive across workers).
+    cpu_seconds: busy time accumulated *inside* chunk executors;
+        additive across workers and can exceed ``elapsed_seconds``
+        under multiprocessing.
 
     Resilience counters (filled by :mod:`repro.runtime`):
 
@@ -58,6 +83,7 @@ class PerfCounters:
     trials: int = 0
     chunks: int = 0
     elapsed_seconds: float = 0.0
+    cpu_seconds: float = 0.0
     retries: int = 0
     chunk_failures: int = 0
     chunk_timeouts: int = 0
@@ -67,11 +93,23 @@ class PerfCounters:
     serial_fallbacks: int = 0
     chunks_resumed: int = 0
 
+    #: Fields :meth:`merge` must NOT sum: wall clock is measured once by
+    #: the coordinator, not accumulated across workers.
+    NON_ADDITIVE = frozenset({"elapsed_seconds"})
+
     # -- aggregation -------------------------------------------------------
 
     def merge(self, other: "PerfCounters") -> "PerfCounters":
-        """Add another counter set into this one (returns self)."""
+        """Add another counter set into this one (returns self).
+
+        Every field is summed except ``elapsed_seconds``: per-chunk /
+        per-worker wall times overlap under multiprocessing, so summing
+        them would report N× the true duration.  The coordinator owns
+        ``elapsed_seconds`` via its own :class:`Stopwatch`.
+        """
         for f in fields(self):
+            if f.name in self.NON_ADDITIVE:
+                continue
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
 
@@ -86,6 +124,17 @@ class PerfCounters:
         known = {f.name for f in fields(cls)}
         return cls(**{k: v for k, v in d.items() if k in known})
 
+    def publish(
+        self, registry: "MetricsRegistry", prefix: str = "repro.perf."
+    ) -> None:
+        """Mirror every field into an :mod:`repro.obs.metrics` registry.
+
+        Monotonic work counts become gauges too (a snapshot, not a
+        stream): the registry reflects this counter set's current state.
+        """
+        for f in fields(self):
+            registry.gauge(prefix + f.name).set(getattr(self, f.name))
+
     # -- derived metrics ---------------------------------------------------
 
     @property
@@ -97,15 +146,24 @@ class PerfCounters:
 
     @property
     def trials_per_second(self) -> float:
+        """Trials per true wall-clock second (coordinator-measured)."""
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.trials / self.elapsed_seconds
 
     @property
     def words_per_second(self) -> float:
+        """Decoded words per true wall-clock second."""
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.words_decoded / self.elapsed_seconds
+
+    @property
+    def parallel_speedup(self) -> float:
+        """``cpu_seconds / elapsed_seconds`` — effective busy workers."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.cpu_seconds / self.elapsed_seconds
 
     def summary(self) -> str:
         """Human-readable one-block summary for benchmarks and the CLI."""
@@ -118,10 +176,13 @@ class PerfCounters:
             f"scalar fallbacks   : {self.scalar_fallbacks} "
             f"({100.0 * self.fallback_rate:.1f}%)",
             f"decode failures    : {self.decode_failures}",
-            f"elapsed            : {self.elapsed_seconds:.3f} s",
+            f"elapsed (wall)     : {self.elapsed_seconds:.3f} s",
+            f"cpu (all workers)  : {self.cpu_seconds:.3f} s",
         ]
+        if self.elapsed_seconds > 0 and self.cpu_seconds > 0:
+            lines.append(f"parallel speedup   : {self.parallel_speedup:.2f}x")
         if self.trials and self.elapsed_seconds > 0:
-            lines.append(f"trials/sec         : {self.trials_per_second:,.0f}")
+            lines.append(f"trials/sec (wall)  : {self.trials_per_second:,.0f}")
         if self.words_decoded and self.elapsed_seconds > 0:
             lines.append(f"decoded words/sec  : {self.words_per_second:,.0f}")
         resilience = self.resilience_summary()
@@ -167,7 +228,11 @@ class PerfCounters:
 
 
 class Stopwatch:
-    """Context manager accumulating wall time into a counter set.
+    """Context manager accumulating elapsed time into a counter field.
+
+    ``attr`` selects the destination: the coordinator times true wall
+    clock into ``elapsed_seconds`` (the default), while chunk executors
+    time their own busy interval into the additive ``cpu_seconds``.
 
     >>> counters = PerfCounters()
     >>> with Stopwatch(counters):
@@ -176,8 +241,15 @@ class Stopwatch:
     True
     """
 
-    def __init__(self, counters: Optional[PerfCounters] = None):
+    def __init__(
+        self,
+        counters: Optional[PerfCounters] = None,
+        attr: str = "elapsed_seconds",
+    ):
+        if attr not in {f.name for f in fields(PerfCounters)}:
+            raise ValueError(f"unknown PerfCounters field {attr!r}")
         self.counters = counters
+        self.attr = attr
         self.elapsed = 0.0
         self._t0: Optional[float] = None
 
@@ -186,10 +258,22 @@ class Stopwatch:
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._t0 is not None
+        if self._t0 is None:
+            # A bare assert here would vanish under ``python -O`` and
+            # resurface as a baffling TypeError on ``perf_counter() - None``.
+            raise RuntimeError(
+                "Stopwatch.__exit__ called without __enter__ — use it as "
+                "a context manager ('with Stopwatch(...)') or call "
+                "__enter__ first"
+            )
         self.elapsed = time.perf_counter() - self._t0
+        self._t0 = None
         if self.counters is not None:
-            self.counters.elapsed_seconds += self.elapsed
+            setattr(
+                self.counters,
+                self.attr,
+                getattr(self.counters, self.attr) + self.elapsed,
+            )
 
 
 def timed(fn, *args, **kwargs):

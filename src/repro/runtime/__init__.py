@@ -23,8 +23,9 @@ Public surface:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
+from ..obs.progress import ProgressEvent, ProgressTracker
 from .chaos import (
     CHAOS_EXIT_CODE,
     ChaosCrashError,
@@ -43,6 +44,7 @@ from .checkpoint import (
 )
 from .manifest import build_manifest, git_describe, write_manifest
 from .supervisor import (
+    CHUNK_LATENCY_METRIC,
     ChunkFailedError,
     ChunkSupervisor,
     ResilienceWarning,
@@ -65,6 +67,13 @@ class RuntimeConfig:
     chaos: Optional[ChaosSpec] = None
     journal: Optional[CheckpointJournal] = None
 
+    #: Campaign-wide progress tracker; chunk completions (including
+    #: journal-resumed replays) advance it and emit heartbeat events.
+    progress: Optional[ProgressTracker] = None
+    #: Called with each heartbeat :class:`~repro.obs.progress.ProgressEvent`
+    #: (the CLI's ``--progress`` renderer). Requires ``progress``.
+    on_progress: Optional[Callable[[ProgressEvent], None]] = None
+
     #: Supervisor events accumulated across cells (filled during runs).
     events: list = field(default_factory=list)
 
@@ -85,6 +94,7 @@ __all__ = [
     "build_manifest",
     "git_describe",
     "write_manifest",
+    "CHUNK_LATENCY_METRIC",
     "ChunkFailedError",
     "ChunkSupervisor",
     "ResilienceWarning",

@@ -5,8 +5,10 @@ the exact run that produced it.  ``repro campaign --manifest out.json``
 writes one JSON document per campaign with the full reproducibility key
 (seed, engine, chunking, code geometry, cell matrix), the resilience
 record (retries, timeouts, crashes, fallbacks, resumed chunks), the
-per-cell results, and environment provenance (git describe, Python and
-numpy versions, wall clock).
+per-cell results, the observability record (chunk heartbeat/progress
+events with ETA, a metrics-registry snapshot including the chunk-latency
+histogram), and environment provenance (git describe, Python and numpy
+versions, wall clock).
 """
 
 from __future__ import annotations
@@ -18,7 +20,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Union
 
-MANIFEST_VERSION = 1
+# Version 2 added the "progress" heartbeat list and "metrics" snapshot.
+MANIFEST_VERSION = 2
 
 
 def git_describe(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
@@ -48,6 +51,8 @@ def build_manifest(
     wall_clock_seconds: Optional[float] = None,
     resumed: bool = False,
     checkpoint_path: Optional[str] = None,
+    progress_events: Sequence[Dict[str, Any]] = (),  # heartbeat dicts
+    metrics: Optional[Dict[str, Dict[str, Any]]] = None,  # registry snapshot
 ) -> Dict[str, Any]:
     """Assemble the manifest document (pure; no I/O, no clock reads)."""
     import numpy as np
@@ -85,6 +90,8 @@ def build_manifest(
             }
             for ev in events
         ],
+        "progress": list(progress_events),
+        "metrics": metrics or {},
         "wall_clock_seconds": wall_clock_seconds,
         "environment": {
             "git_describe": git_describe(),

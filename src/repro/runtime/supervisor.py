@@ -37,11 +37,18 @@ import time
 import warnings
 from collections import defaultdict
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace
+from ..obs.progress import ProgressEvent, ProgressTracker
 from ..perf import PerfCounters
 from .chaos import ChaosSpec
+
+#: Metrics-registry name of the per-chunk completion-latency histogram
+#: (coordinator-observed: submit/start to completion, queueing included).
+CHUNK_LATENCY_METRIC = "repro.mc.chunk_seconds"
 
 
 class ResilienceWarning(UserWarning):
@@ -106,6 +113,8 @@ class ChunkSupervisor:
         chunk_timeout: Optional[float] = None,
         chaos: Optional[ChaosSpec] = None,
         counters: Optional[PerfCounters] = None,
+        progress: Optional[ProgressTracker] = None,
+        on_progress: Optional[Callable[[ProgressEvent], None]] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -116,6 +125,8 @@ class ChunkSupervisor:
         self.chunk_timeout = chunk_timeout
         self.chaos = chaos
         self.counters = counters if counters is not None else PerfCounters()
+        self.progress = progress
+        self.on_progress = on_progress
         self.events: List[SupervisorEvent] = []
 
     # -- event plumbing ----------------------------------------------------
@@ -125,6 +136,39 @@ class ChunkSupervisor:
 
     def _warn(self, message: str) -> None:
         warnings.warn(message, ResilienceWarning, stacklevel=2)
+
+    def _heartbeat(
+        self, index: int, result: Dict[str, Any], latency_s: float
+    ) -> None:
+        """One chunk finished: histogram its latency, emit the heartbeat.
+
+        The heartbeat is a trace event (``chunk_heartbeat``) carrying the
+        chunk latency plus — when a :class:`ProgressTracker` is attached —
+        the done/total/rate/ETA snapshot, and it also reaches the
+        ``on_progress`` callback (the CLI's ``--progress`` renderer).
+        """
+        obs_metrics.get_registry().histogram(CHUNK_LATENCY_METRIC).observe(
+            latency_s
+        )
+        trials = 0
+        if isinstance(result, dict):
+            try:
+                trials = int(result.get("trials", 0))
+            except (TypeError, ValueError):
+                trials = 0
+        attrs: Dict[str, Any] = {
+            "chunk": index,
+            "latency_s": latency_s,
+            "trials": trials,
+        }
+        if self.progress is not None:
+            progress_event = self.progress.advance(max(trials, 1))
+            attrs.update(progress_event.as_dict())
+            trace.event("chunk_heartbeat", **attrs)
+            if self.on_progress is not None:
+                self.on_progress(progress_event)
+        else:
+            trace.event("chunk_heartbeat", **attrs)
 
     # -- public API --------------------------------------------------------
 
@@ -183,10 +227,12 @@ class ChunkSupervisor:
     ) -> Dict[int, Dict[str, Any]]:
         results: Dict[int, Dict[str, Any]] = {}
         for index, args in jobs:
+            t0 = time.perf_counter()
             result = self._run_one_serial(index, args, primary, fallback)
             results[index] = result
             if on_complete is not None:
                 on_complete(index, result)
+            self._heartbeat(index, result, time.perf_counter() - t0)
         return results
 
     def _run_fallback(
@@ -254,7 +300,8 @@ class ChunkSupervisor:
         pool_restarts = 0
         degraded_serial = False
         executor = self._new_pool(len(jobs))
-        inflight: Dict[cf.Future, Tuple[int, tuple, float]] = {}
+        # inflight entries: (chunk_index, args, deadline, submit_time)
+        inflight: Dict[cf.Future, Tuple[int, tuple, float, float]] = {}
 
         def charge_failure(index: int, args: tuple, attempt: int, why: str) -> None:
             """One failed attempt: schedule a retry or route to fallback."""
@@ -270,32 +317,50 @@ class ChunkSupervisor:
                 self._event("chunk_failed", index, attempt, why)
                 fallback_jobs.append((index, args))
 
-        def finish(index: int, result: Dict[str, Any]) -> None:
+        def finish(
+            index: int, result: Dict[str, Any], latency_s: float
+        ) -> None:
             results[index] = result
             if on_complete is not None:
                 on_complete(index, result)
+            self._heartbeat(index, result, latency_s)
+
+        def finish_timed(index: int, run: Callable[[], Dict[str, Any]]) -> None:
+            t0 = time.perf_counter()
+            result = run()
+            finish(index, result, time.perf_counter() - t0)
 
         try:
             while queue or inflight or fallback_jobs:
                 if degraded_serial:
                     # Pool is gone for good: drain everything in-process.
                     for index, args, _nb in queue:
-                        finish(
+                        finish_timed(
                             index,
-                            self._run_one_serial(
+                            lambda index=index, args=args: self._run_one_serial(
                                 index, args, primary, fallback, failures[index]
                             ),
                         )
                     queue.clear()
                     for index, args in fallback_jobs:
-                        finish(index, self._run_fallback(index, args, fallback))
+                        finish_timed(
+                            index,
+                            lambda index=index, args=args: self._run_fallback(
+                                index, args, fallback
+                            ),
+                        )
                     fallback_jobs.clear()
                     continue
 
                 # Fallback chunks run in-process immediately (the batch
                 # engine already proved unreliable for them).
                 for index, args in fallback_jobs:
-                    finish(index, self._run_fallback(index, args, fallback))
+                    finish_timed(
+                        index,
+                        lambda index=index, args=args: self._run_fallback(
+                            index, args, fallback
+                        ),
+                    )
                 fallback_jobs.clear()
 
                 now = time.monotonic()
@@ -314,7 +379,7 @@ class ChunkSupervisor:
                         if self.chunk_timeout is not None
                         else float("inf")
                     )
-                    inflight[future] = (index, args, deadline)
+                    inflight[future] = (index, args, deadline, time.perf_counter())
 
                 if not inflight:
                     if queue:
@@ -336,7 +401,7 @@ class ChunkSupervisor:
                 )
                 pool_broken = False
                 for future in done:
-                    index, args, _deadline = inflight.pop(future)
+                    index, args, _deadline, t_submit = inflight.pop(future)
                     attempt = failures[index]
                     try:
                         result = future.result()
@@ -348,18 +413,18 @@ class ChunkSupervisor:
                     except Exception as exc:  # noqa: BLE001 - chunk boundary
                         charge_failure(index, args, attempt, repr(exc))
                     else:
-                        finish(index, result)
+                        finish(index, result, time.perf_counter() - t_submit)
 
                 # Hang detection: any in-flight chunk past its deadline
                 # condemns the pool (we cannot evict a single worker).
                 now = time.monotonic()
                 expired = [
                     future
-                    for future, (_i, _a, deadline) in inflight.items()
+                    for future, (_i, _a, deadline, _ts) in inflight.items()
                     if now >= deadline
                 ]
                 for future in expired:
-                    index, args, _deadline = inflight.pop(future)
+                    index, args, _deadline, _t_submit = inflight.pop(future)
                     attempt = failures[index]
                     self.counters.chunk_timeouts += 1
                     self._event(
@@ -373,7 +438,7 @@ class ChunkSupervisor:
 
                 if pool_broken:
                     # Innocent bystanders go back to the queue unpenalized.
-                    for future, (index, args, _deadline) in inflight.items():
+                    for future, (index, args, _deadline, _ts) in inflight.items():
                         queue.append((index, args, 0.0))
                     inflight.clear()
                     self._kill_pool(executor)

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..memory import duplex_model, simplex_model
+from ..obs import trace
 from ..perf import PerfCounters
 from ..rs import RSCode
 from ..runtime import RuntimeConfig
@@ -192,51 +193,61 @@ def run_campaign(
     code = RSCode(n, k, m=m)
     rows: List[CampaignRow] = []
     for idx, cell in enumerate(cells):
-        factory = simplex_model if cell.arrangement == "simplex" else duplex_model
-        model = factory(
-            n,
-            k,
-            m=m,
-            seu_per_bit_day=cell.seu_per_bit_day,
-            erasure_per_symbol_day=cell.erasure_per_symbol_day,
-            scrub_period_seconds=cell.scrub_period_seconds,
-        )
-        p_model = float(model.fail_probability([t_end_hours])[0])
-        scrub_period_hours = (
-            None
-            if cell.scrub_period_seconds is None
-            else cell.scrub_period_seconds / 3600.0
-        )
-        if engine == "batch":
-            estimate = simulate_fail_probability_batched(
-                cell.arrangement,
-                code,
-                t_end_hours,
-                seu_per_bit=cell.seu_per_bit_day / 24.0,
-                erasure_per_symbol=cell.erasure_per_symbol_day / 24.0,
-                trials=trials,
-                seed=base_seed + idx,
-                scrub_period=scrub_period_hours,
-                scrub_exponential=True,
-                chunk_size=chunk_size,
-                workers=workers,
-                counters=counters,
-                runtime=runtime,
-                cell_key=f"{idx}:{cell.label()}",
+        with trace.span(
+            "campaign_cell",
+            cell=cell.label(),
+            index=idx,
+            engine=engine,
+            trials=trials,
+        ):
+            factory = (
+                simplex_model if cell.arrangement == "simplex" else duplex_model
             )
-        else:
-            estimate = simulate_fail_probability(
-                cell.arrangement,
-                code,
-                t_end_hours,
-                seu_per_bit=cell.seu_per_bit_day / 24.0,
-                erasure_per_symbol=cell.erasure_per_symbol_day / 24.0,
-                trials=trials,
-                rng=np.random.default_rng(base_seed + idx),
-                scrub_period=scrub_period_hours,
-                scrub_exponential=True,
+            model = factory(
+                n,
+                k,
+                m=m,
+                seu_per_bit_day=cell.seu_per_bit_day,
+                erasure_per_symbol_day=cell.erasure_per_symbol_day,
+                scrub_period_seconds=cell.scrub_period_seconds,
             )
-        rows.append(CampaignRow(cell, p_model, estimate))
+            with trace.span("campaign_model_solve", cell=cell.label()):
+                p_model = float(model.fail_probability([t_end_hours])[0])
+            scrub_period_hours = (
+                None
+                if cell.scrub_period_seconds is None
+                else cell.scrub_period_seconds / 3600.0
+            )
+            if engine == "batch":
+                estimate = simulate_fail_probability_batched(
+                    cell.arrangement,
+                    code,
+                    t_end_hours,
+                    seu_per_bit=cell.seu_per_bit_day / 24.0,
+                    erasure_per_symbol=cell.erasure_per_symbol_day / 24.0,
+                    trials=trials,
+                    seed=base_seed + idx,
+                    scrub_period=scrub_period_hours,
+                    scrub_exponential=True,
+                    chunk_size=chunk_size,
+                    workers=workers,
+                    counters=counters,
+                    runtime=runtime,
+                    cell_key=f"{idx}:{cell.label()}",
+                )
+            else:
+                estimate = simulate_fail_probability(
+                    cell.arrangement,
+                    code,
+                    t_end_hours,
+                    seu_per_bit=cell.seu_per_bit_day / 24.0,
+                    erasure_per_symbol=cell.erasure_per_symbol_day / 24.0,
+                    trials=trials,
+                    rng=np.random.default_rng(base_seed + idx),
+                    scrub_period=scrub_period_hours,
+                    scrub_exponential=True,
+                )
+            rows.append(CampaignRow(cell, p_model, estimate))
     return rows
 
 

@@ -25,12 +25,14 @@ Three fault-injection validators:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..memory.base import FAIL, MemoryMarkovModel
+from ..obs import trace
 from ..perf import PerfCounters, Stopwatch
 from ..rs import BatchRSCodec, RSCode, RSDecodingError
 from ..runtime import ChunkSupervisor, RuntimeConfig, seed_key
@@ -368,6 +370,9 @@ def _run_injection_chunk(args: tuple) -> Dict[str, object]:
     code = codec.scalar
     counters = PerfCounters()
     codec.counters = counters
+    # Busy time goes to the additive cpu_seconds axis; true wall clock
+    # (elapsed_seconds) is owned by the coordinator's Stopwatch.
+    t_busy = time.perf_counter()
     try:
         rng = np.random.default_rng(seed_seq)
         n_modules = 2 if arrangement == "duplex" else 1
@@ -519,6 +524,7 @@ def _run_injection_chunk(args: tuple) -> Dict[str, object]:
         )
         counters.trials += n_trials
         counters.chunks += 1
+        counters.cpu_seconds += time.perf_counter() - t_busy
         return {
             "failures": failures,
             "counts": counts,
@@ -556,6 +562,7 @@ def _run_scalar_chunk(args: tuple) -> Dict[str, object]:
         seed_seq,
     ) = args
     code = _cached_batch_codec(n, k, m, fcr).scalar
+    t_busy = time.perf_counter()
     rng = np.random.default_rng(seed_seq)
     counts = {outcome.value: 0 for outcome in ReadOutcome}
     failures = 0
@@ -573,7 +580,9 @@ def _run_scalar_chunk(args: tuple) -> Dict[str, object]:
         counts[outcome.value] += 1
         if outcome.is_failure:
             failures += 1
-    counters = PerfCounters(trials=n_trials, chunks=1)
+    counters = PerfCounters(
+        trials=n_trials, chunks=1, cpu_seconds=time.perf_counter() - t_busy
+    )
     return {
         "failures": failures,
         "counts": counts,
@@ -669,10 +678,33 @@ def simulate_fail_probability_batched(
         if cached is not None:
             results[index] = cached
             own_counters.chunks_resumed += 1
+            # Replayed chunks are finished work too: advance the
+            # progress estimate and leave a heartbeat in the trace.
+            resumed_trials = int(cached.get("trials", 0))  # type: ignore[union-attr]
+            heartbeat_attrs = {
+                "chunk": index,
+                "trials": resumed_trials,
+                "resumed": True,
+            }
+            if cfg.progress is not None:
+                progress_event = cfg.progress.advance(max(resumed_trials, 1))
+                heartbeat_attrs.update(progress_event.as_dict())
+                if cfg.on_progress is not None:
+                    cfg.on_progress(progress_event)
+            trace.event("chunk_heartbeat", **heartbeat_attrs)
         else:
             jobs.append((index, args))
 
-    with Stopwatch(own_counters):
+    with trace.span(
+        "simulate_fail_probability_batched",
+        arrangement=arrangement,
+        trials=trials,
+        chunk_size=chunk_size,
+        workers=workers,
+        n_chunks=len(sizes),
+        chunks_resumed=len(results),
+        cell_key=cell_key,
+    ), Stopwatch(own_counters):
         if jobs:
             supervisor = ChunkSupervisor(
                 workers=workers,
@@ -680,6 +712,8 @@ def simulate_fail_probability_batched(
                 chunk_timeout=cfg.chunk_timeout,
                 chaos=cfg.chaos,
                 counters=own_counters,
+                progress=cfg.progress,
+                on_progress=cfg.on_progress,
             )
 
             def record(index: int, result: Dict[str, object]) -> None:

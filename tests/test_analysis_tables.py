@@ -75,7 +75,12 @@ class TestBERCurve:
     def test_at_picks_nearest_grid_point(self):
         c = curve("x", [0.0, 10.0, 20.0], [0.0, 1e-6, 2e-6])
         assert c.at(9.0) == 1e-6
-        assert c.at(100.0) == 2e-6
+        assert c.at(25.0) == 2e-6  # within one grid step past the span
+
+    def test_at_rejects_far_off_grid_queries(self):
+        c = curve("x", [0.0, 10.0, 20.0], [0.0, 1e-6, 2e-6])
+        with pytest.raises(ValueError, match="outside the curve's grid"):
+            c.at(100.0)
 
     def test_final(self):
         c = curve("x", [0.0, 10.0], [0.0, 5e-7])

@@ -114,12 +114,129 @@ class TestSensitivityCommand:
         assert main(["sensitivity", "--seu", "0"]) == 1
 
 
+@pytest.fixture
+def fresh_metrics():
+    """Isolate the process-global metrics registry per test."""
+    from repro.obs.metrics import MetricsRegistry, set_registry
+
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
 class TestCampaignCommand:
     def test_default_campaign_consistent(self, capsys):
         assert main(["campaign", "--trials", "120", "--seed", "3"]) == 0
         out = capsys.readouterr().out
         assert "simplex: 4/4" in out
         assert "duplex: 4/4" in out
+
+    def test_trace_writes_parseable_jsonl(self, tmp_path, capsys, fresh_metrics):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "campaign",
+                "--trials",
+                "60",
+                "--chunk-size",
+                "30",
+                "--seed",
+                "3",
+                "--trace",
+                str(path),
+            ]
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        by_kind = {}
+        for line in lines:
+            by_kind.setdefault(line["kind"], []).append(line)
+        # solver spans carry the truncation story
+        solver = [
+            s
+            for s in by_kind["span"]
+            if s["name"] == "uniformization_propagate"
+        ]
+        assert solver and all(
+            "terms_used" in s["attrs"] and "tail_bound" in s["attrs"]
+            for s in solver
+        )
+        # chunk heartbeats carry progress with an ETA estimate
+        beats = [e for e in by_kind["event"] if e["name"] == "chunk_heartbeat"]
+        assert beats
+        assert beats[-1]["attrs"]["done"] == beats[-1]["attrs"]["total"]
+        assert any(b["attrs"]["eta_seconds"] is not None for b in beats)
+        # the metrics snapshot includes the chunk-latency histogram
+        metric_names = {m["name"] for m in by_kind["metric"]}
+        assert "repro.mc.chunk_seconds" in metric_names
+        assert "repro.perf.trials" in metric_names
+
+    def test_progress_prints_heartbeats(self, tmp_path, capsys):
+        code = main(
+            [
+                "campaign",
+                "--trials",
+                "60",
+                "--chunk-size",
+                "30",
+                "--seed",
+                "3",
+                "--progress",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "480/480 trials" in err  # 8 cells x 60 trials
+        assert "eta" in err
+
+    def test_progress_requires_batch_engine(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--trials",
+                    "60",
+                    "--engine",
+                    "scalar",
+                    "--progress",
+                ]
+            )
+            == 2
+        )
+        assert "--engine batch" in capsys.readouterr().err
+
+    def test_manifest_records_progress_and_metrics(
+        self, tmp_path, capsys, fresh_metrics
+    ):
+        import json
+
+        path = tmp_path / "manifest.json"
+        code = main(
+            [
+                "campaign",
+                "--trials",
+                "60",
+                "--chunk-size",
+                "30",
+                "--seed",
+                "3",
+                "--manifest",
+                str(path),
+            ]
+        )
+        assert code == 0
+        manifest = json.loads(path.read_text())
+        assert manifest["manifest_version"] == 2
+        assert manifest["progress"]
+        assert manifest["progress"][-1]["done"] == 480
+        assert manifest["metrics"]["repro.mc.chunk_seconds"]["count"] == 16
+        # wall-clock accounting: elapsed is coordinator wall, cpu additive
+        perf = manifest["counters"]
+        assert perf["cpu_seconds"] > 0.0
+        assert perf["elapsed_seconds"] > 0.0
 
 
 class TestScenarioCommand:

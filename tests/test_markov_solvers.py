@@ -15,6 +15,7 @@ from repro.markov.solvers import (
     transient_uniformization,
     uniformization_propagate,
 )
+from repro.obs import trace
 
 
 def erlang_chain(stages: int, rate: float) -> CTMC:
@@ -116,6 +117,41 @@ class TestUniformizationInternals:
         assert probs[0, 0] == pytest.approx(0.5, rel=1e-6)
         assert probs[0].sum() == pytest.approx(1.0, rel=1e-9)
 
+    def test_large_lt_fallback_matches_expm_off_equilibrium(self):
+        """Pin the windowed fallback against the independent Padé solver
+        on a *stiff* chain that has NOT relaxed to equilibrium at
+        L*t ~ 800 (the equilibrium check above would pass even for a
+        subtly wrong window): a fast A<->B oscillation sets L high while
+        absorption into C stays slow."""
+        chain = CTMC(
+            ["A", "B", "C"],
+            [("A", "B", 1000.0), ("B", "A", 1000.0), ("A", "C", 1e-3)],
+            "A",
+        )
+        t = 0.8  # L*t ~ 800 -> e^{-Lt} underflows -> fallback path
+        uni = transient_uniformization(chain, np.array([t]))
+        exp = transient_expm(chain, np.array([t]))
+        assert 0.0 < uni[0, 2] < 1e-3  # genuinely mid-transient
+        assert np.allclose(uni, exp, atol=1e-10)
+
+    def test_large_lt_window_honours_rtol(self):
+        """A stricter rtol must widen the summation window (the old code
+        ignored the caller's rtol and always used the fixed k=10 width)."""
+        rates = sparse.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        p0 = np.array([1.0, 0.0])
+        windows = {}
+        for rtol in (1e-14, 1e-40):
+            collector = trace.TraceCollector()
+            with trace.use_collector(collector):
+                uniformization_propagate(rates, p0, 800.0, rtol=rtol)
+            [span] = collector.spans("uniformization_propagate")
+            assert span["attrs"]["fallback"] is True
+            attrs = span["attrs"]
+            windows[rtol] = attrs["window_hi"] - attrs["window_lo"]
+            # the discarded Poisson tail must stay below ~exp(-k^2/2)
+            assert attrs["tail_bound"] < 1e-21
+        assert windows[1e-40] > windows[1e-14]
+
     def test_composition_property(self):
         """Propagating t1 then t2 equals propagating t1 + t2."""
         rng = np.random.default_rng(5)
@@ -142,6 +178,57 @@ class TestInputHandling:
         # spot-check against uniformization
         uni = transient_uniformization(chain, times)
         assert np.allclose(probs, uni, atol=1e-11)
+
+
+class TestExpmStepCache:
+    @staticmethod
+    def _cache_stats(chain, times):
+        collector = trace.TraceCollector()
+        with trace.use_collector(collector):
+            transient_expm(chain, times)
+        [span] = collector.spans("transient_expm")
+        return span["attrs"]["pade_evals"], span["attrs"]["cache_hits"]
+
+    def test_uniform_grid_costs_one_pade_evaluation(self):
+        chain = erlang_chain(3, 1.0)
+        pade_evals, cache_hits = self._cache_stats(
+            chain, np.linspace(0.5, 5.0, 10)
+        )
+        assert pade_evals == 1
+        assert cache_hits == 9
+
+    def test_fp_drift_does_not_defeat_cache(self):
+        """A grid built by repeated ``t += 0.1`` carries sub-ulp drift in
+        its differences; keying the cache on the exact float would
+        silently re-run Padé for every step."""
+        t, grid = 0.0, []
+        for _ in range(50):
+            t += 0.1
+            grid.append(t)
+        diffs = np.diff(np.array(grid))
+        assert len(set(diffs.tolist())) > 1  # drift genuinely present
+        pade_evals, cache_hits = self._cache_stats(
+            erlang_chain(3, 1.0), np.array(grid)
+        )
+        assert pade_evals == 1
+        assert cache_hits == 49
+
+    def test_distinct_steps_are_not_conflated(self):
+        chain = erlang_chain(3, 1.0)
+        pade_evals, _ = self._cache_stats(chain, np.array([0.5, 1.5, 2.0]))
+        assert pade_evals == 2  # dt = 0.5 (x2, cached) and dt = 1.0
+
+    def test_cache_misses_accumulate_in_metrics_registry(self):
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            transient_expm(erlang_chain(2, 1.0), np.linspace(0.5, 2.0, 4))
+        finally:
+            set_registry(previous)
+        assert fresh.counter("repro.solver.expm.pade_evals").value == 1
+        assert fresh.counter("repro.solver.expm.cache_hits").value == 3
 
     def test_ode_all_zero_times(self):
         chain = erlang_chain(2, 1.0)

@@ -54,6 +54,27 @@ class TestBERCurve:
         assert curve.at(13.0) == 1e-8
         assert curve.at(16.0) == 4e-8
 
+    def test_at_within_one_step_of_span_still_snaps(self):
+        curve = BERCurve(
+            "x", np.array([0.0, 10.0, 20.0]), np.array([0.0, 1e-8, 4e-8])
+        )
+        assert curve.at(29.0) == 4e-8  # 20 + 9 < one 10 h step past hi
+        assert curve.at(-5.0) == 0.0
+
+    def test_at_far_outside_span_raises(self):
+        """Silently snapping at(1e6) on a 20 h grid to the endpoint hid
+        unit mistakes (hours vs. seconds) in callers."""
+        curve = BERCurve(
+            "x", np.array([0.0, 10.0, 20.0]), np.array([0.0, 1e-8, 4e-8])
+        )
+        for t in (31.0, 1e6, -11.0):
+            with pytest.raises(ValueError, match="outside the curve's grid"):
+                curve.at(t)
+
+    def test_at_single_point_grid_keeps_nearest_behaviour(self):
+        curve = BERCurve("x", np.array([24.0]), np.array([3e-9]))
+        assert curve.at(1e6) == 3e-9  # no step defined -> legacy nearest
+
     def test_final(self):
         curve = BERCurve("x", np.array([0.0, 5.0]), np.array([0.0, 7e-9]))
         assert curve.final == 7e-9

@@ -1,0 +1,125 @@
+"""Progress heartbeats: rolling throughput, ETA, rendering."""
+
+import pytest
+
+from repro.obs.progress import ProgressEvent, ProgressTracker, format_progress
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+    def tick(self, dt):
+        self.t += dt
+
+
+class TestTracker:
+    def test_first_heartbeat_has_no_rate(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(total=100, clock=clock)
+        tracker.start()
+        event = tracker.snapshot()
+        assert event.done == 0
+        assert event.rate_per_second is None
+        assert event.eta_seconds is None
+
+    def test_rate_and_eta_from_rolling_window(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(total=100, clock=clock)
+        tracker.start()
+        clock.tick(1.0)
+        event = tracker.advance(10)  # 10 units in 1 s
+        assert event.rate_per_second == pytest.approx(10.0)
+        assert event.eta_seconds == pytest.approx(9.0)  # 90 left at 10/s
+        assert event.fraction == pytest.approx(0.1)
+
+    def test_window_adapts_to_throughput_changes(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(total=1000, window=3, clock=clock)
+        tracker.start()
+        for _ in range(5):  # slow phase: 1 unit/s
+            clock.tick(1.0)
+            tracker.advance(1)
+        for _ in range(5):  # fast phase: 10 units/s
+            clock.tick(1.0)
+            event = tracker.advance(10)
+        # window=3 spans only the fast phase; the slow start is forgotten
+        assert event.rate_per_second == pytest.approx(10.0)
+
+    def test_eta_reaches_zero_at_completion(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(total=20, clock=clock)
+        tracker.start()
+        clock.tick(2.0)
+        event = tracker.advance(20)
+        assert event.done == 20
+        assert event.eta_seconds == pytest.approx(0.0)
+
+    def test_overshoot_keeps_eta_nonnegative(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(total=10, clock=clock)
+        tracker.start()
+        clock.tick(1.0)
+        event = tracker.advance(15)
+        assert event.eta_seconds == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProgressTracker(total=-1)
+        with pytest.raises(ValueError):
+            ProgressTracker(total=10, window=1)
+        with pytest.raises(ValueError):
+            ProgressTracker(total=10).advance(-1)
+
+    def test_as_dict_is_manifest_ready(self):
+        clock = FakeClock()
+        tracker = ProgressTracker(total=4, unit="chunks", clock=clock)
+        tracker.start()
+        clock.tick(1.0)
+        data = tracker.advance(1).as_dict()
+        assert data["done"] == 1
+        assert data["total"] == 4
+        assert data["unit"] == "chunks"
+        assert data["rate_per_second"] == pytest.approx(1.0)
+        assert data["eta_seconds"] == pytest.approx(3.0)
+
+
+class TestFormatting:
+    def test_full_line(self):
+        event = ProgressEvent(
+            done=30,
+            total=120,
+            elapsed_seconds=3.0,
+            rate_per_second=10.0,
+            eta_seconds=9.0,
+            unit="trials",
+        )
+        line = format_progress(event)
+        assert "30/120 trials" in line
+        assert "25.0%" in line
+        assert "10/s" in line
+        assert "eta 9.0s" in line
+
+    def test_no_rate_yet(self):
+        event = ProgressEvent(
+            done=0,
+            total=10,
+            elapsed_seconds=0.0,
+            rate_per_second=None,
+            eta_seconds=None,
+        )
+        line = format_progress(event)
+        assert "0/10" in line
+        assert "eta" not in line
+
+    def test_long_etas_render_in_minutes_and_hours(self):
+        base = dict(done=1, total=100, elapsed_seconds=1.0, rate_per_second=1.0)
+        assert "eta 2m05s" in format_progress(
+            ProgressEvent(eta_seconds=125.0, **base)
+        )
+        assert "eta 1h01m" in format_progress(
+            ProgressEvent(eta_seconds=3660.0, **base)
+        )

@@ -1,0 +1,128 @@
+"""Span tracing: nesting, collectors, JSONL export."""
+
+import json
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture
+def collector():
+    col = trace.TraceCollector()
+    with trace.use_collector(col):
+        yield col
+
+
+class TestSpans:
+    def test_records_name_attrs_duration(self, collector):
+        with trace.span("work", size=3) as sp:
+            sp.set_attr("extra", "yes")
+        [record] = collector.spans("work")
+        assert record["attrs"] == {"size": 3, "extra": "yes"}
+        assert record["duration_s"] >= 0.0
+        assert record["parent_id"] is None
+        assert record["depth"] == 0
+
+    def test_nesting_links_parent_and_depth(self, collector):
+        with trace.span("outer") as outer:
+            with trace.span("inner"):
+                pass
+        [inner] = collector.spans("inner")
+        [outer_rec] = collector.spans("outer")
+        assert inner["parent_id"] == outer_rec["span_id"] == outer.span_id
+        assert inner["depth"] == 1
+
+    def test_inner_span_recorded_before_outer(self, collector):
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        names = [s["name"] for s in collector.spans()]
+        assert names == ["inner", "outer"]
+
+    def test_set_attrs_bulk(self, collector):
+        with trace.span("s") as sp:
+            sp.set_attrs(a=1, b=2.5)
+        assert collector.spans("s")[0]["attrs"] == {"a": 1, "b": 2.5}
+
+    def test_span_recorded_even_on_exception(self, collector):
+        with pytest.raises(RuntimeError):
+            with trace.span("doomed"):
+                raise RuntimeError("boom")
+        assert len(collector.spans("doomed")) == 1
+
+    def test_current_span(self, collector):
+        assert trace.current_span() is None
+        with trace.span("live") as sp:
+            assert trace.current_span() is sp
+        assert trace.current_span() is None
+
+    def test_numpy_attrs_become_json_builtins(self, collector):
+        import numpy as np
+
+        with trace.span("np", count=np.int64(7), value=np.float64(0.5)):
+            pass
+        attrs = collector.spans("np")[0]["attrs"]
+        assert attrs == {"count": 7, "value": 0.5}
+        json.dumps(attrs)  # must be serializable
+
+
+class TestDisabledTracing:
+    def test_span_is_noop_without_collector(self):
+        assert trace.current_collector() is None
+        with trace.span("unrecorded") as sp:
+            sp.set_attr("still", "works")  # attrs accepted, just dropped
+        trace.event("also_unrecorded", x=1)
+
+    def test_use_collector_restores_previous(self):
+        outer = trace.TraceCollector()
+        inner = trace.TraceCollector()
+        with trace.use_collector(outer):
+            with trace.use_collector(inner):
+                trace.event("deep")
+            trace.event("shallow")
+        assert trace.current_collector() is None
+        assert [e["name"] for e in inner.events()] == ["deep"]
+        assert [e["name"] for e in outer.events()] == ["shallow"]
+
+
+class TestEvents:
+    def test_event_records_attrs_and_parent(self, collector):
+        with trace.span("ctx") as sp:
+            trace.event("ping", n=1)
+        [event] = collector.events("ping")
+        assert event["attrs"] == {"n": 1}
+        assert event["parent_id"] == sp.span_id
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, collector, tmp_path):
+        with trace.span("a", k="v"):
+            trace.event("beat", chunk=0)
+        path = collector.export_jsonl(tmp_path / "t" / "trace.jsonl")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {line["kind"] for line in lines}
+        assert kinds == {"span", "event"}
+        assert all(line["schema"] == trace.TRACE_SCHEMA for line in lines)
+
+    def test_export_appends_metrics_lines(self, collector, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(3)
+        with trace.span("a"):
+            pass
+        path = collector.export_jsonl(
+            tmp_path / "trace.jsonl", metrics=registry.snapshot()
+        )
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        metric_lines = [line for line in lines if line["kind"] == "metric"]
+        assert metric_lines == [
+            {
+                "kind": "metric",
+                "schema": trace.TRACE_SCHEMA,
+                "name": "jobs",
+                "type": "counter",
+                "value": 3.0,
+            }
+        ]

@@ -47,7 +47,7 @@ class TestManifest:
             resumed=True,
             checkpoint_path="run.jsonl",
         )
-        assert manifest["manifest_version"] == 1
+        assert manifest["manifest_version"] == 2
         assert manifest["fingerprint"]["base_seed"] == 5
         assert manifest["fingerprint"]["cells"][0]["arrangement"] == "simplex"
         assert manifest["resumed"] is True
