@@ -14,6 +14,10 @@ Subcommands:
   with its availability/bandwidth overhead.
 * ``report`` — regenerate every artifact into one markdown report.
 * ``sensitivity`` — BER elasticities of a configuration.
+* ``verify fuzz|replay|list-targets`` — deterministic differential
+  fuzzing (``repro verify fuzz --target rs-decode --budget 60``),
+  replay of shrunk JSON failure artifacts, and the registered-target
+  catalogue (see :mod:`repro.verify`).
 * ``campaign`` — bulk model-vs-simulation validation with supervised
   workers, chunk-level checkpoint/resume (``--checkpoint``), run
   manifests (``--manifest``), deterministic fault injection
@@ -180,6 +184,69 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-chunk heartbeats (done/total, rate, ETA) to "
         "stderr as the campaign runs (batch engine only)",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="deterministic fuzzing & differential-oracle verification",
+    )
+    verify_sub = verify.add_subparsers(dest="verify_command", required=True)
+    vfuzz = verify_sub.add_parser(
+        "fuzz", help="fuzz differential targets with a time/trial budget"
+    )
+    vfuzz.add_argument(
+        "--target",
+        "-t",
+        action="append",
+        dest="targets",
+        metavar="NAME",
+        help="target to fuzz (repeatable); see 'verify list-targets'",
+    )
+    vfuzz.add_argument(
+        "--all-targets",
+        action="store_true",
+        help="fuzz every registered target (budget split evenly)",
+    )
+    vfuzz.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="total time budget; same seed always yields the same trial "
+        "sequence, the budget only decides how far it runs",
+    )
+    vfuzz.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-target trial budget (may be combined with --budget)",
+    )
+    vfuzz.add_argument("--seed", type=int, default=2005)
+    vfuzz.add_argument(
+        "--artifact-dir",
+        default="verify_artifacts",
+        metavar="DIR",
+        help="where shrunk failure artifacts are written (default "
+        "./verify_artifacts)",
+    )
+    vfuzz.add_argument(
+        "--induce-bug",
+        action="store_true",
+        help="[dev] swap in each target's deliberately buggy self-test "
+        "check to demonstrate detect->shrink->artifact->replay end to end",
+    )
+    vreplay = verify_sub.add_parser(
+        "replay", help="replay a failure artifact or regression case"
+    )
+    vreplay.add_argument("artifacts", nargs="+", metavar="ARTIFACT.json")
+    vreplay.add_argument(
+        "--original",
+        action="store_true",
+        help="replay the original (pre-shrink) case of a failure artifact",
+    )
+    verify_sub.add_parser(
+        "list-targets", help="list registered differential targets"
     )
 
     design = sub.add_parser(
@@ -547,6 +614,90 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import (
+        all_targets,
+        fuzz_target,
+        get_target,
+        replay_artifact,
+    )
+
+    if args.verify_command == "list-targets":
+        targets = all_targets()
+        width = max(len(t.name) for t in targets)
+        for t in targets:
+            layers = ",".join(t.layers)
+            print(f"{t.name:<{width}}  [{layers}]  {t.description}")
+        return 0
+
+    if args.verify_command == "replay":
+        all_ok = True
+        for path in args.artifacts:
+            try:
+                result = replay_artifact(path, use_shrunk=not args.original)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"{path}: {exc}", file=sys.stderr)
+                all_ok = False
+                continue
+            print(result.summary())
+            if result.mismatch is not None:
+                print(f"  detail: {result.mismatch.detail}")
+            all_ok = all_ok and result.as_recorded
+        return 0 if all_ok else 1
+
+    # fuzz
+    if args.budget is None and args.trials is None:
+        print(
+            "verify fuzz: need --budget SECONDS and/or --trials N",
+            file=sys.stderr,
+        )
+        return 2
+    if args.all_targets:
+        if args.targets:
+            print(
+                "verify fuzz: --target and --all-targets are exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        targets = all_targets()
+    else:
+        if not args.targets:
+            print(
+                "verify fuzz: pick --target NAME (repeatable) or "
+                "--all-targets",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            targets = [get_target(name) for name in args.targets]
+        except KeyError as exc:
+            print(f"verify fuzz: {exc.args[0]}", file=sys.stderr)
+            return 2
+    per_budget = (
+        None if args.budget is None else args.budget / len(targets)
+    )
+    failed = False
+    for target in targets:
+        report = fuzz_target(
+            target,
+            seed=args.seed,
+            budget_seconds=per_budget,
+            max_trials=args.trials,
+            artifact_dir=args.artifact_dir,
+            induce_bug=args.induce_bug,
+        )
+        print(report.summary())
+        if report.failed:
+            failed = True
+            print(f"  mismatch: {report.mismatch.detail}")
+            print(f"  artifact: {report.artifact_path}")
+            print(
+                f"  replay:   python -m repro verify replay "
+                f"{report.artifact_path}"
+            )
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "figure": cmd_figure,
     "report": cmd_report,
@@ -556,6 +707,7 @@ _COMMANDS = {
     "ber": cmd_ber,
     "complexity": cmd_complexity,
     "validate": cmd_validate,
+    "verify": cmd_verify,
     "scrub-design": cmd_scrub_design,
 }
 

@@ -24,6 +24,7 @@ process metrics registry (:mod:`repro.obs.metrics`) under
 from __future__ import annotations
 
 import math
+import sys
 from typing import Callable, Dict
 
 import numpy as np
@@ -90,9 +91,12 @@ def uniformization_propagate(
         sp.set_attr("lt", lt)
         v = np.asarray(p0, dtype=float).copy()
         weight = math.exp(-lt)
-        if weight == 0.0:
-            # L*t too large for linear-domain Poisson weights: use the
-            # log-domain windowed fallback.
+        if weight < sys.float_info.min:
+            # e^{-Lt} underflowed to zero OR landed in the subnormal range
+            # (Lt in ~(708, 745)), where the starting weight keeps only a
+            # handful of mantissa bits and the upward recursion inherits
+            # that error for every term: use the windowed fallback, whose
+            # relative weights never leave the normal range.
             sp.set_attr("fallback", True)
             registry.counter("repro.solver.uniformization.fallbacks").inc()
             return _uniformization_large_lt(v, kernel, lt, rtol, sp)

@@ -96,7 +96,8 @@ class ProgressTracker:
         return self._event(self._clock())
 
     def _event(self, now: float) -> ProgressEvent:
-        assert self._t0 is not None  # start() has run
+        if self._t0 is None:  # every caller goes through start() first
+            raise RuntimeError("progress tracker was never started")
         elapsed = now - self._t0
         rate: Optional[float] = None
         eta: Optional[float] = None

@@ -1,0 +1,95 @@
+"""Deterministic fuzzing & differential-oracle verification subsystem.
+
+The paper's central correctness claim — RS(n, k) corrects any mix with
+``2·re + er <= n − k`` — and every BER figure resting on it are exactly
+the places where implementations quietly diverge at the capability
+boundary.  This package turns the repo's redundancy (scalar vs batch
+codecs, Berlekamp-Massey vs Euclid, uniformization vs expm vs closed
+forms vs Monte-Carlo) into a standing correctness gate:
+
+* :mod:`~repro.verify.generators` — seeded, deterministic case
+  generators: random codewords with error/erasure mixes stratified
+  below / at / beyond capacity, random well-formed CTMC chains
+  (including zero-rate rows), and scrub/mission parameter sets.
+* :mod:`~repro.verify.oracles` — independent reference implementations
+  that share *no code* with the production paths: a quadratic-time
+  table-free GF multiplier, a textbook syndrome-table decoder, an
+  exhaustive minimum-distance decoder for tiny codes, and a truncated
+  Taylor-series matrix exponential.
+* :mod:`~repro.verify.diff` — the pluggable differential-target
+  registry: each target generates cases, checks a pair (or panel) of
+  implementations against each other, and reports structured
+  mismatches.
+* :mod:`~repro.verify.harness` — the time/trial-budgeted fuzz loop
+  with greedy shrinking of failing inputs to minimal repros, replayable
+  JSON failure artifacts, and obs.metrics/trace integration.
+
+CLI surface: ``repro verify fuzz --target rs-decode --budget 60``,
+``repro verify replay ARTIFACT.json``, ``repro verify list-targets``.
+Shrunk regression artifacts live in ``tests/corpus/`` and are replayed
+by the tier-1 suite.
+"""
+
+from .diff import Mismatch, Target, all_targets, get_target, register_target
+from .generators import (
+    CAPACITY_STRATA,
+    apply_corruption,
+    build_codec,
+    build_ctmc_from_case,
+    case_rng,
+    gen_codec_case,
+    gen_ctmc_case,
+    gen_memory_case,
+    gen_mc_case,
+)
+from .harness import (
+    ARTIFACT_SCHEMA,
+    FuzzReport,
+    ReplayResult,
+    fuzz_all_targets,
+    fuzz_target,
+    load_artifact,
+    make_corpus_case,
+    replay_artifact,
+    shrink_case,
+    write_artifact,
+)
+from .oracles import (
+    exhaustive_decode,
+    expm_taylor,
+    gf_mul_reference,
+    gf_pow_reference,
+    syndrome_table_decode,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "CAPACITY_STRATA",
+    "FuzzReport",
+    "Mismatch",
+    "ReplayResult",
+    "Target",
+    "all_targets",
+    "apply_corruption",
+    "build_codec",
+    "build_ctmc_from_case",
+    "case_rng",
+    "exhaustive_decode",
+    "expm_taylor",
+    "fuzz_all_targets",
+    "fuzz_target",
+    "gen_codec_case",
+    "gen_ctmc_case",
+    "gen_mc_case",
+    "gen_memory_case",
+    "get_target",
+    "make_corpus_case",
+    "gf_mul_reference",
+    "gf_pow_reference",
+    "load_artifact",
+    "register_target",
+    "replay_artifact",
+    "shrink_case",
+    "syndrome_table_decode",
+    "write_artifact",
+]

@@ -1,0 +1,382 @@
+"""Time/trial-budgeted fuzz loop with greedy shrinking and replay artifacts.
+
+The fuzz loop is deterministic: trial ``i`` of a run seeded ``s`` always
+draws from :func:`~repro.verify.generators.case_rng` ``(s, i)``, so the
+same seed produces the same trial *sequence* regardless of wall-clock
+budget — a time budget only decides how far along the sequence the run
+gets.  When a target's check reports a :class:`~repro.verify.diff.Mismatch`,
+the harness greedily shrinks the case (first shrink candidate that still
+fails becomes the new case, repeat) and writes a JSON *failure artifact*
+that :func:`replay_artifact` — and ``repro verify replay`` — reproduces
+exactly.
+
+Artifacts come in two kinds:
+
+* ``"verify-failure"`` — a fuzz run's shrunk repro; replay re-runs the
+  check and reports whether the mismatch still reproduces.
+* ``"verify-case"`` — a committed regression case (``tests/corpus/``);
+  replay expects the check to *pass* (the bug it once exposed, or the
+  edge it pins down, must stay fixed).
+
+Fuzz activity is observable: each run opens a ``verify.fuzz`` span
+(trials, failures, elapsed) and bumps ``repro.verify.*`` counters in the
+process metrics registry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..obs import metrics, trace
+from .diff import Mismatch, Target, all_targets, get_target
+from .generators import case_rng
+
+#: Artifact JSON schema version (bump on breaking layout changes).
+ARTIFACT_SCHEMA = 1
+
+#: Cap on the number of candidate checks one shrink pass may spend.
+MAX_SHRINK_CHECKS = 400
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run against one target."""
+
+    target: str
+    seed: int
+    trials: int
+    elapsed_seconds: float
+    induced: bool = False
+    mismatch: Optional[Mismatch] = None
+    failing_trial: Optional[int] = None
+    case: Optional[Dict[str, Any]] = None
+    shrunk_case: Optional[Dict[str, Any]] = None
+    shrink_steps: int = 0
+    shrink_checks: int = 0
+    artifact_path: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.mismatch is not None
+
+    def summary(self) -> str:
+        if not self.failed:
+            return (
+                f"{self.target}: OK — {self.trials} trials in "
+                f"{self.elapsed_seconds:.1f}s (seed {self.seed})"
+            )
+        where = f"trial {self.failing_trial} (seed {self.seed})"
+        return (
+            f"{self.target}: FAIL at {where} — {self.mismatch.description} "
+            f"[shrunk in {self.shrink_steps} step(s)]"
+        )
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one artifact."""
+
+    path: str
+    target: str
+    kind: str
+    mismatch: Optional[Mismatch]
+    reproduced: bool
+    expected_failure: bool
+
+    @property
+    def as_recorded(self) -> bool:
+        """True when the artifact behaves exactly as committed."""
+        return self.reproduced == self.expected_failure
+
+    def summary(self) -> str:
+        if self.expected_failure:
+            verdict = (
+                "mismatch reproduced"
+                if self.reproduced
+                else "mismatch NO LONGER reproduces (fixed, or replay drift)"
+            )
+        else:
+            verdict = (
+                "regression case passes"
+                if not self.reproduced
+                else f"REGRESSION: {self.mismatch.description}"
+            )
+        return f"{self.target} [{self.kind}] {Path(self.path).name}: {verdict}"
+
+
+def _checker(target: Target, induced: bool):
+    return target.induced_check if induced else target.check
+
+
+def shrink_case(
+    target: Target,
+    case: Dict[str, Any],
+    induced: bool = False,
+    max_checks: int = MAX_SHRINK_CHECKS,
+) -> tuple[Dict[str, Any], Mismatch, int, int]:
+    """Greedily shrink a failing case to a (locally) minimal repro.
+
+    Repeatedly walks ``target.shrink(case)`` and descends into the first
+    candidate that still fails, until no candidate fails or the check
+    budget runs out.  Returns ``(shrunk_case, mismatch, steps, checks)``
+    where ``mismatch`` is the failure of the *shrunk* case — that is
+    what the artifact records and replay verifies.
+    """
+    check = _checker(target, induced)
+    mismatch = check(case)
+    if mismatch is None:
+        raise ValueError("shrink_case requires a failing case")
+    steps = 0
+    checks = 0
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for candidate in target.shrink(case):
+            if checks >= max_checks:
+                break
+            checks += 1
+            try:
+                candidate_mismatch = check(candidate)
+            except Exception:
+                # A shrink candidate may be structurally invalid for the
+                # checker (e.g. dropped below a generator invariant);
+                # skip it rather than abort the minimization.
+                continue
+            if candidate_mismatch is not None:
+                case = candidate
+                mismatch = candidate_mismatch
+                steps += 1
+                progress = True
+                break
+    return case, mismatch, steps, checks
+
+
+def fuzz_target(
+    target: Union[Target, str],
+    seed: int,
+    budget_seconds: Optional[float] = None,
+    max_trials: Optional[int] = None,
+    artifact_dir: Optional[Union[str, Path]] = None,
+    induce_bug: bool = False,
+) -> FuzzReport:
+    """Fuzz one target until failure, trial budget, or time budget.
+
+    At least one of ``budget_seconds`` / ``max_trials`` must be given.
+    ``induce_bug=True`` swaps in the target's deliberately buggy
+    self-test check — the supported way to watch the whole
+    detect→shrink→artifact→replay pipeline fire without a real bug.
+    """
+    if isinstance(target, str):
+        target = get_target(target)
+    if budget_seconds is None and max_trials is None:
+        raise ValueError("need a time budget, a trial budget, or both")
+    registry = metrics.get_registry()
+    t0 = time.perf_counter()
+    trials = 0
+    with trace.span(
+        "verify.fuzz", target=target.name, seed=int(seed), induced=induce_bug
+    ) as sp:
+        check = _checker(target, induce_bug)
+        while True:
+            if max_trials is not None and trials >= max_trials:
+                break
+            if (
+                budget_seconds is not None
+                and time.perf_counter() - t0 >= budget_seconds
+            ):
+                break
+            rng = case_rng(seed, trials)
+            case = target.generate(rng)
+            mismatch = check(case)
+            trials += 1
+            registry.counter("repro.verify.trials").inc()
+            if mismatch is None:
+                continue
+            registry.counter("repro.verify.failures").inc()
+            shrunk, shrunk_mismatch, steps, checks = shrink_case(
+                target, case, induced=induce_bug
+            )
+            elapsed = time.perf_counter() - t0
+            report = FuzzReport(
+                target=target.name,
+                seed=int(seed),
+                trials=trials,
+                elapsed_seconds=elapsed,
+                induced=induce_bug,
+                mismatch=shrunk_mismatch,
+                failing_trial=trials - 1,
+                case=case,
+                shrunk_case=shrunk,
+                shrink_steps=steps,
+                shrink_checks=checks,
+            )
+            sp.set_attrs(trials=trials, failed=True, shrink_steps=steps)
+            if artifact_dir is not None:
+                report.artifact_path = str(
+                    write_artifact(report, artifact_dir)
+                )
+            return report
+        elapsed = time.perf_counter() - t0
+        sp.set_attrs(trials=trials, failed=False)
+    return FuzzReport(
+        target=target.name,
+        seed=int(seed),
+        trials=trials,
+        elapsed_seconds=elapsed,
+        induced=induce_bug,
+    )
+
+
+def fuzz_all_targets(
+    seed: int,
+    budget_seconds: float,
+    artifact_dir: Optional[Union[str, Path]] = None,
+    induce_bug: bool = False,
+) -> List[FuzzReport]:
+    """Fuzz every registered target, splitting the time budget evenly.
+
+    The per-target trial sequences are independent of the split (each
+    target re-derives its stream from ``(seed, trial)``), so a longer
+    budget strictly extends — never reshuffles — the work of a shorter
+    one.
+    """
+    targets = all_targets()
+    per_target = budget_seconds / max(1, len(targets))
+    return [
+        fuzz_target(
+            t,
+            seed,
+            budget_seconds=per_target,
+            artifact_dir=artifact_dir,
+            induce_bug=induce_bug,
+        )
+        for t in targets
+    ]
+
+
+# --------------------------------------------------------------------------
+# artifacts
+# --------------------------------------------------------------------------
+
+
+def artifact_from_report(report: FuzzReport) -> Dict[str, Any]:
+    """The JSON payload of a failure artifact."""
+    if not report.failed:
+        raise ValueError("only failing fuzz reports produce artifacts")
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "kind": "verify-failure",
+        "target": report.target,
+        "seed": report.seed,
+        "trial": report.failing_trial,
+        "induced": report.induced,
+        "mismatch": report.mismatch.as_dict(),
+        "case": report.case,
+        "shrunk_case": report.shrunk_case,
+        "shrink_steps": report.shrink_steps,
+        "shrink_checks": report.shrink_checks,
+    }
+
+
+def write_artifact(
+    report: FuzzReport, directory: Union[str, Path]
+) -> Path:
+    """Write a failure artifact; filename encodes target/seed/trial."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    name = (
+        f"{report.target}-seed{report.seed}-trial{report.failing_trial}"
+        f"{'-induced' if report.induced else ''}.json"
+    )
+    path = directory / name
+    path.write_text(
+        json.dumps(artifact_from_report(report), indent=2, sort_keys=True)
+        + "\n"
+    )
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and structurally validate an artifact file."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: artifact must be a JSON object")
+    kind = payload.get("kind")
+    if kind not in ("verify-failure", "verify-case"):
+        raise ValueError(
+            f"{path}: unknown artifact kind {kind!r} "
+            "(expected 'verify-failure' or 'verify-case')"
+        )
+    if payload.get("schema") != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"{path}: artifact schema {payload.get('schema')!r} "
+            f"not supported (this build reads schema {ARTIFACT_SCHEMA})"
+        )
+    for key in ("target", "case"):
+        if key not in payload:
+            raise ValueError(f"{path}: artifact missing {key!r}")
+    return payload
+
+
+def replay_artifact(
+    path: Union[str, Path], use_shrunk: bool = True
+) -> ReplayResult:
+    """Re-run the check an artifact records and compare to expectation.
+
+    ``verify-failure`` artifacts replay their shrunk case (or the
+    original with ``use_shrunk=False``) and are expected to *fail*
+    again; ``verify-case`` artifacts replay their case and are expected
+    to *pass*.  :attr:`ReplayResult.as_recorded` is the single bit CI
+    cares about.
+    """
+    payload = load_artifact(path)
+    target = get_target(payload["target"])
+    expected_failure = payload["kind"] == "verify-failure"
+    case = payload["case"]
+    if expected_failure and use_shrunk and payload.get("shrunk_case"):
+        case = payload["shrunk_case"]
+    check = _checker(target, bool(payload.get("induced", False)))
+    with trace.span(
+        "verify.replay", target=target.name, kind=payload["kind"]
+    ) as sp:
+        mismatch = check(case)
+        sp.set_attrs(reproduced=mismatch is not None)
+    metrics.get_registry().counter("repro.verify.replays").inc()
+    return ReplayResult(
+        path=str(path),
+        target=target.name,
+        kind=payload["kind"],
+        mismatch=mismatch,
+        reproduced=mismatch is not None,
+        expected_failure=expected_failure,
+    )
+
+
+def make_corpus_case(
+    target: Union[Target, str], case: Dict[str, Any], note: str
+) -> Dict[str, Any]:
+    """Build a committed regression ("verify-case") artifact payload.
+
+    The case must currently *pass* its target's check — corpus entries
+    pin fixed bugs and hard-won edge cases, they don't ship known
+    failures.
+    """
+    if isinstance(target, str):
+        target = get_target(target)
+    mismatch = target.check(case)
+    if mismatch is not None:
+        raise ValueError(
+            f"corpus case for {target.name!r} fails its check: "
+            f"{mismatch.description}"
+        )
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "kind": "verify-case",
+        "target": target.name,
+        "note": note,
+        "case": case,
+    }

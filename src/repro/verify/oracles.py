@@ -1,0 +1,278 @@
+"""Independent reference implementations ("oracles") for differential tests.
+
+Everything here deliberately shares *no code path* with the production
+implementations it checks:
+
+* :func:`gf_mul_reference` — quadratic-time carry-less multiply +
+  bitwise polynomial reduction.  No exp/log tables, so a table-building
+  bug in :class:`~repro.gf.field.GF2m` cannot hide.
+* :func:`syndrome_table_decode` — the textbook decoder: precompute the
+  syndrome → minimal-weight-error-pattern table by enumerating every
+  correctable *error-only* pattern.  Feasible only for tiny codes with
+  ``t <= 2``; exact where it applies.
+* :func:`exhaustive_decode` — minimum-distance errors-and-erasures
+  decoding by scanning the full codebook of a tiny code.  This is the
+  definition of bounded-distance decoding, so it adjudicates *both*
+  success flags and corrected words at and beyond the capability bound.
+* :func:`expm_taylor` — scaling-and-squaring truncated Taylor series
+  for ``exp(Q t)``, pure numpy.  Independent of scipy's Padé kernel and
+  of the uniformization series (different truncation structure,
+  different error behaviour), so three-way CTMC comparisons have a
+  third, structurally distinct vote.
+
+Oracles favour obviousness over speed; the fuzz harness budgets time,
+not trials, so slow-but-clearly-correct is the right trade.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gf.field import DEFAULT_PRIMITIVE_POLYNOMIALS
+from ..rs.codec import RSCode
+
+#: Largest codebook (``q^k`` rows) the exhaustive decoder will enumerate.
+MAX_CODEBOOK = 1 << 16
+
+#: Largest syndrome table the textbook decoder will build.
+MAX_SYNDROME_TABLE = 1 << 17
+
+
+# --------------------------------------------------------------------------
+# GF arithmetic
+# --------------------------------------------------------------------------
+
+
+def gf_mul_reference(m: int, a: int, b: int, prim_poly: Optional[int] = None) -> int:
+    """Table-free GF(2^m) multiply: carry-less product, then reduction.
+
+    Quadratic in ``m`` and entirely independent of the exp/log tables
+    the production field builds — the point is that the two can only
+    agree if both are right.
+    """
+    if prim_poly is None:
+        prim_poly = DEFAULT_PRIMITIVE_POLYNOMIALS[m]
+    if not (0 <= a < (1 << m) and 0 <= b < (1 << m)):
+        raise ValueError(f"operands must be in [0, 2^{m})")
+    # carry-less (polynomial) multiplication over GF(2)
+    prod = 0
+    for bit in range(b.bit_length()):
+        if (b >> bit) & 1:
+            prod ^= a << bit
+    # reduce modulo the primitive polynomial, high bits first
+    for bit in range(prod.bit_length() - 1, m - 1, -1):
+        if (prod >> bit) & 1:
+            prod ^= prim_poly << (bit - m)
+    return prod
+
+
+def gf_pow_reference(
+    m: int, a: int, e: int, prim_poly: Optional[int] = None
+) -> int:
+    """``a^e`` (``e >= 0``) by square-and-multiply over the reference multiply."""
+    if e < 0:
+        raise ValueError("reference pow covers nonnegative exponents only")
+    result = 1
+    base = a
+    while e:
+        if e & 1:
+            result = gf_mul_reference(m, result, base, prim_poly)
+        base = gf_mul_reference(m, base, base, prim_poly)
+        e >>= 1
+    return result
+
+
+# --------------------------------------------------------------------------
+# exhaustive minimum-distance decoding (tiny codes)
+# --------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=32)
+def _codebook(n: int, k: int, m: int, fcr: int) -> np.ndarray:
+    """All ``q^k`` codewords of a tiny RS(n, k) code as a ``(q^k, n)`` array."""
+    order = 1 << m
+    if order**k > MAX_CODEBOOK:
+        raise ValueError(
+            f"codebook of RS({n},{k}) over GF(2^{m}) has {order**k} words; "
+            f"exhaustive oracle is limited to {MAX_CODEBOOK}"
+        )
+    code = RSCode(n, k, m=m, fcr=fcr)
+    rows = [
+        code.encode(list(data))
+        for data in itertools.product(range(order), repeat=k)
+    ]
+    return np.asarray(rows, dtype=np.int64)
+
+
+def exhaustive_decode(
+    code: RSCode,
+    received: Sequence[int],
+    erasure_positions: Sequence[int] = (),
+) -> Tuple[Optional[List[int]], int]:
+    """Bounded-distance errors-and-erasures decoding by codebook scan.
+
+    Returns ``(codeword, num_errors)`` where ``num_errors`` counts
+    mismatches at *non-erased* positions, or ``(None, min_errors)`` when
+    no codeword satisfies ``2·e + er <= n − k`` (detectable failure).
+
+    Any codeword inside the bound is unique: two candidates ``c1, c2``
+    with ``2·e_i + er <= n − k`` would differ in at most
+    ``e1 + e2 + er <= n − k < d_min`` positions — impossible for an MDS
+    code.  So when this oracle returns a word, *every* correct
+    bounded-distance decoder must return exactly that word.
+    """
+    book = _codebook(code.n, code.k, code.m, code.fcr)
+    received_arr = np.asarray(list(received), dtype=np.int64)
+    if received_arr.shape != (code.n,):
+        raise ValueError(f"expected {code.n} symbols")
+    erased = np.zeros(code.n, dtype=bool)
+    for p in erasure_positions:
+        erased[p] = True
+    keep = ~erased
+    mismatches = (book[:, keep] != received_arr[keep]).sum(axis=1)
+    best = int(mismatches.argmin())
+    e = int(mismatches[best])
+    rho = int(erased.sum())
+    if 2 * e + rho <= code.n - code.k:
+        return book[best].tolist(), e
+    return None, e
+
+
+# --------------------------------------------------------------------------
+# textbook syndrome-table decoding (error-only, tiny codes)
+# --------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=16)
+def _syndrome_table(
+    n: int, k: int, m: int, fcr: int
+) -> Dict[Tuple[int, ...], Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Syndrome → (positions, magnitudes) of the minimal-weight error pattern.
+
+    Enumerates every error pattern of weight ``0..t`` and records its
+    syndrome.  Patterns are enumerated in increasing weight, so the first
+    writer of a syndrome slot is automatically the minimal-weight coset
+    leader (for weights within ``t`` the syndrome map is injective for
+    an MDS code, so no collision can actually occur — asserted while
+    building).
+    """
+    code = RSCode(n, k, m=m, fcr=fcr)
+    order = 1 << m
+    t = code.t
+    size = sum(
+        _comb(n, w) * (order - 1) ** w for w in range(t + 1)
+    )
+    if size > MAX_SYNDROME_TABLE:
+        raise ValueError(
+            f"syndrome table for RS({n},{k}) t={t} would hold {size} "
+            f"patterns; textbook oracle is limited to {MAX_SYNDROME_TABLE}"
+        )
+    gf = code.gf
+    table: Dict[Tuple[int, ...], Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+    for w in range(t + 1):
+        for positions in itertools.combinations(range(n), w):
+            for magnitudes in itertools.product(range(1, order), repeat=w):
+                synd = tuple(
+                    _pattern_syndrome(gf, positions, magnitudes, fcr + j)
+                    for j in range(code.nsym)
+                )
+                prev = table.get(synd)
+                if prev is not None and prev != (positions, magnitudes):
+                    raise AssertionError(
+                        f"syndrome collision within t={t} for RS({n},{k}): "
+                        f"{prev} vs {(positions, magnitudes)}"
+                    )
+                table[synd] = (positions, magnitudes)
+    return table
+
+
+def _comb(n: int, w: int) -> int:
+    out = 1
+    for i in range(w):
+        out = out * (n - i) // (i + 1)
+    return out
+
+
+def _pattern_syndrome(gf, positions, magnitudes, power: int) -> int:
+    """``sum_j mag_j * alpha^(power * pos_j)`` — the syndrome of a pattern."""
+    acc = 0
+    for pos, mag in zip(positions, magnitudes):
+        acc ^= gf.mul(mag, gf.pow(gf.alpha, power * pos))
+    return acc
+
+
+def syndrome_table_decode(
+    code: RSCode, received: Sequence[int]
+) -> Optional[List[int]]:
+    """Textbook error-only decoding via the precomputed syndrome table.
+
+    Returns the corrected codeword, or ``None`` when the syndrome is not
+    in the table (more than ``t`` errors — detectable failure).  Only
+    valid for codes whose table fits :data:`MAX_SYNDROME_TABLE`.
+    """
+    from ..rs.syndromes import compute_syndromes
+
+    table = _syndrome_table(code.n, code.k, code.m, code.fcr)
+    synd = tuple(
+        compute_syndromes(code.gf, list(received), code.nsym, code.fcr)
+    )
+    entry = table.get(synd)
+    if entry is None:
+        return None
+    positions, magnitudes = entry
+    corrected = list(received)
+    for pos, mag in zip(positions, magnitudes):
+        corrected[pos] ^= mag
+    return corrected
+
+
+# --------------------------------------------------------------------------
+# truncated-series matrix exponential
+# --------------------------------------------------------------------------
+
+
+def expm_taylor(
+    q: np.ndarray, t: float, tol: float = 1e-14, max_terms: int = 200
+) -> np.ndarray:
+    """``exp(Q t)`` by scaling-and-squaring over a truncated Taylor series.
+
+    Pure numpy — independent of scipy's Padé approximant and of the
+    uniformization series.  ``Q t`` is scaled down by ``2^s`` until its
+    max-row-sum norm is below 0.5, the series is summed to ``tol``, and
+    the result squared ``s`` times.  Handles the all-zero generator (a
+    fully frozen chain) trivially: the answer is the identity.
+    """
+    a = np.asarray(q, dtype=float) * float(t)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"generator must be square, got shape {a.shape}")
+    norm = float(np.abs(a).sum(axis=1).max(initial=0.0))
+    s = 0
+    while norm > 0.5:
+        a = a / 2.0
+        norm /= 2.0
+        s += 1
+    n = a.shape[0]
+    out = np.eye(n)
+    term = np.eye(n)
+    for j in range(1, max_terms + 1):
+        term = term @ a / j
+        out = out + term
+        if float(np.abs(term).max(initial=0.0)) < tol:
+            break
+    else:
+        raise RuntimeError("expm_taylor failed to converge")
+    for _ in range(s):
+        out = out @ out
+    return out
+
+
+def transient_taylor_oracle(chain, times: Sequence[float]) -> np.ndarray:
+    """Reference transient solution ``p0 · exp(Q t)`` via :func:`expm_taylor`."""
+    q = chain.generator(dense=True)
+    return np.array(
+        [chain.p0 @ expm_taylor(q, float(t)) for t in np.atleast_1d(times)]
+    )

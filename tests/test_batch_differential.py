@@ -225,6 +225,155 @@ class TestErrorDecodeDifferential:
         assert report.num_clean + report.num_fallback == 9
 
 
+class TestErasureHeavyDifferential:
+    """Words where erasures dominate or exhaust the budget entirely."""
+
+    def test_full_erasure_budget_no_errors(self, pair):
+        """er == n - k with zero errors is exactly at capability: every
+        word must decode, identically, through the erasure-only path."""
+        scalar, batch = pair
+        rng = np.random.default_rng(110)
+        received, erasures = [], []
+        for _ in range(12):
+            data = random_batch(rng, scalar, 1)[0]
+            codeword = scalar.encode(data.tolist())
+            word, erasure_pos, _ = corrupt(
+                rng, scalar, codeword, 0, scalar.nsym
+            )
+            received.append(word)
+            erasures.append(erasure_pos)
+        report = batch.decode_batch(np.asarray(received), erasures)
+        assert report.ok.all()
+        for i, word in enumerate(received):
+            assert_same_result(
+                report[i],
+                lambda w=word, e=erasures[i]: scalar.decode(
+                    w, erasure_positions=e
+                ),
+            )
+            assert report.result(i).num_erasures == scalar.nsym
+
+    def test_erasure_dominated_mixes(self, pair):
+        """Mixes with er > 2*re (erasure-heavy but within capability)."""
+        scalar, batch = pair
+        rng = np.random.default_rng(111)
+        received, erasures = [], []
+        for _ in range(15):
+            er = int(rng.integers(1, scalar.nsym + 1))
+            re = int(rng.integers(0, (scalar.nsym - er) // 2 + 1))
+            data = random_batch(rng, scalar, 1)[0]
+            codeword = scalar.encode(data.tolist())
+            word, erasure_pos, _ = corrupt(rng, scalar, codeword, re, er)
+            received.append(word)
+            erasures.append(erasure_pos)
+        report = batch.decode_batch(np.asarray(received), erasures)
+        assert report.ok.all()
+        for i, word in enumerate(received):
+            assert_same_result(
+                report[i],
+                lambda w=word, e=erasures[i]: scalar.decode(
+                    w, erasure_positions=e
+                ),
+            )
+
+    def test_over_erased_words_rejected_identically(self, pair):
+        """er > n - k must fail on both paths before the syndrome stage."""
+        scalar, batch = pair
+        rng = np.random.default_rng(112)
+        received, erasures = [], []
+        for extra in (1, 2):
+            er = min(scalar.nsym + extra, scalar.n)
+            data = random_batch(rng, scalar, 1)[0]
+            codeword = scalar.encode(data.tolist())
+            word, erasure_pos, _ = corrupt(rng, scalar, codeword, 0, er)
+            received.append(word)
+            erasures.append(erasure_pos)
+        report = batch.decode_batch(np.asarray(received), erasures)
+        assert not report.ok.any()
+        for i, word in enumerate(received):
+            assert_same_result(
+                report[i],
+                lambda w=word, e=erasures[i]: scalar.decode(
+                    w, erasure_positions=e
+                ),
+            )
+
+
+class TestBeyondCapacityDifferential:
+    """Patterns one or more units past 2*re + er == n - k."""
+
+    def test_one_beyond_capacity_mixes(self, pair):
+        """Every (re, er) with 2*re + er == n - k + 1: the outcome —
+        detection or identical miscorrection — must match word-for-word."""
+        scalar, batch = pair
+        rng = np.random.default_rng(113)
+        budget = scalar.nsym + 1
+        received, erasures = [], []
+        for re in range(budget // 2 + 1):
+            er = budget - 2 * re
+            if re + er > scalar.n:
+                continue
+            for _ in range(3):
+                data = random_batch(rng, scalar, 1)[0]
+                codeword = scalar.encode(data.tolist())
+                word, erasure_pos, _ = corrupt(rng, scalar, codeword, re, er)
+                received.append(word)
+                erasures.append(erasure_pos)
+        report = batch.decode_batch(np.asarray(received), erasures)
+        for i, word in enumerate(received):
+            assert_same_result(
+                report[i],
+                lambda w=word, e=erasures[i]: scalar.decode(
+                    w, erasure_positions=e
+                ),
+            )
+
+    def test_far_beyond_capacity_saturated_errors(self, pair):
+        """Heavily corrupted words (every symbol flipped) still agree."""
+        scalar, batch = pair
+        rng = np.random.default_rng(114)
+        received = []
+        for _ in range(6):
+            data = random_batch(rng, scalar, 1)[0]
+            codeword = scalar.encode(data.tolist())
+            word, _, _ = corrupt(rng, scalar, codeword, scalar.n, 0)
+            received.append(word)
+        report = batch.decode_batch(np.asarray(received))
+        for i, word in enumerate(received):
+            assert_same_result(report[i], lambda w=word: scalar.decode(w))
+
+    def test_beyond_capacity_with_erasures_and_errors_mixed_batch(self, pair):
+        """A single batch mixing within-capability, boundary and beyond:
+        masks and outcomes must be per-word independent."""
+        scalar, batch = pair
+        rng = np.random.default_rng(115)
+        specs = [
+            (0, 0),
+            (scalar.t, 0),
+            (0, scalar.nsym),
+            ((scalar.nsym + 1) // 2, 1 - (scalar.nsym % 2) + 1),
+            (0, min(scalar.nsym + 1, scalar.n)),
+        ]
+        received, erasures, within = [], [], []
+        for re, er in specs:
+            data = random_batch(rng, scalar, 1)[0]
+            codeword = scalar.encode(data.tolist())
+            word, erasure_pos, _ = corrupt(rng, scalar, codeword, re, er)
+            received.append(word)
+            erasures.append(erasure_pos)
+            within.append(2 * re + er <= scalar.nsym)
+        report = batch.decode_batch(np.asarray(received), erasures)
+        for i, word in enumerate(received):
+            assert_same_result(
+                report[i],
+                lambda w=word, e=erasures[i]: scalar.decode(
+                    w, erasure_positions=e
+                ),
+            )
+            if within[i]:
+                assert report.ok[i]
+
+
 class TestBatchValidation:
     def test_wrong_shapes_rejected(self, pair):
         scalar, batch = pair

@@ -1,0 +1,129 @@
+"""Cross-decoder parity: Berlekamp-Massey vs Euclidean key solver.
+
+Both key-equation solvers feed the same syndrome/Chien/Forney pipeline,
+and for any pattern inside the capability bound the MDS uniqueness
+argument says a correct bounded-distance decoder has exactly one word it
+may return — so the two solvers must agree *exactly*: same success
+flags, same corrected words, same error counts.  Beyond capability both
+must detect (or, identically, miscorrect): the full pipeline's
+post-checks make the outcome solver-independent, and this suite pins
+that equivalence on the regimes where key solvers historically diverge —
+exactly at capacity, one beyond it, and erasure-only patterns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rs.codec import RSCode, RSDecodingError
+
+# (n, k, m): even and odd n-k, the paper's RS(18,16), and a long code.
+CONFIGS = [
+    (7, 3, 3),
+    (15, 9, 4),
+    (18, 16, 8),
+    (21, 16, 8),  # n - k = 5, odd
+    (31, 25, 5),
+]
+
+CASES_PER_CODE = 200
+
+
+def make_pair(n, k, m):
+    return (
+        RSCode(n, k, m=m, key_solver="bm"),
+        RSCode(n, k, m=m, key_solver="euclid"),
+    )
+
+
+def random_pattern(rng, n, nsym, regime):
+    """(num_errors, num_erasures) for the requested stress regime."""
+    if regime == "at":
+        re = int(rng.integers(0, nsym // 2 + 1))
+        return re, nsym - 2 * re
+    if regime == "one-beyond":
+        budget = nsym + 1
+        re = int(rng.integers(0, budget // 2 + 1))
+        return re, budget - 2 * re
+    if regime == "erasure-only":
+        return 0, int(rng.integers(1, nsym + 1))
+    raise ValueError(regime)
+
+
+def corrupt(rng, code, codeword, num_errors, num_erasures):
+    received = list(codeword)
+    positions = rng.choice(
+        code.n, size=num_errors + num_erasures, replace=False
+    )
+    for pos in positions[:num_errors]:
+        received[pos] ^= int(rng.integers(1, 1 << code.m))
+    erasure_positions = sorted(int(p) for p in positions[num_errors:])
+    for pos in erasure_positions:
+        if rng.random() < 0.8:  # leave some erasures benign
+            received[pos] ^= int(rng.integers(1, 1 << code.m))
+    return received, erasure_positions
+
+
+def decode_outcome(code, received, erasure_positions):
+    """Normalize a decode attempt to a comparable tuple.
+
+    Detection failures compare as bare ``("fail",)``: BM and Euclid are
+    different algorithms whose post-checks may trip at different stages,
+    so the *diagnostic message* is solver-specific — only the
+    success/failure outcome and the corrected word must be identical.
+    """
+    try:
+        result = code.decode(received, erasure_positions=erasure_positions)
+    except RSDecodingError:
+        return ("fail",)
+    return (
+        "ok",
+        list(result.codeword),
+        list(result.data),
+        int(result.num_errors),
+        sorted(int(p) for p in result.error_positions),
+    )
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: f"rs{c[0]}_{c[1]}")
+@pytest.mark.parametrize("regime", ["at", "one-beyond", "erasure-only"])
+def test_bm_euclid_parity(config, regime):
+    n, k, m = config
+    nsym = n - k
+    bm, euclid = make_pair(n, k, m)
+    regime_id = ["at", "one-beyond", "erasure-only"].index(regime)
+    rng = np.random.default_rng([0x5041_5249, n, k, regime_id])
+    cases = CASES_PER_CODE // 3  # ~200 per code across the three regimes
+    for trial in range(cases):
+        data = [int(x) for x in rng.integers(0, 1 << m, size=k)]
+        codeword = bm.encode(data)
+        assert euclid.encode(data) == codeword  # encoding is solver-free
+        re, er = random_pattern(rng, n, nsym, regime)
+        received, erasures = corrupt(rng, bm, codeword, re, er)
+        out_bm = decode_outcome(bm, received, erasures)
+        out_euclid = decode_outcome(euclid, received, erasures)
+        assert out_bm == out_euclid, (
+            f"solver divergence (regime={regime}, trial={trial}, "
+            f"re={re}, er={er}):\n  bm:     {out_bm}\n  euclid: {out_euclid}"
+        )
+        if regime in ("at", "erasure-only") and out_bm[0] == "ok":
+            assert out_bm[1] == codeword
+
+
+@pytest.mark.parametrize("config", CONFIGS, ids=lambda c: f"rs{c[0]}_{c[1]}")
+def test_within_capability_both_succeed(config):
+    """Inside the bound the pattern is always correctable: both solvers
+    must succeed AND return the transmitted word (uniqueness)."""
+    n, k, m = config
+    nsym = n - k
+    bm, euclid = make_pair(n, k, m)
+    rng = np.random.default_rng([0x5041_5249, n, k, 0xBEEF])
+    for _ in range(40):
+        data = [int(x) for x in rng.integers(0, 1 << m, size=k)]
+        codeword = bm.encode(data)
+        re = int(rng.integers(0, nsym // 2 + 1))
+        er = int(rng.integers(0, nsym - 2 * re + 1))
+        received, erasures = corrupt(rng, bm, codeword, re, er)
+        for code in (bm, euclid):
+            outcome = decode_outcome(code, received, erasures)
+            assert outcome[0] == "ok"
+            assert outcome[1] == codeword

@@ -1,0 +1,189 @@
+"""Tests for the ``repro verify`` CLI surface.
+
+Exercises ``list-targets``, ``fuzz`` (trial-budgeted, induced, and flag
+validation) and ``replay`` through the real argument parser and command
+dispatcher, asserting on exit codes and on what lands in stdout.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestListTargets:
+    def test_lists_all_targets(self, capsys):
+        code, out = run_cli(["verify", "list-targets"], capsys)
+        assert code == 0
+        for name in (
+            "gf-mul",
+            "rs-decode",
+            "rs-solver-parity",
+            "rs-batch-scalar",
+            "markov-transient",
+            "memory-analytic",
+            "memory-mc-ber",
+        ):
+            assert name in out
+
+
+class TestFuzz:
+    def test_single_target_trial_budget(self, capsys, tmp_path):
+        code, out = run_cli(
+            [
+                "verify",
+                "fuzz",
+                "--target",
+                "gf-mul",
+                "--trials",
+                "10",
+                "--seed",
+                "7",
+                "--artifact-dir",
+                str(tmp_path),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "gf-mul: OK" in out
+        assert "10 trials" in out
+
+    def test_multiple_targets(self, capsys, tmp_path):
+        code, out = run_cli(
+            [
+                "verify",
+                "fuzz",
+                "-t",
+                "gf-mul",
+                "-t",
+                "markov-transient",
+                "--trials",
+                "4",
+                "--artifact-dir",
+                str(tmp_path),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "gf-mul" in out and "markov-transient" in out
+
+    def test_induced_bug_writes_artifact_and_fails(self, capsys, tmp_path):
+        code, out = run_cli(
+            [
+                "verify",
+                "fuzz",
+                "--target",
+                "rs-decode",
+                "--trials",
+                "50",
+                "--seed",
+                "2005",
+                "--induce-bug",
+                "--artifact-dir",
+                str(tmp_path),
+            ],
+            capsys,
+        )
+        assert code == 1
+        assert "FAIL" in out
+        artifacts = list(tmp_path.glob("*.json"))
+        assert len(artifacts) == 1
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["kind"] == "verify-failure"
+        assert payload["induced"] is True
+        # the CLI tells the user how to replay
+        assert "replay" in out
+
+    def test_requires_target_selection(self, capsys):
+        code, out = run_cli(["verify", "fuzz", "--trials", "1"], capsys)
+        assert code == 2
+
+    def test_requires_some_budget(self, capsys):
+        code, out = run_cli(
+            ["verify", "fuzz", "--target", "gf-mul"], capsys
+        )
+        assert code == 2
+
+    def test_unknown_target_rejected(self, capsys):
+        code, out = run_cli(
+            ["verify", "fuzz", "--target", "nope", "--trials", "1"], capsys
+        )
+        assert code == 2
+
+    def test_all_targets_flag(self, capsys, tmp_path):
+        code, out = run_cli(
+            [
+                "verify",
+                "fuzz",
+                "--all-targets",
+                "--trials",
+                "2",
+                "--artifact-dir",
+                str(tmp_path),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert out.count("OK") >= 6
+
+
+class TestReplay:
+    @pytest.fixture()
+    def induced_artifact(self, tmp_path):
+        from repro.verify import fuzz_target
+
+        report = fuzz_target(
+            "rs-decode",
+            seed=2005,
+            max_trials=50,
+            artifact_dir=tmp_path,
+            induce_bug=True,
+        )
+        assert report.artifact_path
+        return report.artifact_path
+
+    def test_replay_reproduces(self, capsys, induced_artifact):
+        code, out = run_cli(["verify", "replay", induced_artifact], capsys)
+        assert code == 0
+        assert "reproduced" in out
+
+    def test_replay_corpus_case(self, capsys, tmp_path):
+        from repro.verify import case_rng, get_target, make_corpus_case
+
+        target = get_target("gf-mul")
+        payload = make_corpus_case(
+            target, target.generate(case_rng(3, 0)), "cli replay test"
+        )
+        path = tmp_path / "case.json"
+        path.write_text(json.dumps(payload))
+        code, out = run_cli(["verify", "replay", str(path)], capsys)
+        assert code == 0
+        assert "passes" in out
+
+    def test_replay_missing_file(self, capsys, tmp_path):
+        code, _ = run_cli(
+            ["verify", "replay", str(tmp_path / "absent.json")], capsys
+        )
+        assert code != 0
+
+
+class TestParser:
+    def test_verify_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["verify", "fuzz", "--target", "gf-mul", "--budget", "5"]
+        )
+        assert args.command == "verify"
+        assert args.budget == 5.0
+
+    def test_seed_default(self):
+        parser = build_parser()
+        args = parser.parse_args(["verify", "fuzz", "--all-targets"])
+        assert args.seed == 2005

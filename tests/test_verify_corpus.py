@@ -1,0 +1,48 @@
+"""Replay every committed regression artifact in tests/corpus/.
+
+Corpus entries are ``verify-case`` artifacts: shrunk repros of fixed
+bugs and hand-built boundary cases.  Each must replay exactly as
+recorded (i.e. pass its target's differential check) — a failure here
+means a pinned bug has come back or a capability-boundary behaviour has
+drifted.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.verify import load_artifact, replay_artifact
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert len(CORPUS_FILES) >= 8
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_entry_replays_as_recorded(path):
+    result = replay_artifact(path)
+    assert result.as_recorded, result.summary()
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_entry_is_well_formed(path):
+    payload = load_artifact(path)
+    assert payload["kind"] == "verify-case"
+    assert payload["note"].strip(), "corpus entries must say what they pin"
+    # committed artifacts are normalized: sorted keys, trailing newline
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert text == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def test_corpus_covers_multiple_layers():
+    targets = {load_artifact(p)["target"] for p in CORPUS_FILES}
+    assert len(targets) >= 4

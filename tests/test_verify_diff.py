@@ -1,0 +1,138 @@
+"""Tests for the differential-target registry in repro.verify.diff.
+
+Every registered target runs a batch of seeded trials and must report no
+mismatch (the implementations genuinely agree), while its induced-bug
+check must fire on generated cases (the detector detects).  Registry
+plumbing and mismatch serialization get direct unit tests.
+"""
+
+import json
+
+import pytest
+
+from repro.verify import (
+    Mismatch,
+    Target,
+    all_targets,
+    case_rng,
+    get_target,
+    register_target,
+)
+from repro.verify.diff import _REGISTRY
+
+EXPECTED_TARGETS = {
+    "gf-mul",
+    "rs-decode",
+    "rs-solver-parity",
+    "rs-batch-scalar",
+    "markov-transient",
+    "memory-analytic",
+    "memory-mc-ber",
+}
+
+# Trial counts tuned so the whole module stays in the seconds range:
+# the expensive targets (exhaustive-oracle decode, Monte-Carlo) get
+# fewer trials here; the nightly fuzz job gives them depth.
+TRIALS = {
+    "gf-mul": 40,
+    "rs-decode": 12,
+    "rs-solver-parity": 30,
+    "rs-batch-scalar": 10,
+    "markov-transient": 20,
+    "memory-analytic": 8,
+    "memory-mc-ber": 3,
+}
+
+
+class TestRegistry:
+    def test_expected_targets_registered(self):
+        assert {t.name for t in all_targets()} == EXPECTED_TARGETS
+
+    def test_at_least_six_targets_spanning_layers(self):
+        targets = all_targets()
+        assert len(targets) >= 6
+        layers = {layer for t in targets for layer in t.layers}
+        assert {"gf", "rs", "markov", "memory"} <= layers
+
+    def test_all_targets_sorted(self):
+        names = [t.name for t in all_targets()]
+        assert names == sorted(names)
+
+    def test_get_target_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_target("no-such-target")
+
+    def test_duplicate_registration_rejected(self):
+        existing = all_targets()[0]
+        with pytest.raises(ValueError):
+            register_target(existing)
+        assert _REGISTRY[existing.name] is existing
+
+    def test_targets_have_descriptions(self):
+        for t in all_targets():
+            assert t.description.strip()
+            assert t.layers
+
+
+class TestMismatch:
+    def test_as_dict_json_serializable(self):
+        import numpy as np
+
+        m = Mismatch(
+            "demo", {"arr": np.arange(3), "x": np.float64(1.5), "s": "ok"}
+        )
+        payload = m.as_dict()
+        text = json.dumps(payload)  # must not raise
+        assert "demo" in text
+
+    def test_target_dataclass_frozen(self):
+        t = all_targets()[0]
+        assert isinstance(t, Target)
+        with pytest.raises(AttributeError):
+            t.name = "other"
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_TARGETS))
+def test_target_agrees_on_seeded_trials(name):
+    """The differential pair genuinely agrees on a seeded trial batch."""
+    target = get_target(name)
+    for trial in range(TRIALS[name]):
+        rng = case_rng(1234, trial)
+        case = target.generate(rng)
+        mismatch = target.check(case)
+        assert mismatch is None, (
+            f"{name} trial {trial}: {mismatch.description} "
+            f"{json.dumps(mismatch.as_dict())[:400]}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_TARGETS))
+def test_induced_check_fires(name):
+    """Each target's deliberately buggy self-test check detects something.
+
+    The induced predicates are monotone, so among a handful of generated
+    cases at least one must trip (most trip immediately).
+    """
+    target = get_target(name)
+    fired = False
+    for trial in range(20):
+        case = target.generate(case_rng(99, trial))
+        if target.induced_check(case) is not None:
+            fired = True
+            break
+    assert fired, f"{name}: induced bug never detected in 20 cases"
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_TARGETS))
+def test_shrink_candidates_stay_checkable(name):
+    """Shrink candidates are structurally valid cases for the checker.
+
+    (The harness tolerates exceptions from invalid candidates, but the
+    built-in shrinkers should not produce any on well-formed input.)
+    """
+    target = get_target(name)
+    case = target.generate(case_rng(55, 0))
+    for i, candidate in enumerate(target.shrink(case)):
+        if i >= 10:
+            break
+        target.check(candidate)  # must not raise

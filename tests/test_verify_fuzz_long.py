@@ -1,0 +1,44 @@
+"""Long fuzz campaigns — nightly depth, gated out of the default run.
+
+These are the deep variants of the per-target differential checks in
+``test_verify_diff.py``: minutes of budget instead of a fixed handful of
+trials.  They are excluded from ``pytest -x -q`` twice over — by the
+``fuzz`` marker and by an env-var guard — so the tier-1 wall-clock never
+pays for them; the nightly workflow sets ``REPRO_FUZZ=1`` and runs
+``-m fuzz``.
+"""
+
+import os
+
+import pytest
+
+from repro.verify import all_targets, fuzz_target
+
+pytestmark = [
+    pytest.mark.fuzz,
+    pytest.mark.skipif(
+        not os.environ.get("REPRO_FUZZ"),
+        reason="long fuzz campaigns run only with REPRO_FUZZ=1 (nightly CI)",
+    ),
+]
+
+#: Per-target budget; the whole module stays under ~4 minutes.
+BUDGET_SECONDS = float(os.environ.get("REPRO_FUZZ_BUDGET", "30"))
+
+
+@pytest.mark.parametrize(
+    "name", [t.name for t in all_targets()], ids=lambda n: n
+)
+def test_target_survives_long_fuzz(name, tmp_path):
+    report = fuzz_target(
+        name,
+        seed=int(os.environ.get("REPRO_FUZZ_SEED", "2005")),
+        budget_seconds=BUDGET_SECONDS,
+        artifact_dir=tmp_path,
+    )
+    assert not report.failed, (
+        f"{report.summary()}\nartifact: {report.artifact_path}\n"
+        f"replay with: PYTHONPATH=src python -m repro verify replay "
+        f"{report.artifact_path}"
+    )
+    assert report.trials > 0

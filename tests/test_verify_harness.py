@@ -1,0 +1,215 @@
+"""Tests for the fuzz loop, shrinker, and artifact replay machinery.
+
+The acceptance-critical behaviours live here: same seed produces the
+same trial sequence; an induced-bug run detects, shrinks to a minimal
+repro, writes a JSON artifact, and replay reproduces the mismatch; the
+artifact loader rejects malformed payloads.
+"""
+
+import json
+
+import pytest
+
+from repro.verify import (
+    ARTIFACT_SCHEMA,
+    fuzz_all_targets,
+    fuzz_target,
+    get_target,
+    load_artifact,
+    make_corpus_case,
+    replay_artifact,
+    shrink_case,
+    write_artifact,
+)
+from repro.verify.harness import artifact_from_report
+
+
+class TestDeterminism:
+    def test_same_seed_same_trial_sequence(self):
+        """Same seed => identical generated cases, trial by trial."""
+        target = get_target("gf-mul")
+        from repro.verify import case_rng
+
+        first = [target.generate(case_rng(777, i)) for i in range(25)]
+        second = [target.generate(case_rng(777, i)) for i in range(25)]
+        assert first == second
+
+    def test_trial_budget_run_is_reproducible(self):
+        a = fuzz_target("gf-mul", seed=31, max_trials=30)
+        b = fuzz_target("gf-mul", seed=31, max_trials=30)
+        assert a.trials == b.trials == 30
+        assert not a.failed and not b.failed
+
+    def test_induced_failure_is_deterministic(self):
+        a = fuzz_target("rs-decode", seed=5, max_trials=50, induce_bug=True)
+        b = fuzz_target("rs-decode", seed=5, max_trials=50, induce_bug=True)
+        assert a.failed and b.failed
+        assert a.failing_trial == b.failing_trial
+        assert a.case == b.case
+        assert a.shrunk_case == b.shrunk_case
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            fuzz_target("gf-mul", seed=1)
+
+
+class TestInducedPipeline:
+    """detect -> shrink -> artifact -> replay, end to end."""
+
+    def test_full_pipeline(self, tmp_path):
+        report = fuzz_target(
+            "rs-decode",
+            seed=2005,
+            max_trials=50,
+            artifact_dir=tmp_path,
+            induce_bug=True,
+        )
+        assert report.failed
+        assert report.induced
+        assert report.shrunk_case is not None
+        assert report.artifact_path is not None
+        # the shrunk case is no larger than the original
+        orig = json.dumps(report.case)
+        shrunk = json.dumps(report.shrunk_case)
+        assert len(shrunk) <= len(orig)
+
+        result = replay_artifact(report.artifact_path)
+        assert result.expected_failure
+        assert result.reproduced
+        assert result.as_recorded
+        assert "reproduced" in result.summary()
+
+    def test_shrunk_case_is_minimal_for_induced_bug(self):
+        """The induced rs-decode bug depends only on one odd magnitude,
+        so greedy shrinking must strip the case to a single fault."""
+        report = fuzz_target(
+            "rs-decode", seed=2005, max_trials=50, induce_bug=True
+        )
+        shrunk = report.shrunk_case
+        faults = len(shrunk["error_positions"]) + len(
+            shrunk["erasure_positions"]
+        )
+        assert faults == 1
+        assert all(s == 0 for s in shrunk["data"])
+
+    def test_replay_original_case_too(self, tmp_path):
+        report = fuzz_target(
+            "rs-decode",
+            seed=11,
+            max_trials=50,
+            artifact_dir=tmp_path,
+            induce_bug=True,
+        )
+        result = replay_artifact(report.artifact_path, use_shrunk=False)
+        assert result.as_recorded
+
+    def test_shrink_requires_failing_case(self):
+        target = get_target("gf-mul")
+        from repro.verify import case_rng
+
+        healthy = target.generate(case_rng(1, 0))
+        with pytest.raises(ValueError):
+            shrink_case(target, healthy)
+
+
+class TestFuzzAllTargets:
+    def test_covers_every_target_once(self):
+        reports = fuzz_all_targets(seed=3, budget_seconds=0.35)
+        names = [r.target for r in reports]
+        assert names == sorted(names)
+        assert len(names) == len(set(names)) >= 6
+
+
+class TestArtifacts:
+    def test_artifact_roundtrip_schema(self, tmp_path):
+        report = fuzz_target(
+            "markov-transient", seed=2, max_trials=30, induce_bug=True
+        )
+        assert report.failed
+        path = write_artifact(report, tmp_path)
+        payload = load_artifact(path)
+        assert payload["schema"] == ARTIFACT_SCHEMA
+        assert payload["kind"] == "verify-failure"
+        assert payload["target"] == "markov-transient"
+        assert payload["induced"] is True
+        assert "case" in payload and "shrunk_case" in payload
+        # the file itself is deterministic-friendly: sorted keys
+        text = path.read_text()
+        assert json.loads(text) == payload
+
+    def test_artifact_requires_failure(self):
+        report = fuzz_target("gf-mul", seed=1, max_trials=3)
+        assert not report.failed
+        with pytest.raises(ValueError):
+            artifact_from_report(report)
+
+    @pytest.mark.parametrize(
+        "breakage",
+        [
+            {"kind": "something-else"},
+            {"schema": 999},
+            {"target": None},
+            {"case": None},
+        ],
+    )
+    def test_load_rejects_malformed(self, tmp_path, breakage):
+        report = fuzz_target(
+            "gf-mul", seed=4, max_trials=20, induce_bug=True
+        )
+        payload = artifact_from_report(report)
+        for key, value in breakage.items():
+            if value is None:
+                del payload[key]
+            else:
+                payload[key] = value
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_artifact(bad)
+
+    def test_load_rejects_non_object(self, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_artifact(bad)
+
+    def test_corpus_case_roundtrip(self, tmp_path):
+        target = get_target("gf-mul")
+        from repro.verify import case_rng
+
+        case = target.generate(case_rng(8, 0))
+        payload = make_corpus_case(target, case, "round-trip test")
+        path = tmp_path / "case.json"
+        path.write_text(json.dumps(payload))
+        result = replay_artifact(path)
+        assert not result.expected_failure
+        assert not result.reproduced
+        assert result.as_recorded
+
+    def test_corpus_case_rejects_failing_case(self):
+        target = get_target("rs-decode")
+        from repro.verify import case_rng
+
+        case = None
+        for trial in range(20):
+            candidate = target.generate(case_rng(6, trial))
+            if target.induced_check(candidate) is not None:
+                case = candidate
+                break
+        assert case is not None
+        import dataclasses
+
+        broken = dataclasses.replace(target, check=target.induced_check)
+        with pytest.raises(ValueError):
+            make_corpus_case(broken, case, "should not be committable")
+
+
+class TestObservability:
+    def test_metrics_counters_bump(self):
+        from repro.obs import metrics
+
+        registry = metrics.get_registry()
+        before = registry.counter("repro.verify.trials").value
+        fuzz_target("gf-mul", seed=21, max_trials=7)
+        after = registry.counter("repro.verify.trials").value
+        assert after - before == 7

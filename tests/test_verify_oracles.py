@@ -1,0 +1,174 @@
+"""Tests for the independent reference oracles in repro.verify.oracles.
+
+The oracles adjudicate differential disputes, so they get their own
+ground-truth checks: the reference GF multiply against the production
+tables over *entire* small fields, the exhaustive and syndrome-table
+decoders against each other and against hand-built patterns, and the
+Taylor matrix exponential against scipy.
+"""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm as scipy_expm
+
+from repro.gf.field import GF2m
+from repro.rs.codec import RSCode
+from repro.verify import (
+    exhaustive_decode,
+    expm_taylor,
+    gf_mul_reference,
+    gf_pow_reference,
+    syndrome_table_decode,
+)
+from repro.verify.oracles import MAX_CODEBOOK, transient_taylor_oracle
+
+
+class TestGfReference:
+    @pytest.mark.parametrize("m", [3, 4])
+    def test_full_field_against_tables(self, m):
+        gf = GF2m(m)
+        order = 1 << m
+        for a in range(order):
+            for b in range(order):
+                assert gf_mul_reference(m, a, b) == gf.mul(a, b)
+
+    def test_spot_check_gf256(self):
+        gf = GF2m(8)
+        rng = np.random.default_rng(2005)
+        for a, b in rng.integers(0, 256, size=(200, 2)):
+            assert gf_mul_reference(8, int(a), int(b)) == gf.mul(int(a), int(b))
+
+    def test_pow_matches_tables(self):
+        gf = GF2m(4)
+        for a in range(1, 16):
+            for e in range(0, 20):
+                assert gf_pow_reference(4, a, e) == gf.pow(a, e)
+
+    def test_operand_range_enforced(self):
+        with pytest.raises(ValueError):
+            gf_mul_reference(3, 8, 1)
+        with pytest.raises(ValueError):
+            gf_pow_reference(3, 2, -1)
+
+
+class TestExhaustiveDecode:
+    def test_clean_word_decodes_to_itself_with_zero_errors(self):
+        code = RSCode(7, 3, m=3)
+        cw = code.encode([1, 2, 3])
+        decoded, e = exhaustive_decode(code, cw)
+        assert decoded == cw and e == 0
+
+    def test_corrects_up_to_t_errors(self):
+        code = RSCode(7, 3, m=3)  # t = 2
+        cw = code.encode([5, 0, 7])
+        received = list(cw)
+        received[1] ^= 3
+        received[6] ^= 6
+        decoded, e = exhaustive_decode(code, received)
+        assert decoded == cw and e == 2
+
+    def test_errors_and_erasures_at_capacity(self):
+        code = RSCode(7, 4, m=3)  # nsym = 3 (odd)
+        cw = code.encode([1, 0, 2, 7])
+        received = list(cw)
+        received[0] ^= 5  # one error (budget 2)
+        received[4] ^= 1  # one erasure (budget 1) => total 3 == nsym
+        decoded, e = exhaustive_decode(code, received, erasure_positions=[4])
+        assert decoded == cw and e == 1
+
+    def test_beyond_capacity_returns_none(self):
+        code = RSCode(7, 4, m=3)  # t = 1
+        cw = code.encode([3, 3, 3, 3])
+        received = list(cw)
+        received[0] ^= 1
+        received[1] ^= 2  # two errors, t = 1: must NOT be surely decodable
+        decoded, _ = exhaustive_decode(code, received)
+        # Either no codeword within the bound (detectable failure), or a
+        # miscorrection to some *other* word within distance t — but the
+        # oracle can never claim the true word, which sits at distance 2.
+        if decoded is not None:
+            assert decoded != cw
+            mism = sum(int(x != y) for x, y in zip(decoded, received))
+            assert 2 * mism <= code.n - code.k
+
+    def test_over_erased_rejected(self):
+        code = RSCode(6, 3, m=3)
+        cw = code.encode([1, 2, 3])
+        received = list(cw)
+        erased = [0, 1, 2, 4]  # nsym + 1 erasures
+        decoded, _ = exhaustive_decode(code, received, erasure_positions=erased)
+        assert decoded is None
+
+    def test_codebook_size_cap(self):
+        big = RSCode(31, 25, m=5)  # 32^25 codewords
+        assert (1 << 5) ** 25 > MAX_CODEBOOK
+        with pytest.raises(ValueError):
+            exhaustive_decode(big, [0] * 31)
+
+
+class TestSyndromeTableDecode:
+    def test_agrees_with_exhaustive_on_error_only(self):
+        code = RSCode(7, 3, m=3)
+        rng = np.random.default_rng(7)
+        for _ in range(100):
+            data = [int(x) for x in rng.integers(0, 8, size=3)]
+            cw = code.encode(data)
+            received = list(cw)
+            num_errors = int(rng.integers(0, 4))  # up to t+1
+            for pos in rng.choice(7, size=num_errors, replace=False):
+                received[pos] ^= int(rng.integers(1, 8))
+            table_word = syndrome_table_decode(code, received)
+            exhaustive_word, e = exhaustive_decode(code, received)
+            if 2 * e <= code.n - code.k:
+                assert table_word == exhaustive_word
+            # beyond t the table returns None; exhaustive may miscorrect
+            # to a different nearby codeword — both are valid behaviours
+            elif table_word is not None:
+                assert table_word == exhaustive_word
+
+    def test_table_size_cap(self):
+        code = RSCode(15, 3, m=4)  # t = 6: table would be astronomical
+        with pytest.raises(ValueError):
+            syndrome_table_decode(code, [0] * 15)
+
+
+class TestExpmTaylor:
+    def test_zero_generator_is_identity(self):
+        q = np.zeros((4, 4))
+        assert np.array_equal(expm_taylor(q, 3.0), np.eye(4))
+
+    def test_matches_scipy_small(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            n = int(rng.integers(2, 7))
+            rates = rng.random((n, n)) * (10.0 ** rng.uniform(-2, 2))
+            np.fill_diagonal(rates, 0.0)
+            q = rates - np.diag(rates.sum(axis=1))
+            t = float(10.0 ** rng.uniform(-2, 1))
+            ours = expm_taylor(q, t)
+            ref = scipy_expm(q * t)
+            assert np.allclose(ours, ref, atol=1e-12, rtol=1e-10)
+
+    def test_stiff_matrix(self):
+        q = np.array([[-150.0, 150.0], [0.003, -0.003]])
+        ours = expm_taylor(q, 5.0)
+        ref = scipy_expm(q * 5.0)
+        assert np.allclose(ours, ref, atol=1e-12)
+        assert np.allclose(ours.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            expm_taylor(np.zeros((2, 3)), 1.0)
+
+    def test_transient_oracle_shape(self):
+        from repro.markov.chain import CTMC
+
+        chain = CTMC(
+            states=range(3),
+            transitions=[(0, 1, 0.5), (1, 2, 0.25)],
+            initial=0,
+        )
+        out = transient_taylor_oracle(chain, [0.0, 1.0, 4.0])
+        assert out.shape == (3, 3)
+        assert np.allclose(out.sum(axis=1), 1.0, atol=1e-12)
+        assert np.allclose(out[0], chain.p0)
