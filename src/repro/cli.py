@@ -23,6 +23,15 @@ Subcommands:
   manifests (``--manifest``), deterministic fault injection
   (``--chaos``, dev), a JSONL span/event/metric trace (``--trace``),
   and live per-chunk heartbeats with ETA (``--progress``).
+* ``doctor PATH [--repair]`` — audit a checkpoint journal or a whole
+  state directory (frame CRCs, hash chain, quarantine sidecars, locks,
+  manifests) and print a machine-readable JSON report; with
+  ``--repair`` truncate torn tails, quarantine corrupt records, and
+  rewrite a clean v2 journal (upgrading legacy v1 files).
+
+Exit codes shared with the runtime: 130 on SIGINT (journal resumable),
+75 when another campaign holds the journal lock, 74 when journal writes
+failed mid-run (campaign completed; resumable state lost).
 """
 
 from __future__ import annotations
@@ -170,7 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="[dev] deterministic fault injection, e.g. "
         "'crash@0;hang@2:30;poison@1;slow@*:0.1' — proves the "
-        "supervisor's retry/fallback machinery end to end",
+        "supervisor's retry/fallback machinery end to end; journal "
+        "faults 'bitrot@i[:mask]', 'torn@i[:frac]', 'enospc@i[:n]' "
+        "corrupt/tear/fail checkpoint appends to prove quarantine, "
+        "torn-tail truncation, and ENOSPC degradation",
     )
     camp.add_argument(
         "--trace",
@@ -247,6 +259,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_sub.add_parser(
         "list-targets", help="list registered differential targets"
+    )
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="audit (and with --repair, heal) campaign state on disk",
+    )
+    doctor.add_argument(
+        "path",
+        help="checkpoint journal file or state directory to audit",
+    )
+    doctor.add_argument(
+        "--repair",
+        action="store_true",
+        help="truncate torn tails, quarantine corrupt records, and "
+        "rewrite a clean checksummed v2 journal (upgrades legacy v1 "
+        "files); the rewrite is atomic",
     )
 
     design = sub.add_parser(
@@ -453,8 +481,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from .obs.progress import ProgressTracker, format_progress
     from .perf import PerfCounters
     from .runtime import (
+        LOCK_CONTENTION_EXIT_CODE,
+        STATE_LOST_EXIT_CODE,
+        CheckpointError,
         CheckpointJournal,
         CheckpointMismatchError,
+        JournalLockedError,
         RetryPolicy,
         RuntimeConfig,
         build_manifest,
@@ -493,12 +525,37 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     cells = default_validation_campaign()
     counters = PerfCounters()
-    journal = CheckpointJournal(args.checkpoint) if args.checkpoint else None
+    try:
+        journal = (
+            CheckpointJournal(args.checkpoint, chaos=chaos)
+            if args.checkpoint
+            else None
+        )
+    except JournalLockedError as exc:
+        print(f"checkpoint locked: {exc}", file=sys.stderr)
+        return LOCK_CONTENTION_EXIT_CODE
+    except CheckpointError as exc:
+        print(f"checkpoint unusable: {exc}", file=sys.stderr)
+        return 2
     resumed = journal is not None and journal.n_chunks > 0
     if resumed:
         print(
             f"resuming from {args.checkpoint}: "
             f"{journal.n_chunks} chunk(s) already journaled"
+        )
+    if journal is not None and journal.records_quarantined:
+        print(
+            f"journal damage: {journal.records_quarantined} corrupt "
+            f"record(s) quarantined to {args.checkpoint}.quarantine; "
+            "the affected chunks will be recomputed",
+            file=sys.stderr,
+        )
+    if journal is not None and journal.readonly:
+        print(
+            f"note: {args.checkpoint} is a legacy v1 journal — resuming "
+            "read-only (new chunks are not persisted; run "
+            f"'repro doctor {args.checkpoint} --repair' to upgrade)",
+            file=sys.stderr,
         )
 
     collector = obs_trace.TraceCollector() if args.trace else None
@@ -539,6 +596,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     except CheckpointMismatchError as exc:
         print(f"checkpoint refused: {exc}", file=sys.stderr)
         return 2
+    except JournalLockedError as exc:
+        print(f"checkpoint locked: {exc}", file=sys.stderr)
+        return LOCK_CONTENTION_EXIT_CODE
     except KeyboardInterrupt:
         if journal is not None:
             print(
@@ -556,6 +616,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     finally:
         if journal is not None:
             journal.close()
+            counters.io_errors += journal.io_errors
+            counters.records_quarantined += journal.records_quarantined
         # Mirror the counters into the metrics registry so both the
         # trace export and the manifest carry one coherent snapshot.
         counters.publish(obs_metrics.get_registry())
@@ -611,7 +673,44 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         )
         path = write_manifest(args.manifest, manifest)
         print(f"manifest: {path}")
+    if journal is not None and journal.degraded:
+        print(
+            f"\njournal degraded ({journal.degraded_reason}): "
+            f"{journal.appends_lost} chunk record(s) were not persisted; "
+            "the campaign completed but cannot be resumed from "
+            f"{args.checkpoint}",
+            file=sys.stderr,
+        )
+        return STATE_LOST_EXIT_CODE
     return 0 if all_ok else 1
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .runtime import audit_path, repair_journal
+
+    target = Path(args.path)
+    if not target.exists():
+        print(f"doctor: {target}: no such file or directory", file=sys.stderr)
+        return 2
+    report = audit_path(target)
+    if args.repair:
+        repairs = []
+        for journal in report["journals"]:
+            needs = (
+                journal["classification"] in ("corrupt", "torn-tail")
+                or journal["version"] == 1
+            )
+            if needs:
+                repairs.append(repair_journal(journal["path"]))
+        # Re-audit so the report reflects the healed state, and keep the
+        # action log alongside it.
+        report = audit_path(target)
+        report["repairs"] = repairs
+    print(_json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["healthy"] else 1
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -708,6 +807,7 @@ _COMMANDS = {
     "complexity": cmd_complexity,
     "validate": cmd_validate,
     "verify": cmd_verify,
+    "doctor": cmd_doctor,
     "scrub-design": cmd_scrub_design,
 }
 

@@ -1,0 +1,120 @@
+"""Durable-I/O primitives shared by everything the stack persists.
+
+The paper's premise is that storage corrupts silently; our own durable
+state (checkpoint journals, run manifests, trace exports, verify
+artifacts) must meet the same bar it sets for memories.  This module is
+the dependency-free foundation of :mod:`repro.runtime.integrity`:
+
+* :func:`atomic_write` — write-to-temp + ``fsync`` + ``os.replace`` +
+  parent-directory ``fsync``.  A crash at any instant leaves either the
+  old file or the new file, never a truncated hybrid.
+* :func:`fsync_dir` — flush a directory entry itself; without it a
+  freshly created file (or a rename) can vanish wholesale on power
+  loss even though its *contents* were fsynced.
+* :func:`crc32c` — the Castagnoli CRC (CRC-32C, as used by ext4, btrfs
+  and iSCSI) in table-driven pure Python.  It detects all single-byte
+  and all burst errors shorter than 32 bits, which is exactly the
+  bitrot class journal framing defends against.
+
+Nothing here imports any other ``repro`` module, so the observability
+and runtime layers can both build on it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+# --------------------------------------------------------------------------
+# CRC-32C (Castagnoli), reflected polynomial 0x82F63B78
+# --------------------------------------------------------------------------
+
+
+def _build_crc32c_table() -> tuple:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ 0x82F63B78 if crc & 1 else crc >> 1
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC32C_TABLE = _build_crc32c_table()
+
+
+def crc32c(data: bytes, value: int = 0) -> int:
+    """CRC-32C of ``data`` (chainable via ``value`` for streaming use).
+
+    >>> hex(crc32c(b"123456789"))  # the standard CRC-32C check value
+    '0xe3069283'
+    """
+    crc = ~value & 0xFFFFFFFF
+    table = _CRC32C_TABLE
+    for byte in data:
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+    return ~crc & 0xFFFFFFFF
+
+
+# --------------------------------------------------------------------------
+# durable writes
+# --------------------------------------------------------------------------
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """Flush a directory entry to stable storage (best effort).
+
+    ``fsync`` on a file makes its *contents* durable; the file's
+    existence (and any rename into place) lives in the parent directory
+    and needs its own ``fsync``.  Platforms that cannot open
+    directories (Windows) silently skip — the rename is still atomic
+    there, only the durability window is wider.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without directory fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    path: Union[str, Path],
+    data: Union[str, bytes],
+    encoding: str = "utf-8",
+) -> Path:
+    """Atomically replace ``path`` with ``data`` (temp + fsync + rename).
+
+    The data is written to a temporary file *in the destination
+    directory* (so the final ``os.replace`` cannot cross filesystems),
+    fsynced, renamed over the destination, and the parent directory is
+    fsynced.  Readers therefore observe either the complete old file or
+    the complete new file — a crash mid-write can no longer leave a
+    truncated JSON manifest or trace behind.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload = data.encode(encoding) if isinstance(data, str) else data
+    fd, tmp_name = tempfile.mkstemp(
+        dir=out.parent, prefix=out.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, out)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_dir(out.parent)
+    return out

@@ -37,6 +37,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
+from ..ioutil import atomic_write
+
 _ids = itertools.count(1)
 _local = threading.local()
 
@@ -165,18 +167,17 @@ class TraceCollector:
         (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`); each metric
         is appended as a ``{"kind": "metric", ...}`` line so one file
         carries the complete observability record of a run.
+
+        The export is atomic (temp + fsync + rename), so a crash during
+        export cannot leave a truncated trace file.
         """
-        out = Path(path)
-        out.parent.mkdir(parents=True, exist_ok=True)
-        with out.open("w") as fh:
-            for record in self.records():
-                fh.write(json.dumps(record) + "\n")
-            if metrics:
-                for name, data in sorted(metrics.items()):
-                    line = {"kind": "metric", "schema": TRACE_SCHEMA, "name": name}
-                    line.update(_jsonable(data))
-                    fh.write(json.dumps(line) + "\n")
-        return out
+        lines = [json.dumps(record) + "\n" for record in self.records()]
+        if metrics:
+            for name, data in sorted(metrics.items()):
+                line = {"kind": "metric", "schema": TRACE_SCHEMA, "name": name}
+                line.update(_jsonable(data))
+                lines.append(json.dumps(line) + "\n")
+        return atomic_write(path, "".join(lines))
 
 
 #: Process-wide collector; ``None`` means tracing is disabled.

@@ -73,6 +73,10 @@ class PerfCounters:
     engine_fallbacks: chunks degraded from the batch to scalar engine.
     serial_fallbacks: times pooled execution degraded to serial.
     chunks_resumed: chunks replayed from a checkpoint journal.
+    io_errors: journal appends lost to write failures (ENOSPC, I/O
+        errors) — the campaign degraded to memory-only state.
+    records_quarantined: corrupt journal records moved to the
+        ``.quarantine`` sidecar on load (their chunks were recomputed).
     """
 
     words_encoded: int = 0
@@ -92,6 +96,8 @@ class PerfCounters:
     engine_fallbacks: int = 0
     serial_fallbacks: int = 0
     chunks_resumed: int = 0
+    io_errors: int = 0
+    records_quarantined: int = 0
 
     #: Fields :meth:`merge` must NOT sum: wall clock is measured once by
     #: the coordinator, not accumulated across workers.
@@ -204,6 +210,8 @@ class PerfCounters:
             or self.engine_fallbacks
             or self.serial_fallbacks
             or self.chunks_resumed
+            or self.io_errors
+            or self.records_quarantined
         )
 
     def resilience_summary(self) -> str:
@@ -220,6 +228,8 @@ class PerfCounters:
             ("engine fallbacks", self.engine_fallbacks),
             ("serial fallbacks", self.serial_fallbacks),
             ("chunks resumed", self.chunks_resumed),
+            ("journal io errors", self.io_errors),
+            ("quarantined records", self.records_quarantined),
         ]
         for name, value in pairs:
             if value:

@@ -18,6 +18,9 @@ Public surface:
   ``simulate_fail_probability_batched`` and ``run_campaign``.
 * :func:`build_manifest` / :func:`write_manifest` — machine-readable
   provenance records for campaign runs.
+* :mod:`repro.runtime.integrity` — framed (CRC + hash chain) v2
+  journals, damage quarantine, advisory locking, and the audit/repair
+  engine behind ``repro doctor``.
 """
 
 from __future__ import annotations
@@ -41,6 +44,18 @@ from .checkpoint import (
     CheckpointJournal,
     CheckpointMismatchError,
     seed_key,
+)
+from .integrity import (
+    LOCK_CONTENTION_EXIT_CODE,
+    STATE_LOST_EXIT_CODE,
+    IntegrityError,
+    JournalLock,
+    JournalLockedError,
+    atomic_write,
+    audit_journal,
+    audit_path,
+    repair_journal,
+    scan_journal,
 )
 from .manifest import build_manifest, git_describe, write_manifest
 from .supervisor import (
@@ -91,6 +106,16 @@ __all__ = [
     "CheckpointJournal",
     "CheckpointMismatchError",
     "seed_key",
+    "LOCK_CONTENTION_EXIT_CODE",
+    "STATE_LOST_EXIT_CODE",
+    "IntegrityError",
+    "JournalLock",
+    "JournalLockedError",
+    "atomic_write",
+    "audit_journal",
+    "audit_path",
+    "repair_journal",
+    "scan_journal",
     "build_manifest",
     "git_describe",
     "write_manifest",

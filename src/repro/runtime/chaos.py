@@ -30,9 +30,26 @@ A :class:`ChaosSpec` is parsed from a compact string grammar::
   computing chunk ``i``.  Widens race windows for interrupt tests
   without changing any result.
 
-``*`` targets every chunk.  Chaos only perturbs *scheduling and worker
-health*, never the RNG streams, so any run that completes under chaos
-(via retries) is bit-identical to an undisturbed run.
+Three further kinds target the *checkpoint journal* rather than the
+chunk executor (handled inside
+:class:`~repro.runtime.checkpoint.CheckpointJournal`; their indices
+count journal chunk-appends, in append order across cells):
+
+* ``bitrot@i[:m]``     — after durably appending record ``i``, flip the
+  byte in the middle of its line with XOR mask ``m`` (default 1).  The
+  next load must quarantine exactly that record and recompute it.
+* ``torn@i[:f]``       — write only the first fraction ``f`` (default
+  0.5) of record ``i``'s line, with no newline: a power cut mid-append.
+  ``torn-write`` is accepted as an alias.
+* ``enospc@i[:n]``     — the journal raises ``ENOSPC`` starting at
+  append ``i`` for ``n`` appends (default -1 = forever, a full disk).
+  The campaign must degrade to memory-only and exit with the
+  resumable-state-lost code.
+
+``*`` targets every chunk.  Chaos only perturbs *scheduling, worker
+health, and journal durability*, never the RNG streams, so any run that
+completes under chaos (via retries or recomputed chunks) is
+bit-identical to an undisturbed run.
 """
 
 from __future__ import annotations
@@ -79,6 +96,11 @@ class ChaosSpec:
     hang: Dict[int, float] = field(default_factory=dict)
     poison: Dict[int, int] = field(default_factory=dict)
     slow: Dict[int, float] = field(default_factory=dict)
+    # Journal-fault tables (append index -> parameter); consumed by
+    # CheckpointJournal, not by before_chunk.
+    bitrot: Dict[int, int] = field(default_factory=dict)
+    torn: Dict[int, float] = field(default_factory=dict)
+    enospc: Dict[int, int] = field(default_factory=dict)
 
     def _lookup(self, table, chunk_index):
         if chunk_index in table:
@@ -102,6 +124,33 @@ class ChaosSpec:
     def slow_seconds(self, chunk_index: int) -> float:
         seconds = self._lookup(self.slow, chunk_index)
         return 0.0 if seconds is None else seconds
+
+    # -- journal faults (consumed by CheckpointJournal._append) ------------
+
+    def bitrot_mask(self, append_index: int) -> int:
+        """XOR mask to apply to journal append ``append_index`` (0 = none)."""
+        mask = self._lookup(self.bitrot, append_index)
+        return 0 if mask is None else int(mask) & 0xFF
+
+    def torn_fraction(self, append_index: int) -> float:
+        """Fraction of the line to persist for a torn append (0 = whole)."""
+        fraction = self._lookup(self.torn, append_index)
+        return 0.0 if fraction is None else float(fraction)
+
+    def enospc_fires(self, append_index: int) -> bool:
+        """True when journal append ``append_index`` must fail with ENOSPC.
+
+        An entry ``(start, n)`` fires for ``n`` consecutive appends from
+        ``start`` (``n = -1``: forever — the disk stays full).
+        """
+        for start, budget in self.enospc.items():
+            if start == WILDCARD:
+                return True
+            if append_index >= start and (
+                budget < 0 or append_index < start + budget
+            ):
+                return True
+        return False
 
     # -- injection ---------------------------------------------------------
 
@@ -148,7 +197,15 @@ class ChaosSpec:
 
     @property
     def is_empty(self) -> bool:
-        return not (self.crash or self.hang or self.poison or self.slow)
+        return not (
+            self.crash
+            or self.hang
+            or self.poison
+            or self.slow
+            or self.bitrot
+            or self.torn
+            or self.enospc
+        )
 
 
 _DEFAULT_PARAMS = {
@@ -156,7 +213,13 @@ _DEFAULT_PARAMS = {
     "hang": 3600.0,
     "poison": -1,
     "slow": 0.1,
+    "bitrot": 1,
+    "torn": 0.5,
+    "enospc": -1,
 }
+
+#: Spelling aliases accepted by the ``--chaos`` grammar.
+_KIND_ALIASES = {"torn-write": "torn"}
 
 
 def parse_chaos_spec(text: str) -> ChaosSpec:
@@ -171,6 +234,9 @@ def parse_chaos_spec(text: str) -> ChaosSpec:
         "hang": {},
         "poison": {},
         "slow": {},
+        "bitrot": {},
+        "torn": {},
+        "enospc": {},
     }
     for raw in text.split(";"):
         clause = raw.strip()
@@ -181,11 +247,11 @@ def parse_chaos_spec(text: str) -> ChaosSpec:
                 f"bad chaos clause {clause!r}: expected kind@targets[:param]"
             )
         kind, _, rest = clause.partition("@")
-        kind = kind.strip()
+        kind = _KIND_ALIASES.get(kind.strip(), kind.strip())
         if kind not in tables:
             raise ValueError(
-                f"unknown chaos kind {kind!r}: "
-                "expected crash, hang, poison, or slow"
+                f"unknown chaos kind {kind!r}: expected crash, hang, "
+                "poison, slow, bitrot, torn(-write), or enospc"
             )
         targets, sep, param_text = rest.partition(":")
         if sep:
@@ -197,7 +263,7 @@ def parse_chaos_spec(text: str) -> ChaosSpec:
                 ) from None
         else:
             param = _DEFAULT_PARAMS[kind]
-        if kind in ("crash", "poison"):
+        if kind in ("crash", "poison", "bitrot", "enospc"):
             param = int(param)
         for target in targets.split(","):
             target = target.strip()
@@ -220,6 +286,9 @@ def parse_chaos_spec(text: str) -> ChaosSpec:
         hang=dict(tables["hang"]),
         poison={k: int(v) for k, v in tables["poison"].items()},
         slow=dict(tables["slow"]),
+        bitrot={k: int(v) for k, v in tables["bitrot"].items()},
+        torn=dict(tables["torn"]),
+        enospc={k: int(v) for k, v in tables["enospc"].items()},
     )
 
 

@@ -20,6 +20,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Union
 
+from ..ioutil import atomic_write
+
 # Version 2 added the "progress" heartbeat list and "metrics" snapshot.
 MANIFEST_VERSION = 2
 
@@ -103,10 +105,11 @@ def build_manifest(
 
 
 def write_manifest(path: Union[str, Path], manifest: Dict[str, Any]) -> Path:
-    """Write a manifest document as pretty JSON, stamping creation time."""
+    """Write a manifest document as pretty JSON, stamping creation time.
+
+    The write is atomic (temp + fsync + rename): a crash mid-write can
+    no longer leave a truncated manifest behind.
+    """
     doc = dict(manifest)
     doc.setdefault("created_unix", time.time())
-    out = Path(path)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
-    return out
+    return atomic_write(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")

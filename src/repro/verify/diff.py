@@ -29,6 +29,10 @@ target                    layers                   compares
 ``memory-analytic``       memory, markov           closed-form fail probability vs CTMC
 ``memory-mc-ber``         memory, simulator        analytic model vs batched Monte-Carlo
                                                    within a 5-sigma Wilson interval
+``journal-roundtrip``     runtime, simulator       random single-point corruption of a v2
+                                                   checkpoint journal: doctor-repair or
+                                                   direct resume must converge to the
+                                                   bit-identical campaign estimate
 ========================  =======================  ==========================================
 """
 
@@ -695,6 +699,117 @@ def _shrink_memory_case(case: Case) -> Iterator[Case]:
 
 
 # --------------------------------------------------------------------------
+# journal-roundtrip: corruption -> repair/resume -> bit-identity
+# --------------------------------------------------------------------------
+
+
+def _gen_journal_case(rng: np.random.Generator) -> Case:
+    return {
+        "trials": int(rng.integers(40, 121)),
+        "chunk_size": int(rng.choice([15, 20, 25, 30])),
+        "seed": int(rng.integers(0, 2**31)),
+        "mode": str(rng.choice(["flip", "truncate"])),
+        # Where to hit the journal, as a fraction of its length (the
+        # file's byte size varies with timing digits in the payloads, so
+        # the case carries a position *fraction*, not an offset).
+        "offset_frac": float(rng.uniform(0.0, 1.0)),
+        "xor": int(rng.integers(1, 256)),
+        "repair": bool(rng.integers(0, 2)),
+    }
+
+
+def _check_journal_roundtrip(case: Case) -> Optional[Mismatch]:
+    """Corrupt one point of a recorded journal; healing must be exact.
+
+    The asserted property is universal — *any* single byte flip or
+    truncation must leave resume (with or without a prior
+    ``repair_journal``) bit-identical to the uninterrupted run and must
+    never raise — so it holds regardless of the journal's exact bytes.
+    """
+    import tempfile
+    import warnings as _warnings
+    from pathlib import Path
+
+    from ..rs import RSCode
+    from ..runtime import CheckpointJournal, RuntimeConfig, repair_journal
+    from ..simulator import simulate_fail_probability_batched
+
+    code = RSCode(18, 16, m=8)
+    lam = 2e-3 / 24.0
+
+    def run(journal=None):
+        runtime = RuntimeConfig(journal=journal) if journal is not None else None
+        return simulate_fail_probability_batched(
+            "simplex",
+            code,
+            48.0,
+            lam,
+            0.0,
+            case["trials"],
+            seed=case["seed"],
+            chunk_size=case["chunk_size"],
+            runtime=runtime,
+        )
+
+    detail: Dict[str, Any] = dict(case)
+    with tempfile.TemporaryDirectory(prefix="journal-roundtrip-") as tmp:
+        path = Path(tmp) / "ckpt.jsonl"
+        reference = run()
+        with CheckpointJournal(path) as journal:
+            recorded = run(journal)
+        if recorded != reference:
+            return Mismatch(
+                "journaled run differs from the plain run before any "
+                "corruption was injected",
+                detail,
+            )
+        blob = bytearray(path.read_bytes())
+        offset = min(len(blob) - 1, int(case["offset_frac"] * len(blob)))
+        detail["offset"] = offset
+        detail["journal_bytes"] = len(blob)
+        if case["mode"] == "flip":
+            blob[offset] ^= case["xor"]
+            path.write_bytes(bytes(blob))
+        else:
+            path.write_bytes(bytes(blob[:offset]))
+        try:
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("ignore")
+                if case["repair"]:
+                    detail["repair_actions"] = repair_journal(path)
+                with CheckpointJournal(path) as journal:
+                    resumed = run(journal)
+        except Exception as exc:  # never a traceback, whatever the damage
+            return Mismatch(
+                f"corrupted journal raised {type(exc).__name__} instead "
+                "of healing",
+                {**detail, "error": repr(exc)},
+            )
+        if resumed != reference:
+            return Mismatch(
+                "resume after corruption is not bit-identical to the "
+                "uninterrupted run",
+                {
+                    **detail,
+                    "reference_probability": reference.probability,
+                    "resumed_probability": resumed.probability,
+                    "reference_failures": reference.failures,
+                    "resumed_failures": resumed.failures,
+                },
+            )
+    return None
+
+
+def _shrink_journal_case(case: Case) -> Iterator[Case]:
+    if case["trials"] > 40:
+        yield {**case, "trials": max(40, case["trials"] // 2)}
+    if case["repair"]:
+        yield {**case, "repair": False}
+    if case["mode"] == "flip" and case["xor"] > 1:
+        yield {**case, "xor": 1}
+
+
+# --------------------------------------------------------------------------
 # registration
 # --------------------------------------------------------------------------
 
@@ -803,6 +918,23 @@ register_target(
         generate=_gen_memory_mc_case,
         check=_check_memory_mc,
         shrink=_shrink_memory_mc,
+        induced_check=_induced_generic_bug,
+    )
+)
+
+register_target(
+    Target(
+        name="journal-roundtrip",
+        layers=("runtime", "simulator"),
+        description=(
+            "Random single-point corruption (byte flip or truncation) of "
+            "a recorded v2 checkpoint journal: doctor --repair or direct "
+            "resume must heal it and reproduce the bit-identical "
+            "campaign estimate, never raise"
+        ),
+        generate=_gen_journal_case,
+        check=_check_journal_roundtrip,
+        shrink=_shrink_journal_case,
         induced_check=_induced_generic_bug,
     )
 )

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from ..ioutil import atomic_write
 from ..obs import metrics, trace
 from .diff import Mismatch, Target, all_targets, get_target
 from .generators import case_rng
@@ -293,9 +294,12 @@ def write_artifact(
         f"{'-induced' if report.induced else ''}.json"
     )
     path = directory / name
-    path.write_text(
+    # Atomic: a crash mid-write must not leave a truncated artifact that
+    # poisons later replays.
+    atomic_write(
+        path,
         json.dumps(artifact_from_report(report), indent=2, sort_keys=True)
-        + "\n"
+        + "\n",
     )
     return path
 

@@ -20,6 +20,14 @@ class TestParser:
         assert args.arrangement == "simplex"
         assert args.n == 18
 
+    def test_doctor_defaults(self):
+        args = build_parser().parse_args(["doctor", "state/run.jsonl"])
+        assert args.path == "state/run.jsonl"
+        assert args.repair is False
+        assert build_parser().parse_args(
+            ["doctor", "state", "--repair"]
+        ).repair is True
+
 
 class TestFigureCommand:
     def test_single_figure(self, capsys):

@@ -1,0 +1,194 @@
+"""SIGKILL crash consistency: a killed campaign must resume exactly.
+
+Harder than the SIGINT test (``test_interrupt_resume.py``): SIGKILL
+gives the process no chance to flush, close, or release anything — the
+journal is whatever the kernel had durably accepted, possibly ending in
+a torn line, with a stale ``.lock`` file left behind.  Resume must
+truncate the tear, ignore the dead owner's lock, and still converge to
+the bit-identical uninterrupted estimates.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+BASE_CMD = [
+    sys.executable,
+    "-m",
+    "repro",
+    "campaign",
+    "--trials",
+    "80",
+    "--seed",
+    "7",
+    "--chunk-size",
+    "20",
+]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _run(args, cwd, timeout=300):
+    return subprocess.run(
+        BASE_CMD + args,
+        cwd=cwd,
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def _journal_chunks(path: Path) -> int:
+    if not path.exists():
+        return 0
+    return sum(
+        1 for line in path.read_text().splitlines() if '"kind": "chunk"' in line
+    )
+
+
+def _result_key(manifest_path: Path):
+    doc = json.loads(manifest_path.read_text())
+    return [
+        (
+            row["cell"],
+            row["probability"],
+            row["failures"],
+            row["trials"],
+            row["ci_low"],
+            row["ci_high"],
+            row["outcome_counts"],
+        )
+        for row in doc["results"]
+    ]
+
+
+@pytest.mark.chaos
+class TestSigkillResume:
+    def test_sigkill_mid_append_then_resume_is_bit_identical(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+
+        # Phase 1: campaign slowed so chunk appends are spread out;
+        # SIGKILL it the instant a few chunks have landed — with luck
+        # mid-append, which is exactly the torn-tail case the v2 format
+        # must absorb.
+        proc = subprocess.Popen(
+            BASE_CMD
+            + ["--checkpoint", str(journal), "--chaos", "slow@*:0.1"],
+            cwd=tmp_path,
+            env=_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while _journal_chunks(journal) < 2:
+                if time.monotonic() >= deadline:
+                    raise AssertionError("campaign never journaled a chunk")
+                if proc.poll() is not None:
+                    raise AssertionError("campaign exited early")
+                time.sleep(0.02)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        assert proc.returncode == -signal.SIGKILL
+        killed_chunks = _journal_chunks(journal)
+        assert 2 <= killed_chunks < 32  # mid-run, not complete
+        # The dead process never released its lock file; resume must
+        # not be blocked by it (flock dies with the holder).
+        assert (tmp_path / "run.jsonl.lock").exists()
+
+        # Phase 2: resume to completion over the possibly-torn journal.
+        resumed = _run(
+            ["--checkpoint", str(journal), "--manifest", "resumed.json"],
+            cwd=tmp_path,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+
+        # Phase 3: uninterrupted reference with the same seed.
+        reference = _run(["--manifest", "reference.json"], cwd=tmp_path)
+        assert reference.returncode == 0, reference.stderr
+
+        assert _result_key(tmp_path / "resumed.json") == _result_key(
+            tmp_path / "reference.json"
+        )
+        resumed_doc = json.loads((tmp_path / "resumed.json").read_text())
+        assert resumed_doc["resumed"] is True
+
+
+@pytest.mark.chaos
+class TestLockContentionCli:
+    def test_second_campaign_exits_with_contention_code(self, tmp_path):
+        from repro.runtime import LOCK_CONTENTION_EXIT_CODE, JournalLock
+
+        journal = tmp_path / "run.jsonl"
+        with JournalLock(journal):
+            loser = _run(["--checkpoint", str(journal)], cwd=tmp_path)
+        assert loser.returncode == LOCK_CONTENTION_EXIT_CODE
+        assert "checkpoint locked" in loser.stderr
+        # Once the lock is free the same command proceeds normally.
+        winner = _run(["--checkpoint", str(journal)], cwd=tmp_path)
+        assert winner.returncode == 0, winner.stderr
+
+
+@pytest.mark.chaos
+class TestJournalChaosCli:
+    def test_enospc_exits_state_lost_with_results(self, tmp_path):
+        from repro.runtime import STATE_LOST_EXIT_CODE
+
+        out = _run(
+            [
+                "--checkpoint",
+                str(tmp_path / "run.jsonl"),
+                "--chaos",
+                "enospc@2",
+            ],
+            cwd=tmp_path,
+        )
+        assert out.returncode == STATE_LOST_EXIT_CODE
+        assert "journal degraded" in out.stderr
+        assert "ENOSPC" in out.stderr
+        # The campaign still completed and printed its verdicts.
+        assert "cells consistent" in out.stdout
+        assert "journal io errors" in out.stdout
+
+    def test_bitrot_then_clean_resume_matches_reference(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        first = _run(
+            ["--checkpoint", str(journal), "--chaos", "bitrot@3"],
+            cwd=tmp_path,
+        )
+        assert first.returncode == 0, first.stderr
+
+        resumed = _run(
+            ["--checkpoint", str(journal), "--manifest", "resumed.json"],
+            cwd=tmp_path,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "quarantined" in resumed.stderr
+
+        reference = _run(["--manifest", "reference.json"], cwd=tmp_path)
+        assert reference.returncode == 0, reference.stderr
+        assert _result_key(tmp_path / "resumed.json") == _result_key(
+            tmp_path / "reference.json"
+        )
+        resumed_doc = json.loads((tmp_path / "resumed.json").read_text())
+        assert resumed_doc["counters"]["records_quarantined"] >= 1

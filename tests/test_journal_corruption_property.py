@@ -1,0 +1,132 @@
+"""Single-point corruption property of the v2 checkpoint journal.
+
+The integrity contract: flip *any* single byte of a completed v2
+journal, or truncate it at *any* offset, and resuming — with or without
+``repro doctor --repair`` first — must produce the bit-identical
+campaign estimate without ever raising.  Wrong-but-plausible BER is the
+failure mode the layer exists to prevent, so equality is exact, not
+approximate.
+
+Tier-1 samples offsets across the file; the exhaustive every-offset ×
+both-modes sweep is fuzz-marked and runs under ``REPRO_FUZZ=1``
+(nightly CI).
+"""
+
+import os
+import warnings
+
+import pytest
+
+from repro.perf import PerfCounters
+from repro.rs import RSCode
+from repro.runtime import (
+    CheckpointJournal,
+    RuntimeConfig,
+    repair_journal,
+)
+from repro.simulator import simulate_fail_probability_batched
+
+CODE = RSCode(18, 16, m=8)
+LAM = 2e-3 / 24.0
+TRIALS = 60
+CHUNK = 20  # -> 3 chunk records
+
+
+def batched(runtime=None, counters=None):
+    return simulate_fail_probability_batched(
+        "simplex",
+        CODE,
+        48.0,
+        LAM,
+        0.0,
+        TRIALS,
+        seed=13,
+        chunk_size=CHUNK,
+        runtime=runtime,
+        counters=counters,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return batched()
+
+
+def recorded_journal(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with CheckpointJournal(path) as journal:
+        batched(runtime=RuntimeConfig(journal=journal))
+    return path
+
+
+def corrupt_and_resume(path, offset, mode, reference, repair=False):
+    """Apply one corruption, heal (optionally via repair), assert identity."""
+    blob = path.read_bytes()
+    pristine = blob
+    if mode == "flip":
+        mutated = bytearray(blob)
+        mutated[offset] ^= 0x40
+        path.write_bytes(bytes(mutated))
+    else:
+        path.write_bytes(blob[:offset])
+    try:
+        counters = PerfCounters()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            if repair:
+                repair_journal(path)
+            with CheckpointJournal(path) as journal:
+                resumed = batched(
+                    runtime=RuntimeConfig(journal=journal), counters=counters
+                )
+        assert resumed == reference, (
+            f"{mode} at offset {offset} (repair={repair}) changed the "
+            "estimate"
+        )
+    finally:
+        path.write_bytes(pristine)  # restore for the next offset
+
+
+def sample_offsets(size, count):
+    """Evenly spread offsets covering the whole file, ends included."""
+    if size <= count:
+        return list(range(size))
+    step = size / count
+    return sorted({min(size - 1, int(i * step)) for i in range(count)})
+
+
+class TestSampledCorruption:
+    def test_flip_sampled_offsets_resume_identical(self, tmp_path, reference):
+        path = recorded_journal(tmp_path)
+        size = len(path.read_bytes())
+        for offset in sample_offsets(size, 25):
+            corrupt_and_resume(path, offset, "flip", reference)
+
+    def test_truncate_sampled_offsets_resume_identical(
+        self, tmp_path, reference
+    ):
+        path = recorded_journal(tmp_path)
+        size = len(path.read_bytes())
+        for offset in sample_offsets(size, 12):
+            corrupt_and_resume(path, offset, "truncate", reference)
+
+    def test_doctor_repair_then_resume_identical(self, tmp_path, reference):
+        path = recorded_journal(tmp_path)
+        size = len(path.read_bytes())
+        for offset in sample_offsets(size, 8):
+            corrupt_and_resume(path, offset, "flip", reference, repair=True)
+
+
+@pytest.mark.fuzz
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_FUZZ"),
+    reason="exhaustive offset sweep runs only with REPRO_FUZZ=1 (nightly CI)",
+)
+class TestExhaustiveCorruption:
+    def test_every_offset_every_mode(self, tmp_path, reference):
+        path = recorded_journal(tmp_path)
+        size = len(path.read_bytes())
+        for offset in range(size):
+            corrupt_and_resume(path, offset, "flip", reference)
+        for offset in range(0, size, 7):
+            corrupt_and_resume(path, offset, "truncate", reference)

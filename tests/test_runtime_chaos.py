@@ -66,6 +66,43 @@ class TestParsing:
         assert chaos_from_arg("poison@0") is not None
 
 
+class TestJournalFaultParsing:
+    def test_defaults_per_kind(self):
+        spec = parse_chaos_spec("bitrot@0;torn@1;enospc@2")
+        assert spec.bitrot == {0: 1}
+        assert spec.torn == {1: 0.5}
+        assert spec.enospc == {2: -1}
+        assert not spec.is_empty
+
+    def test_torn_write_alias(self):
+        spec = parse_chaos_spec("torn-write@4:0.25")
+        assert spec.torn == {4: 0.25}
+        assert spec.torn_fraction(4) == 0.25
+        assert spec.torn_fraction(5) == 0.0
+
+    def test_bitrot_mask_lookup(self):
+        spec = parse_chaos_spec("bitrot@3:8")
+        assert spec.bitrot_mask(3) == 8
+        assert spec.bitrot_mask(2) == 0
+        assert parse_chaos_spec("bitrot@*:2").bitrot_mask(17) == 2
+
+    def test_enospc_window_semantics(self):
+        # enospc@i:n fails n consecutive appends starting at i ...
+        spec = parse_chaos_spec("enospc@3:2")
+        assert [spec.enospc_fires(i) for i in range(6)] == [
+            False, False, False, True, True, False,
+        ]
+        # ... and the default (-1) means the disk never recovers.
+        forever = parse_chaos_spec("enospc@3")
+        assert not forever.enospc_fires(2)
+        assert all(forever.enospc_fires(i) for i in range(3, 10))
+        assert parse_chaos_spec("enospc@*").enospc_fires(0)
+
+    def test_journal_kinds_do_not_touch_chunk_execution(self):
+        spec = parse_chaos_spec("bitrot@0;torn@0;enospc@0")
+        spec.before_chunk(0, attempt=0)  # must not raise or sleep
+
+
 class TestSerialInjection:
     """In the parent process, crash/hang degrade to typed exceptions."""
 

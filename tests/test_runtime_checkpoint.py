@@ -108,11 +108,13 @@ class TestResumeDeterminism:
             batched(runtime=RuntimeConfig(journal=journal))
 
         # Drop the last two chunk records: an interrupt after chunk 1.
+        # v2 lines are framed (version|crc|chain|payload); dropping a
+        # suffix keeps the surviving prefix's hash chain intact.
         lines = path.read_text().strip().split("\n")
         kept = [
             line
             for line in lines
-            if json.loads(line).get("chunk") not in (2, 3)
+            if json.loads(line.split("|", 3)[3]).get("chunk") not in (2, 3)
         ]
         path.write_text("\n".join(kept) + "\n")
 

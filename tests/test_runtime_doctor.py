@@ -1,0 +1,177 @@
+"""``repro doctor``: audit/repair CLI over journals, manifests, locks.
+
+Exercised in-process through ``repro.cli.main`` — the JSON report is
+the machine-readable contract, the exit code is the scriptable one
+(0 healthy/repaired, 1 unrepaired damage, 2 usage).
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.cli import main
+from repro.rs import RSCode
+from repro.runtime import (
+    CheckpointJournal,
+    JournalLock,
+    RuntimeConfig,
+    write_manifest,
+)
+from repro.simulator import simulate_fail_probability_batched
+
+CODE = RSCode(18, 16, m=8)
+LAM = 2e-3 / 24.0
+
+
+def batched(runtime=None):
+    return simulate_fail_probability_batched(
+        "simplex",
+        CODE,
+        48.0,
+        LAM,
+        0.0,
+        60,
+        seed=5,
+        chunk_size=20,
+        runtime=runtime,
+    )
+
+
+def record_journal(path):
+    with CheckpointJournal(path) as journal:
+        journal.ensure_header({"seed": 5})
+        result = batched(runtime=RuntimeConfig(journal=journal))
+    return result
+
+
+def doctor(capsys, *argv):
+    code = main(["doctor", *argv])
+    return code, json.loads(capsys.readouterr().out)
+
+
+class TestAudit:
+    def test_healthy_journal_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        record_journal(path)
+        code, report = doctor(capsys, str(path))
+        assert code == 0
+        assert report["healthy"] is True
+        journal = report["journals"][0]
+        assert journal["classification"] == "healthy"
+        assert journal["version"] == 2
+        assert journal["fingerprint_present"] is True
+        assert journal["lock"]["held"] is False
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["doctor", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_corrupt_journal_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        record_journal(path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x02
+        path.write_bytes(bytes(blob))
+        code, report = doctor(capsys, str(path))
+        assert code == 1
+        assert report["healthy"] is False
+        assert report["journals"][0]["classification"] == "corrupt"
+        assert report["journals"][0]["damage"]
+
+    def test_held_lock_is_reported(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        record_journal(path)
+        with JournalLock(path):
+            code, report = doctor(capsys, str(path))
+        assert code == 0  # a held lock is healthy, just reported
+        assert report["journals"][0]["lock"]["held"] is True
+
+    def test_directory_audit_covers_journals_and_manifests(
+        self, tmp_path, capsys
+    ):
+        record_journal(tmp_path / "a.jsonl")
+        record_journal(tmp_path / "b.jsonl")
+        write_manifest(
+            tmp_path / "run.json", {"manifest_version": 2, "results": []}
+        )
+        (tmp_path / "notes.json").write_text('{"unrelated": true}')
+        code, report = doctor(capsys, str(tmp_path))
+        assert code == 0
+        assert len(report["journals"]) == 2
+        assert len(report["manifests"]) == 1
+        assert report["manifests"][0]["ok"] is True
+
+    def test_truncated_manifest_fails_directory_audit(self, tmp_path, capsys):
+        record_journal(tmp_path / "a.jsonl")
+        (tmp_path / "run.json").write_text('{"manifest_version": 2, "resu')
+        code, report = doctor(capsys, str(tmp_path))
+        assert code == 1
+        assert report["healthy"] is False
+
+
+class TestRepair:
+    @pytest.mark.parametrize("mode", ["flip", "truncate"])
+    def test_repair_then_resume_bit_identical(self, tmp_path, capsys, mode):
+        path = tmp_path / "run.jsonl"
+        reference = record_journal(path)
+        blob = path.read_bytes()
+        if mode == "flip":
+            mutated = bytearray(blob)
+            mutated[len(blob) // 2] ^= 0x10
+            path.write_bytes(bytes(mutated))
+        else:
+            path.write_bytes(blob[: len(blob) - 9])
+
+        code, report = doctor(capsys, str(path), "--repair")
+        assert code == 0
+        assert report["healthy"] is True
+        assert report["repairs"] and report["repairs"][0]["repaired"]
+        assert report["journals"][0]["classification"] == "healthy"
+
+        with CheckpointJournal(path) as journal:
+            resumed = batched(runtime=RuntimeConfig(journal=journal))
+        assert resumed == reference
+
+    def test_repair_quarantines_not_deletes(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        record_journal(path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x10
+        path.write_bytes(bytes(blob))
+        code, report = doctor(capsys, str(path), "--repair")
+        assert code == 0
+        assert report["repairs"][0]["quarantined_lines"] >= 1
+        sidecar = report["journals"][0]["quarantine"]
+        assert sidecar["exists"] is True
+        assert sidecar["entries"] >= 1
+
+    def test_repair_upgrades_v1_to_v2(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        reference = record_journal(path)
+        lines = path.read_text().splitlines()
+        path.write_text(
+            "\n".join(line.split("|", 3)[3] for line in lines) + "\n"
+        )
+        code, report = doctor(capsys, str(path), "--repair")
+        assert code == 0
+        assert report["repairs"][0]["upgraded_from_v1"] is True
+        assert report["journals"][0]["version"] == 2
+        with CheckpointJournal(path) as journal:
+            assert not journal.readonly
+            resumed = batched(runtime=RuntimeConfig(journal=journal))
+        assert resumed == reference
+
+    def test_repair_is_idempotent(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        record_journal(path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x10
+        path.write_bytes(bytes(blob))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            code1, report1 = doctor(capsys, str(path), "--repair")
+            code2, report2 = doctor(capsys, str(path), "--repair")
+        assert code1 == code2 == 0
+        assert report1["repairs"][0]["repaired"] is True
+        assert report2["repairs"] == []  # nothing left to do

@@ -82,3 +82,18 @@ class TestManifest:
         loaded = json.loads(path.read_text())
         assert loaded["created_unix"] > 0
         assert loaded["results"][0]["probability"] == rows[0].estimate.probability
+
+    def test_write_is_atomic_no_temp_litter(self, tmp_path):
+        cells, rows = self._rows()
+        manifest = build_manifest(
+            command="campaign",
+            fingerprint=campaign_fingerprint(
+                cells, 18, 16, 8, 48.0, 100, 5, "batch", 50
+            ),
+            rows=rows,
+            counters=PerfCounters(),
+        )
+        out_dir = tmp_path / "out"
+        write_manifest(out_dir / "m.json", manifest)
+        write_manifest(out_dir / "m.json", manifest)  # overwrite in place
+        assert sorted(p.name for p in out_dir.iterdir()) == ["m.json"]

@@ -28,6 +28,7 @@ EXPECTED_TARGETS = {
     "markov-transient",
     "memory-analytic",
     "memory-mc-ber",
+    "journal-roundtrip",
 }
 
 # Trial counts tuned so the whole module stays in the seconds range:
@@ -41,6 +42,7 @@ TRIALS = {
     "markov-transient": 20,
     "memory-analytic": 8,
     "memory-mc-ber": 3,
+    "journal-roundtrip": 3,
 }
 
 
