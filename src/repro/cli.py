@@ -194,8 +194,50 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--progress",
         action="store_true",
-        help="print per-chunk heartbeats (done/total, rate, ETA) to "
-        "stderr as the campaign runs (batch engine only)",
+        help="print per-chunk heartbeats (done/total, rate, ETA) and "
+        "streaming BER±CI snapshots to stderr as the campaign runs "
+        "(batch engine only)",
+    )
+    camp.add_argument(
+        "--executor",
+        choices=("auto", "serial", "pool", "lease"),
+        default="auto",
+        help="chunk dispatch backend (batch engine only): 'serial' runs "
+        "in-process, 'pool' uses the process pool, 'lease' posts chunks "
+        "to an on-disk board next to the checkpoint journal where "
+        "long-lived workers lease them (multi-host-shaped, with "
+        "work-stealing and straggler re-dispatch); 'auto' (default) "
+        "picks serial for --workers 1, else pool — estimates are "
+        "bit-identical for every choice",
+    )
+    camp.add_argument(
+        "--stop-rel-ci",
+        type=float,
+        default=None,
+        metavar="WIDTH",
+        help="adaptive stopping: finish each cell once the relative CI "
+        "halfwidth ((hi-lo)/2 divided by the estimate) of the contiguous "
+        "chunk prefix reaches WIDTH (e.g. 0.1 = ±10%%); the stopping "
+        "point is a deterministic function of the seed, identical for "
+        "any --workers or --executor (batch engine only)",
+    )
+    camp.add_argument(
+        "--min-trials",
+        type=int,
+        default=0,
+        metavar="N",
+        help="floor for --stop-rel-ci: never stop before the cumulative "
+        "prefix holds at least N trials (guards against spuriously "
+        "tight intervals on lucky early chunks)",
+    )
+    camp.add_argument(
+        "--ci-method",
+        choices=("wilson", "jeffreys"),
+        default="wilson",
+        help="interval family for streaming snapshots and the "
+        "--stop-rel-ci rule; 'jeffreys' is preferred at extreme BER "
+        "(final estimates always also report the classic Wilson "
+        "interval)",
     )
 
     verify = sub.add_parser(
@@ -489,6 +531,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         JournalLockedError,
         RetryPolicy,
         RuntimeConfig,
+        StoppingRule,
+        StragglerPolicy,
         build_manifest,
         chaos_from_arg,
         write_manifest,
@@ -511,6 +555,39 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(
             "--progress requires --engine batch (heartbeats are emitted "
             "per chunk; the scalar engine has none)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.executor != "auto" and args.engine != "batch":
+        print(
+            "--executor requires --engine batch (the scalar engine has "
+            "no chunks to dispatch)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.stop_rel_ci is not None and args.engine != "batch":
+        print(
+            "--stop-rel-ci requires --engine batch (adaptive stopping "
+            "consumes per-chunk results)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.stop_rel_ci is not None and args.stop_rel_ci <= 0:
+        print("--stop-rel-ci must be > 0", file=sys.stderr)
+        return 2
+    if args.min_trials < 0:
+        print("--min-trials must be >= 0", file=sys.stderr)
+        return 2
+    if args.min_trials and args.stop_rel_ci is None:
+        print(
+            "--min-trials is a floor for --stop-rel-ci; pass both",
+            file=sys.stderr,
+        )
+        return 2
+    if args.ci_method != "wilson" and args.stop_rel_ci is None:
+        print(
+            "--ci-method selects the --stop-rel-ci interval family; "
+            "pass both",
             file=sys.stderr,
         )
         return 2
@@ -568,6 +645,26 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         if args.progress:
             print(f"  {format_progress(event)}", file=sys.stderr)
 
+    def on_snapshot(snap) -> None:
+        rel = (
+            ""
+            if snap.rel_halfwidth == float("inf")
+            else f" (±{100.0 * snap.rel_halfwidth:.1f}%)"
+        )
+        print(
+            f"  ber={snap.probability:.3e} "
+            f"ci=[{snap.ci_low:.3e}, {snap.ci_high:.3e}]{rel} "
+            f"n={snap.trials}",
+            file=sys.stderr,
+        )
+
+    stop = None
+    if args.stop_rel_ci is not None:
+        stop = StoppingRule(
+            rel_ci=args.stop_rel_ci,
+            min_trials=args.min_trials,
+            method=args.ci_method,
+        )
     tracker = None
     if args.engine == "batch" and (args.progress or args.trace or args.manifest):
         tracker = ProgressTracker(
@@ -578,6 +675,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         chunk_timeout=args.chunk_timeout,
         chaos=chaos,
         journal=journal,
+        executor=None if args.executor == "auto" else args.executor,
+        # The lease board is the multi-host-shaped backend, so it gets
+        # straggler speculation by default; serial/pool chunks share one
+        # machine and a slow chunk there is just a slow machine.
+        straggler=StragglerPolicy() if args.executor == "lease" else None,
+        stop=stop,
+        on_snapshot=on_snapshot if args.progress else None,
         progress=tracker,
         on_progress=on_progress if tracker is not None else None,
     )
@@ -632,9 +736,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     for row in rows:
         mark = "OK " if row.consistent else "!! "
         est = row.estimate
+        early = (
+            f" (stopped early: {est.trials}/{args.trials} trials)"
+            if est.stopped_early
+            else ""
+        )
         print(
             f"{mark}{row.cell.label():<40} model={row.model_fail_probability:.4f} "
-            f"mc={est.probability:.4f} [{est.ci_low:.4f},{est.ci_high:.4f}]"
+            f"mc={est.probability:.4f} [{est.ci_low:.4f},{est.ci_high:.4f}]{early}"
         )
     summary = campaign_summary(rows)
     print()

@@ -9,9 +9,14 @@ Public surface:
 
 * :class:`CheckpointJournal` — append-only JSONL journal of completed
   chunks; resuming replays journaled chunks for bit-identical results.
-* :class:`ChunkSupervisor` / :class:`RetryPolicy` — supervised pool
+* :class:`ChunkSupervisor` / :class:`RetryPolicy` — supervised chunk
   dispatch with per-chunk timeouts, bounded exponential-backoff
-  retries, engine fallback (batch -> scalar) and serial degradation.
+  retries, straggler re-dispatch, engine fallback (batch -> scalar)
+  and serial degradation.
+* :class:`Executor` and friends (:mod:`repro.runtime.executors`) — the
+  pluggable execution backends the coordinator drives: serial
+  in-process, ``ProcessPoolExecutor`` pool, and the multi-host-shaped
+  :class:`LeaseExecutor` board guarded by the integrity layer's lock.
 * :class:`ChaosSpec` / :func:`parse_chaos_spec` — deterministic
   crash/hang/poison/slow injection to prove the above under test.
 * :class:`RuntimeConfig` — the bundle threaded through
@@ -29,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..obs.progress import ProgressEvent, ProgressTracker
+from ..stats import BerSnapshot, StoppingRule
 from .chaos import (
     CHAOS_EXIT_CODE,
     ChaosCrashError,
@@ -57,6 +63,17 @@ from .integrity import (
     repair_journal,
     scan_journal,
 )
+from .executors import (
+    EXECUTOR_NAMES,
+    ChunkState,
+    Completion,
+    Executor,
+    LeaseExecutor,
+    PoolExecutor,
+    SerialExecutor,
+    StragglerPolicy,
+    make_executor,
+)
 from .manifest import build_manifest, git_describe, write_manifest
 from .supervisor import (
     CHUNK_LATENCY_METRIC,
@@ -81,6 +98,18 @@ class RuntimeConfig:
     chunk_timeout: Optional[float] = None
     chaos: Optional[ChaosSpec] = None
     journal: Optional[CheckpointJournal] = None
+
+    #: Executor backend name (``serial`` | ``pool`` | ``lease``); ``None``
+    #: selects the historical default (serial for one worker, else pool).
+    executor: Optional[str] = None
+    #: Straggler re-dispatch policy (``None`` disables speculation).
+    straggler: Optional[StragglerPolicy] = None
+    #: Adaptive early-stopping rule (``--stop-rel-ci``); ``None`` runs the
+    #: full trial budget.
+    stop: Optional[StoppingRule] = None
+    #: Called with each incremental :class:`~repro.stats.BerSnapshot` as
+    #: chunks land (the CLI's streaming BER±CI renderer).
+    on_snapshot: Optional[Callable[[BerSnapshot], None]] = None
 
     #: Campaign-wide progress tracker; chunk completions (including
     #: journal-resumed replays) advance it and emit heartbeat events.
@@ -119,6 +148,17 @@ __all__ = [
     "build_manifest",
     "git_describe",
     "write_manifest",
+    "EXECUTOR_NAMES",
+    "ChunkState",
+    "Completion",
+    "Executor",
+    "LeaseExecutor",
+    "PoolExecutor",
+    "SerialExecutor",
+    "StragglerPolicy",
+    "make_executor",
+    "BerSnapshot",
+    "StoppingRule",
     "CHUNK_LATENCY_METRIC",
     "ChunkFailedError",
     "ChunkSupervisor",

@@ -72,6 +72,7 @@ def build_manifest(
                 "ci_low": est.ci_low,
                 "ci_high": est.ci_high,
                 "outcome_counts": est.outcome_counts,
+                "stopped_early": getattr(est, "stopped_early", False),
                 "consistent": row.consistent,
             }
         )

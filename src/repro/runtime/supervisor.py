@@ -1,50 +1,73 @@
-"""Worker supervision for the chunked Monte-Carlo engine.
+"""Coordinator for supervised chunk execution over pluggable executors.
 
 ``multiprocessing.Pool.map`` — the original PR-1 dispatch — deadlocks if
 a worker is OOM-killed mid-chunk and aborts the whole campaign on any
 chunk exception.  :class:`ChunkSupervisor` replaces it with a supervised
-dispatch loop built on ``concurrent.futures.ProcessPoolExecutor``:
+dispatch loop, now split from the execution backend: the coordinator
+owns retry/backoff/timeout/speculation *policy* and speaks the small
+:class:`~repro.runtime.executors.Executor` interface (serial in-process,
+``ProcessPoolExecutor`` pool, or the journal-adjacent lease board) for
+*mechanism*.
 
-* **crash detection** — a dead worker breaks the pool promptly
-  (``BrokenProcessPool``); the supervisor rebuilds the pool, re-queues
-  the chunks that were in flight, and charges a retry only to chunks
-  whose future actually failed.
+* **crash detection** — an executor reports a dead worker as a
+  ``broken`` completion; the coordinator charges a retry to the chunk
+  that died and — for non-self-healing backends like the pool — tears
+  the backend down, requeueing in-flight chunks unpenalized.
 * **hang detection** — each in-flight chunk carries a deadline
-  (``chunk_timeout``); an expired deadline terminates the stuck pool,
-  kills its processes, and retries the offending chunk.  Chunks that
-  merely shared the pool are re-queued without penalty.
+  (``chunk_timeout``); an expired deadline charges the chunk and asks
+  the executor to :meth:`~repro.runtime.executors.Executor.abandon`
+  just that submission (lease: kill one worker), falling back to a full
+  backend restart when it cannot (pool: workers are not individually
+  evictable).
 * **bounded retries with exponential backoff** — each chunk gets
   ``RetryPolicy.max_attempts`` tries on the primary executor, separated
   by ``base_delay * growth**n`` (capped at ``max_delay``).  Backoff is
-  tracked per chunk via a not-before timestamp, so one flapping chunk
-  never stalls the rest of the queue.
+  per-chunk state (:class:`~repro.runtime.executors.ChunkState`), so
+  one flapping chunk never stalls the rest of the queue.
+* **straggler re-dispatch** — with a :class:`StragglerPolicy`, a chunk
+  whose in-flight age exceeds the p95 completion latency is
+  speculatively re-issued; the first result wins, later copies are
+  dropped by chunk id (one journal append, one latency observation —
+  double completion is bit-identical and counted once).
+* **adaptive stopping** — ``run(..., should_stop=...)`` consults the
+  callback after every completion and abandons the remaining queue once
+  it fires; the stopping *decision* itself lives in
+  :mod:`repro.stats.streaming`, where it is defined on the contiguous
+  chunk prefix so it cannot depend on scheduling.
 * **graceful degradation** — a chunk that exhausts its attempts falls
-  back to the (slower, simpler) ``fallback`` executor in-process; a pool
-  that keeps dying (``max_pool_restarts``) degrades the remaining work
-  to serial in-process execution.  Both paths emit a
-  :class:`ResilienceWarning` and count into :class:`~repro.perf.PerfCounters`,
-  so a degraded campaign is loud, but it *completes*.
+  back to the (slower, simpler) ``fallback`` executor in-process; a
+  backend that keeps dying (``max_pool_restarts``) degrades the
+  remaining work to serial in-process execution.  Both paths emit a
+  :class:`ResilienceWarning` and count into
+  :class:`~repro.perf.PerfCounters`, so a degraded campaign is loud,
+  but it *completes*.
 
 Because chunk RNG streams are spawned ``SeedSequence`` children and
-aggregation is commutative, retries and re-dispatch cannot change the
-estimate: any schedule that completes yields bit-identical results.
+aggregation is commutative, retries, speculation, and re-dispatch cannot
+change the estimate: any schedule that completes yields bit-identical
+results.
 """
 
 from __future__ import annotations
 
-import concurrent.futures as cf
+import math
 import time
 import warnings
-from collections import defaultdict
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..obs import metrics as obs_metrics
 from ..obs import trace
 from ..obs.progress import ProgressEvent, ProgressTracker
 from ..perf import PerfCounters
 from .chaos import ChaosSpec
+from .executors import (
+    ChunkState,
+    Executor,
+    StragglerPolicy,
+    _supervised_call,  # noqa: F401  (re-exported: historical import site)
+    make_executor,
+)
 
 #: Metrics-registry name of the per-chunk completion-latency histogram
 #: (coordinator-observed: submit/start to completion, queueing included).
@@ -81,27 +104,25 @@ class SupervisorEvent:
     """One recorded resilience event (for summaries and manifests)."""
 
     kind: str  # retry | timeout | crash | pool_restart | engine_fallback
-    #         | serial_degrade | chunk_failed
+    #         | serial_degrade | chunk_failed | straggler_redispatch
+    #         | duplicate_drop | copy_failed | early_stop
     chunk: int
     attempt: int
     detail: str
 
 
-def _supervised_call(payload: tuple) -> Dict[str, Any]:
-    """Worker entry point: apply chaos injection, then run the executor.
+@dataclass
+class _Dispatch:
+    """One live submission to an executor (a chunk may have several)."""
 
-    Module-level so it pickles; runs in worker processes (pooled mode)
-    or the parent (serial mode) — :meth:`ChaosSpec.before_chunk` adapts
-    crash/hang semantics to whichever side it is on.
-    """
-    fn, chunk_index, attempt, chaos, args = payload
-    if chaos is not None:
-        chaos.before_chunk(chunk_index, attempt)
-    return fn(args)
+    index: int
+    deadline: float
+    t_submit: float
+    speculative: bool = False
 
 
 class ChunkSupervisor:
-    """Supervised dispatch of Monte-Carlo chunks over a process pool."""
+    """Supervised dispatch of Monte-Carlo chunks over a pluggable executor."""
 
     #: Poll granularity of the dispatch loop, seconds.
     TICK = 0.2
@@ -115,6 +136,9 @@ class ChunkSupervisor:
         counters: Optional[PerfCounters] = None,
         progress: Optional[ProgressTracker] = None,
         on_progress: Optional[Callable[[ProgressEvent], None]] = None,
+        executor: Union[Executor, str, None] = None,
+        straggler: Optional[StragglerPolicy] = None,
+        board_dir=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -127,6 +151,9 @@ class ChunkSupervisor:
         self.counters = counters if counters is not None else PerfCounters()
         self.progress = progress
         self.on_progress = on_progress
+        self.executor = executor
+        self.straggler = straggler
+        self.board_dir = board_dir
         self.events: List[SupervisorEvent] = []
 
     # -- event plumbing ----------------------------------------------------
@@ -142,10 +169,14 @@ class ChunkSupervisor:
     ) -> None:
         """One chunk finished: histogram its latency, emit the heartbeat.
 
-        The heartbeat is a trace event (``chunk_heartbeat``) carrying the
-        chunk latency plus — when a :class:`ProgressTracker` is attached —
-        the done/total/rate/ETA snapshot, and it also reaches the
-        ``on_progress`` callback (the CLI's ``--progress`` renderer).
+        Called exactly once per chunk index — duplicate completions from
+        straggler speculation are dropped *before* this point, so the
+        latency histogram counts each chunk once no matter how many
+        copies ran.  The heartbeat is a trace event (``chunk_heartbeat``)
+        carrying the chunk latency plus — when a :class:`ProgressTracker`
+        is attached — the done/total/rate/ETA snapshot, and it also
+        reaches the ``on_progress`` callback (the CLI's ``--progress``
+        renderer).
         """
         obs_metrics.get_registry().histogram(CHUNK_LATENCY_METRIC).observe(
             latency_s
@@ -178,22 +209,42 @@ class ChunkSupervisor:
         primary: Callable[[tuple], Dict[str, Any]],
         fallback: Optional[Callable[[tuple], Dict[str, Any]]] = None,
         on_complete: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> Dict[int, Dict[str, Any]]:
-        """Run every ``(chunk_index, args)`` job to completion.
+        """Run ``(chunk_index, args)`` jobs to completion (or early stop).
 
         ``primary`` is the fast batch executor; ``fallback`` (optional)
         is the degraded per-chunk engine used once a chunk exhausts its
         primary attempts.  ``on_complete(index, result)`` fires the
-        moment each chunk finishes (in completion order) — the journal
-        hook.  Returns ``{chunk_index: result}`` for all jobs.
+        moment each chunk first finishes (in completion order, once per
+        index) — the journal hook.  ``should_stop`` (optional) is
+        consulted after every completion; once true, queued work is
+        abandoned and the results so far are returned.  Returns
+        ``{chunk_index: result}``.
         """
         if not jobs:
             return {}
-        if self.workers == 1 or len(jobs) == 1:
-            return self._run_serial(jobs, primary, fallback, on_complete)
-        return self._run_pooled(jobs, primary, fallback, on_complete)
+        executor = self._resolve_executor(len(jobs))
+        try:
+            return self._run_coordinated(
+                executor, jobs, primary, fallback, on_complete, should_stop
+            )
+        finally:
+            executor.close()
 
-    # -- serial path -------------------------------------------------------
+    def _resolve_executor(self, n_jobs: int) -> Executor:
+        spec = self.executor
+        if spec is None:
+            spec = "serial" if (self.workers == 1 or n_jobs == 1) else "pool"
+        if isinstance(spec, str):
+            return make_executor(
+                spec,
+                workers=min(self.workers, n_jobs),
+                board_dir=self.board_dir,
+            )
+        return spec
+
+    # -- in-process paths (fallback + degraded-serial drain) ---------------
 
     def _run_one_serial(
         self,
@@ -217,23 +268,6 @@ class ChunkSupervisor:
                 else:
                     self._event("chunk_failed", index, attempt, repr(exc))
         return self._run_fallback(index, args, fallback)
-
-    def _run_serial(
-        self,
-        jobs: Sequence[Tuple[int, tuple]],
-        primary: Callable,
-        fallback: Optional[Callable],
-        on_complete: Optional[Callable],
-    ) -> Dict[int, Dict[str, Any]]:
-        results: Dict[int, Dict[str, Any]] = {}
-        for index, args in jobs:
-            t0 = time.perf_counter()
-            result = self._run_one_serial(index, args, primary, fallback)
-            results[index] = result
-            if on_complete is not None:
-                on_complete(index, result)
-            self._heartbeat(index, result, time.perf_counter() - t0)
-        return results
 
     def _run_fallback(
         self, index: int, args: tuple, fallback: Optional[Callable]
@@ -262,212 +296,280 @@ class ChunkSupervisor:
                 f"chunk {index} failed on the fallback engine too: {exc!r}"
             ) from exc
 
-    # -- pooled path -------------------------------------------------------
+    # -- coordinator loop --------------------------------------------------
 
-    def _new_pool(self, n_jobs: int) -> cf.ProcessPoolExecutor:
-        return cf.ProcessPoolExecutor(max_workers=min(self.workers, n_jobs))
-
-    @staticmethod
-    def _kill_pool(executor: cf.ProcessPoolExecutor) -> None:
-        """Tear a pool down hard, including hung worker processes."""
-        try:
-            processes = list(getattr(executor, "_processes", {}).values())
-        except Exception:  # pragma: no cover - interpreter internals moved
-            processes = []
-        for proc in processes:
-            try:
-                proc.terminate()
-            except Exception:  # pragma: no cover - already dead
-                pass
-        try:
-            executor.shutdown(wait=False, cancel_futures=True)
-        except TypeError:  # pragma: no cover - cancel_futures needs 3.9
-            executor.shutdown(wait=False)
-
-    def _run_pooled(
+    def _run_coordinated(
         self,
+        executor: Executor,
         jobs: Sequence[Tuple[int, tuple]],
         primary: Callable,
         fallback: Optional[Callable],
         on_complete: Optional[Callable],
+        should_stop: Optional[Callable[[], bool]],
     ) -> Dict[int, Dict[str, Any]]:
         retry = self.retry
         results: Dict[int, Dict[str, Any]] = {}
-        failures: Dict[int, int] = defaultdict(int)
-        # queue entries: (chunk_index, args, not_before_monotonic)
-        queue: List[Tuple[int, tuple, float]] = [(i, a, 0.0) for i, a in jobs]
-        fallback_jobs: List[Tuple[int, tuple]] = []
+        states: Dict[int, ChunkState] = {
+            index: ChunkState(index=index, args=args) for index, args in jobs
+        }
+        queue: List[int] = [index for index, _ in jobs]
+        fallback_jobs: List[int] = []
+        dispatches: Dict[int, _Dispatch] = {}  # token -> live submission
+        latencies: List[float] = []
         pool_restarts = 0
         degraded_serial = False
-        executor = self._new_pool(len(jobs))
-        # inflight entries: (chunk_index, args, deadline, submit_time)
-        inflight: Dict[cf.Future, Tuple[int, tuple, float, float]] = {}
+        stopping = False
 
-        def charge_failure(index: int, args: tuple, attempt: int, why: str) -> None:
+        def live_copies(index: int) -> int:
+            return sum(1 for d in dispatches.values() if d.index == index)
+
+        def charge_failure(index: int, attempt: int, why: str) -> None:
             """One failed attempt: schedule a retry or route to fallback."""
-            failures[index] += 1
+            state = states[index]
+            state.failures += 1
+            state.speculations = 0  # new attempt wave speculates afresh
             self.counters.chunk_failures += 1
-            if failures[index] < retry.max_attempts:
+            if state.failures < retry.max_attempts:
                 self.counters.retries += 1
                 self._event("retry", index, attempt, why)
-                queue.append(
-                    (index, args, time.monotonic() + retry.delay(failures[index]))
-                )
+                state.not_before = time.monotonic() + retry.delay(state.failures)
+                queue.append(index)
             else:
                 self._event("chunk_failed", index, attempt, why)
-                fallback_jobs.append((index, args))
+                fallback_jobs.append(index)
 
-        def finish(
-            index: int, result: Dict[str, Any], latency_s: float
-        ) -> None:
+        def finish(index: int, result: Dict[str, Any], latency_s: float) -> None:
+            nonlocal stopping
             results[index] = result
+            latencies.append(latency_s)
             if on_complete is not None:
                 on_complete(index, result)
             self._heartbeat(index, result, latency_s)
+            if should_stop is not None and should_stop():
+                stopping = True
+                self._event(
+                    "early_stop", index, states[index].failures,
+                    "stopping rule satisfied; abandoning queued chunks",
+                )
 
         def finish_timed(index: int, run: Callable[[], Dict[str, Any]]) -> None:
             t0 = time.perf_counter()
             result = run()
             finish(index, result, time.perf_counter() - t0)
 
-        try:
-            while queue or inflight or fallback_jobs:
-                if degraded_serial:
-                    # Pool is gone for good: drain everything in-process.
-                    for index, args, _nb in queue:
-                        finish_timed(
-                            index,
-                            lambda index=index, args=args: self._run_one_serial(
-                                index, args, primary, fallback, failures[index]
-                            ),
-                        )
-                    queue.clear()
-                    for index, args in fallback_jobs:
-                        finish_timed(
-                            index,
-                            lambda index=index, args=args: self._run_fallback(
-                                index, args, fallback
-                            ),
-                        )
-                    fallback_jobs.clear()
-                    continue
+        def dispatch(state: ChunkState, speculative: bool) -> None:
+            payload = (primary, state.index, state.failures, self.chaos, state.args)
+            token = executor.submit(payload)
+            deadline = (
+                time.monotonic() + self.chunk_timeout
+                if self.chunk_timeout is not None
+                else math.inf
+            )
+            dispatches[token] = _Dispatch(
+                index=state.index,
+                deadline=deadline,
+                t_submit=time.perf_counter(),
+                speculative=speculative,
+            )
 
-                # Fallback chunks run in-process immediately (the batch
-                # engine already proved unreliable for them).
-                for index, args in fallback_jobs:
+        while (queue or dispatches or fallback_jobs) and not stopping:
+            if degraded_serial:
+                # Backend is gone for good: drain everything in-process.
+                while queue and not stopping:
+                    index = queue.pop(0)
                     finish_timed(
                         index,
-                        lambda index=index, args=args: self._run_fallback(
-                            index, args, fallback
+                        lambda index=index: self._run_one_serial(
+                            index, states[index].args, primary, fallback,
+                            states[index].failures,
                         ),
                     )
-                fallback_jobs.clear()
-
-                now = time.monotonic()
-                ready = [job for job in queue if job[2] <= now]
-                for job in ready:
-                    if len(inflight) >= self.workers:
-                        break
-                    index, args, _nb = job
-                    queue.remove(job)
-                    future = executor.submit(
-                        _supervised_call,
-                        (primary, index, failures[index], self.chaos, args),
-                    )
-                    deadline = (
-                        now + self.chunk_timeout
-                        if self.chunk_timeout is not None
-                        else float("inf")
-                    )
-                    inflight[future] = (index, args, deadline, time.perf_counter())
-
-                if not inflight:
-                    if queue:
-                        # Everything queued is backing off; sleep to the
-                        # earliest not-before point.
-                        time.sleep(
-                            max(
-                                0.0,
-                                min(nb for _i, _a, nb in queue)
-                                - time.monotonic(),
-                            )
-                        )
-                    continue
-
-                done, _ = cf.wait(
-                    set(inflight),
-                    timeout=self.TICK,
-                    return_when=cf.FIRST_COMPLETED,
-                )
-                pool_broken = False
-                for future in done:
-                    index, args, _deadline, t_submit = inflight.pop(future)
-                    attempt = failures[index]
-                    try:
-                        result = future.result()
-                    except BrokenProcessPool:
-                        pool_broken = True
-                        self.counters.worker_crashes += 1
-                        self._event("crash", index, attempt, "worker process died")
-                        charge_failure(index, args, attempt, "worker crash")
-                    except Exception as exc:  # noqa: BLE001 - chunk boundary
-                        charge_failure(index, args, attempt, repr(exc))
-                    else:
-                        finish(index, result, time.perf_counter() - t_submit)
-
-                # Hang detection: any in-flight chunk past its deadline
-                # condemns the pool (we cannot evict a single worker).
-                now = time.monotonic()
-                expired = [
-                    future
-                    for future, (_i, _a, deadline, _ts) in inflight.items()
-                    if now >= deadline
-                ]
-                for future in expired:
-                    index, args, _deadline, _t_submit = inflight.pop(future)
-                    attempt = failures[index]
-                    self.counters.chunk_timeouts += 1
-                    self._event(
-                        "timeout",
+                while fallback_jobs and not stopping:
+                    index = fallback_jobs.pop(0)
+                    finish_timed(
                         index,
-                        attempt,
-                        f"chunk exceeded {self.chunk_timeout:g}s",
+                        lambda index=index: self._run_fallback(
+                            index, states[index].args, fallback
+                        ),
                     )
-                    charge_failure(index, args, attempt, "chunk timeout")
-                    pool_broken = True
+                continue
 
-                if pool_broken:
-                    # Innocent bystanders go back to the queue unpenalized.
-                    for future, (index, args, _deadline, _ts) in inflight.items():
-                        queue.append((index, args, 0.0))
-                    inflight.clear()
-                    self._kill_pool(executor)
-                    pool_restarts += 1
-                    self.counters.pool_restarts += 1
+            # Fallback chunks run in-process immediately (the batch
+            # engine already proved unreliable for them).
+            while fallback_jobs and not stopping:
+                index = fallback_jobs.pop(0)
+                finish_timed(
+                    index,
+                    lambda index=index: self._run_fallback(
+                        index, states[index].args, fallback
+                    ),
+                )
+            if stopping:
+                break
+
+            now = time.monotonic()
+            for index in [i for i in queue if states[i].not_before <= now]:
+                if len(dispatches) >= executor.capacity:
+                    break
+                queue.remove(index)
+                dispatch(states[index], speculative=False)
+
+            self._maybe_speculate(executor, dispatches, states, results,
+                                  latencies, live_copies, dispatch)
+
+            if not dispatches:
+                if queue:
+                    # Everything queued is backing off; sleep to the
+                    # earliest not-before point.
+                    time.sleep(
+                        max(
+                            0.0,
+                            min(states[i].not_before for i in queue)
+                            - time.monotonic(),
+                        )
+                    )
+                continue
+
+            backend_broken = False
+            for comp in executor.poll(self.TICK):
+                disp = dispatches.pop(comp.token, None)
+                if disp is None:
+                    continue  # stale token from a pre-restart submission
+                index = disp.index
+                state = states[index]
+                if index in results:
+                    # First result won already: drop the late copy whole
+                    # (no journal append, no heartbeat, no histogram).
+                    self.counters.duplicate_results += 1
                     self._event(
-                        "pool_restart",
+                        "duplicate_drop", index, state.failures,
+                        "late straggler copy discarded (first result wins)",
+                    )
+                    continue
+                if comp.broken:
+                    self.counters.worker_crashes += 1
+                    self._event("crash", index, state.failures,
+                                "worker process died")
+                    if not executor.self_healing:
+                        backend_broken = True
+                    if live_copies(index) == 0:
+                        charge_failure(index, state.failures, "worker crash")
+                elif comp.error is not None:
+                    if live_copies(index) == 0:
+                        charge_failure(index, state.failures, comp.error)
+                    else:
+                        # A speculative twin is still running; don't
+                        # penalize the chunk while it may yet succeed.
+                        self._event("copy_failed", index, state.failures,
+                                    comp.error)
+                else:
+                    finish(index, comp.result,
+                           time.perf_counter() - disp.t_submit)
+                    if stopping:
+                        break
+            if stopping:
+                break
+
+            # Hang detection: charge expired chunks; evict just the
+            # offending submission where the backend supports it,
+            # otherwise condemn the whole backend.
+            now = time.monotonic()
+            for token in [t for t, d in dispatches.items()
+                          if now >= d.deadline]:
+                disp = dispatches.pop(token)
+                index = disp.index
+                evicted = executor.abandon(token)
+                if index in results:
+                    continue  # timed-out copy of an already-finished chunk
+                state = states[index]
+                self.counters.chunk_timeouts += 1
+                self._event(
+                    "timeout", index, state.failures,
+                    f"chunk exceeded {self.chunk_timeout:g}s",
+                )
+                if live_copies(index) == 0:
+                    charge_failure(index, state.failures, "chunk timeout")
+                if not evicted:
+                    backend_broken = True
+
+            if backend_broken:
+                # Innocent bystanders go back to the queue unpenalized.
+                for token in executor.restart():
+                    disp = dispatches.pop(token, None)
+                    if disp is None:
+                        continue
+                    if (
+                        disp.index not in results
+                        and live_copies(disp.index) == 0
+                        and disp.index not in queue
+                        and disp.index not in fallback_jobs
+                    ):
+                        states[disp.index].not_before = 0.0
+                        queue.append(disp.index)
+                dispatches.clear()
+                pool_restarts += 1
+                self.counters.pool_restarts += 1
+                self._event(
+                    "pool_restart",
+                    -1,
+                    pool_restarts,
+                    f"restart {pool_restarts}/{retry.max_pool_restarts}",
+                )
+                if pool_restarts >= retry.max_pool_restarts and (
+                    queue or fallback_jobs
+                ):
+                    degraded_serial = True
+                    self.counters.serial_fallbacks += 1
+                    self._event(
+                        "serial_degrade",
                         -1,
                         pool_restarts,
-                        f"restart {pool_restarts}/{retry.max_pool_restarts}",
+                        "pool keeps dying; finishing serially in-process",
                     )
-                    if pool_restarts >= retry.max_pool_restarts and (
-                        queue or fallback_jobs
-                    ):
-                        degraded_serial = True
-                        self.counters.serial_fallbacks += 1
-                        self._event(
-                            "serial_degrade",
-                            -1,
-                            pool_restarts,
-                            "pool keeps dying; finishing serially in-process",
-                        )
-                        self._warn(
-                            f"worker pool died {pool_restarts} times; "
-                            "degrading the remaining chunks to serial "
-                            "in-process execution"
-                        )
-                    else:
-                        executor = self._new_pool(max(1, len(queue)))
-        finally:
-            self._kill_pool(executor)
+                    self._warn(
+                        f"worker pool died {pool_restarts} times; "
+                        "degrading the remaining chunks to serial "
+                        "in-process execution"
+                    )
         return results
+
+    def _maybe_speculate(
+        self,
+        executor: Executor,
+        dispatches: Dict[int, _Dispatch],
+        states: Dict[int, ChunkState],
+        results: Dict[int, Dict[str, Any]],
+        latencies: List[float],
+        live_copies: Callable[[int], int],
+        dispatch: Callable[[ChunkState, bool], None],
+    ) -> None:
+        """Re-issue straggling in-flight chunks (first result wins)."""
+        policy = self.straggler
+        if policy is None or executor.capacity <= 1:
+            return
+        threshold = policy.threshold(latencies)
+        if threshold is None:
+            return
+        now_pc = time.perf_counter()
+        for disp in list(dispatches.values()):
+            if len(dispatches) >= executor.capacity:
+                return
+            state = states[disp.index]
+            if (
+                disp.speculative
+                or disp.index in results
+                or now_pc - disp.t_submit < threshold
+                or state.speculations >= policy.max_copies - 1
+                or live_copies(disp.index) >= policy.max_copies
+            ):
+                continue
+            state.speculations += 1
+            self.counters.stragglers_redispatched += 1
+            self._event(
+                "straggler_redispatch",
+                state.index,
+                state.failures,
+                f"in-flight {now_pc - disp.t_submit:.2f}s > "
+                f"p95 threshold {threshold:.2f}s; issuing second copy",
+            )
+            dispatch(state, True)

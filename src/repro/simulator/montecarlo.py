@@ -27,15 +27,19 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..memory.base import FAIL, MemoryMarkovModel
+from ..obs import metrics as obs_metrics
 from ..obs import trace
 from ..perf import PerfCounters, Stopwatch
 from ..rs import BatchRSCodec, RSCode, RSDecodingError
 from ..runtime import ChunkSupervisor, RuntimeConfig, seed_key
+from ..stats import AdaptiveStopper, BerSnapshot, StreamingEstimator
+from ..stats.intervals import wilson_interval  # noqa: F401  (moved; re-exported)
 from .arbiter import decide_from_decodes, recover_erasures
 from .faults import (
     FaultEvent,
@@ -58,25 +62,13 @@ class FailureEstimate:
     ci_low: float
     ci_high: float
     outcome_counts: Optional[Dict[str, int]] = None
+    #: True when an adaptive stopping rule ended the run before the full
+    #: trial budget; ``trials`` then counts only the chunks actually used.
+    stopped_early: bool = False
 
     def consistent_with(self, p: float) -> bool:
         """True if ``p`` lies inside the 95% confidence interval."""
         return self.ci_low <= p <= self.ci_high
-
-
-def wilson_interval(failures: int, trials: int, z: float = 1.96) -> tuple[float, float]:
-    """95% (by default) Wilson score interval for a binomial proportion."""
-    if trials <= 0:
-        raise ValueError("trials must be positive")
-    p_hat = failures / trials
-    denom = 1.0 + z * z / trials
-    centre = (p_hat + z * z / (2 * trials)) / denom
-    half = (
-        z
-        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
-        / denom
-    )
-    return max(0.0, centre - half), min(1.0, centre + half)
 
 
 # --------------------------------------------------------------------------
@@ -591,6 +583,22 @@ def _run_scalar_chunk(args: tuple) -> Dict[str, object]:
     }
 
 
+def _publish_ber_snapshot(snapshot: BerSnapshot, cell_key: str) -> None:
+    """Mirror an incremental BER±CI snapshot into the obs layer.
+
+    Gauges carry the latest aggregate (last-value semantics match a
+    streaming estimate); the trace event stream keeps the full history
+    for post-hoc convergence plots.
+    """
+    registry = obs_metrics.get_registry()
+    registry.gauge("repro.mc.ber").set(snapshot.probability)
+    registry.gauge("repro.mc.ber_ci_low").set(snapshot.ci_low)
+    registry.gauge("repro.mc.ber_ci_high").set(snapshot.ci_high)
+    if not math.isinf(snapshot.rel_halfwidth):
+        registry.gauge("repro.mc.ber_rel_halfwidth").set(snapshot.rel_halfwidth)
+    trace.event("ber_snapshot", cell=cell_key, **snapshot.as_dict())
+
+
 def simulate_fail_probability_batched(
     arrangement: str,
     code: RSCode,
@@ -633,6 +641,18 @@ def simulate_fail_probability_batched(
     chunks are replayed instead of recomputed, which — by the
     commutative-sum property above — makes an interrupted-and-resumed
     run bit-identical to an uninterrupted one.
+
+    ``runtime.executor`` selects the dispatch backend (serial, pool, or
+    the journal-adjacent lease board) and ``runtime.straggler`` enables
+    speculative re-dispatch — neither can affect the estimate.  Every
+    completion streams an incremental BER±CI snapshot into the obs
+    layer (and ``runtime.on_snapshot``); ``runtime.stop`` adds the
+    adaptive stopping rule: the run ends at the smallest contiguous
+    chunk prefix whose cumulative interval satisfies the rule, and the
+    estimate aggregates exactly that prefix — so early-stopped results
+    are also invariant to executor, worker count, and schedule
+    (``stopped_early`` marks them, with ``trials`` reduced to the
+    prefix).
     """
     if arrangement not in ("simplex", "duplex"):
         raise ValueError(f"unknown arrangement {arrangement!r}")
@@ -667,6 +687,26 @@ def simulate_fail_probability_batched(
     own_counters = counters if counters is not None else PerfCounters()
     seed_ids = [seed_key(s) for s in seeds]
 
+    # Streaming aggregation: every completion (journal replays included)
+    # folds into an incremental BER±CI snapshot for the obs layer, and —
+    # when a stopping rule is configured — into the contiguous-prefix
+    # stopper whose decision is invariant to scheduling.
+    ci_method = cfg.stop.method if cfg.stop is not None else "wilson"
+    ci_confidence = cfg.stop.confidence if cfg.stop is not None else 0.95
+    streamer = StreamingEstimator(method=ci_method, confidence=ci_confidence)
+    stopper = AdaptiveStopper(cfg.stop) if cfg.stop is not None else None
+
+    def observe(index: int, result: Dict[str, object]) -> None:
+        chunk_failures = int(result["failures"])  # type: ignore[arg-type]
+        chunk_trials = int(result["trials"])  # type: ignore[arg-type]
+        snapshot = streamer.offer(index, chunk_failures, chunk_trials)
+        if snapshot is not None:
+            _publish_ber_snapshot(snapshot, cell_key)
+            if cfg.on_snapshot is not None:
+                cfg.on_snapshot(snapshot)
+        if stopper is not None:
+            stopper.offer(index, chunk_failures, chunk_trials)
+
     results: Dict[int, Dict[str, object]] = {}
     jobs: List[Tuple[int, tuple]] = []
     for index, args in enumerate(job_args):
@@ -678,6 +718,7 @@ def simulate_fail_probability_batched(
         if cached is not None:
             results[index] = cached
             own_counters.chunks_resumed += 1
+            observe(index, cached)
             # Replayed chunks are finished work too: advance the
             # progress estimate and leave a heartbeat in the trace.
             resumed_trials = int(cached.get("trials", 0))  # type: ignore[union-attr]
@@ -694,6 +735,10 @@ def simulate_fail_probability_batched(
             trace.event("chunk_heartbeat", **heartbeat_attrs)
         else:
             jobs.append((index, args))
+    if stopper is not None and stopper.should_stop:
+        # Resumed chunks alone satisfied the rule on a complete prefix;
+        # everything past the stop index is unnecessary work.
+        jobs = []
 
     with trace.span(
         "simulate_fail_probability_batched",
@@ -706,6 +751,11 @@ def simulate_fail_probability_batched(
         cell_key=cell_key,
     ), Stopwatch(own_counters):
         if jobs:
+            board_dir = (
+                Path(str(journal.path) + ".board")
+                if (cfg.executor == "lease" and journal is not None)
+                else None
+            )
             supervisor = ChunkSupervisor(
                 workers=workers,
                 retry=cfg.retry,
@@ -714,11 +764,15 @@ def simulate_fail_probability_batched(
                 counters=own_counters,
                 progress=cfg.progress,
                 on_progress=cfg.on_progress,
+                executor=cfg.executor,
+                straggler=cfg.straggler,
+                board_dir=board_dir,
             )
 
             def record(index: int, result: Dict[str, object]) -> None:
                 if journal is not None:
                     journal.record_chunk(cell_key, index, seed_ids[index], result)
+                observe(index, result)
 
             results.update(
                 supervisor.run(
@@ -726,13 +780,35 @@ def simulate_fail_probability_batched(
                     primary=_run_injection_chunk,
                     fallback=_run_scalar_chunk,
                     on_complete=record,
+                    should_stop=(
+                        None
+                        if stopper is None
+                        else lambda: stopper.should_stop
+                    ),
                 )
             )
             cfg.events.extend(supervisor.events)
 
+    stop_index = stopper.stop_index if stopper is not None else None
+    if stop_index is not None:
+        # The estimate uses exactly the contiguous prefix 0..stop_index —
+        # a pure function of the chunk results, so it is identical for
+        # any executor, worker count, or completion schedule.  Chunks
+        # that completed opportunistically past the stop index are
+        # discarded (their journal records stay valid for a full run).
+        used_indices = [i for i in sorted(results) if i <= stop_index]
+        if len(used_indices) != stop_index + 1:
+            raise RuntimeError(
+                f"internal error: stopped prefix incomplete "
+                f"({len(used_indices)} of {stop_index + 1} chunks present)"
+            )
+        trials_used = sum(sizes[i] for i in used_indices)
+    else:
+        used_indices = sorted(results)
+        trials_used = trials
     counts: Dict[str, int] = {outcome.value: 0 for outcome in ReadOutcome}
     failures = 0
-    for index in sorted(results):
+    for index in used_indices:
         res = results[index]
         failures += res["failures"]
         for key, value in res["counts"].items():
@@ -740,9 +816,15 @@ def simulate_fail_probability_batched(
         own_counters.merge(
             PerfCounters.from_dict(res["counters"])  # type: ignore[arg-type]
         )
-    low, high = wilson_interval(failures, trials)
+    low, high = wilson_interval(failures, trials_used)
     return FailureEstimate(
-        failures / trials, trials, failures, low, high, outcome_counts=counts
+        failures / trials_used,
+        trials_used,
+        failures,
+        low,
+        high,
+        outcome_counts=counts,
+        stopped_early=trials_used < trials,
     )
 
 

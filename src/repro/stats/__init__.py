@@ -1,0 +1,49 @@
+"""Statistical machinery for streaming Monte-Carlo estimation.
+
+The paper's BER/MTTF figures are binomial proportions estimated at
+extreme scales (failure probabilities down to ~1e-12), so this package
+provides interval math that stays exact in that regime:
+
+* :mod:`repro.stats.intervals` — Wilson score and Jeffreys (Beta
+  posterior) binomial confidence intervals, computed with log-domain
+  special functions so tiny proportions never underflow, plus the
+  relative-halfwidth measure the adaptive stopping rule is defined on.
+* :mod:`repro.stats.streaming` — commutative incremental aggregation of
+  chunk results into BER±CI snapshots (:class:`StreamingEstimator`) and
+  the worker-count-invariant early-stopping decision procedure
+  (:class:`StoppingRule` / :class:`AdaptiveStopper`).
+
+Everything here is pure Python + ``math`` — no scipy dependency — so the
+interval math is portable into worker processes and the verify layer can
+cross-check it against independent implementations.
+"""
+
+from .intervals import (
+    jeffreys_interval,
+    binomial_interval,
+    regularized_incomplete_beta,
+    regularized_incomplete_beta_inv,
+    relative_halfwidth,
+    wilson_interval,
+    z_for_confidence,
+)
+from .streaming import (
+    AdaptiveStopper,
+    BerSnapshot,
+    StoppingRule,
+    StreamingEstimator,
+)
+
+__all__ = [
+    "jeffreys_interval",
+    "binomial_interval",
+    "regularized_incomplete_beta",
+    "regularized_incomplete_beta_inv",
+    "relative_halfwidth",
+    "wilson_interval",
+    "z_for_confidence",
+    "AdaptiveStopper",
+    "BerSnapshot",
+    "StoppingRule",
+    "StreamingEstimator",
+]

@@ -1,0 +1,238 @@
+"""Binomial confidence intervals, log-domain-safe at BER ~ 1e-12.
+
+Two interval families cover the repo's estimation regimes:
+
+* **Wilson score** — the frequentist workhorse the simulator has always
+  reported.  Closed form, never degenerate at k=0 or k=n, and its
+  coverage oscillates tightly around nominal for moderate p.  The
+  algebra here is the exact code that previously lived in
+  ``repro.simulator.montecarlo`` (moved, not changed), so historical
+  estimates remain bit-identical.
+* **Jeffreys** — equal-tailed credible interval of the Beta(k+1/2,
+  n-k+1/2) posterior.  Preferred for the extreme-p regime (BER ~ 1e-12)
+  where the normal approximation behind Wilson is least at home; the
+  standard boundary convention pins the lower limit to 0 when k=0 and
+  the upper to 1 when k=n so coverage holds at the edges.
+
+The Beta quantiles are computed from scratch: a Lentz continued
+fraction for the regularized incomplete beta with the prefactor kept in
+log space (``math.lgamma``), inverted by bisection.  Pure ``math`` only
+— scipy stays a test-time cross-check, never a runtime dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import NormalDist
+from typing import Tuple
+
+__all__ = [
+    "wilson_interval",
+    "jeffreys_interval",
+    "binomial_interval",
+    "relative_halfwidth",
+    "regularized_incomplete_beta",
+    "regularized_incomplete_beta_inv",
+    "z_for_confidence",
+]
+
+#: Interval methods accepted by :func:`binomial_interval` (and therefore
+#: by the CLI's ``--ci-method`` and the stopping rule).
+INTERVAL_METHODS = ("wilson", "jeffreys")
+
+#: The z-score the repo has always used for its default 95% Wilson
+#: intervals.  Deliberately the rounded 1.96 (not 1.95996...) so every
+#: historical estimate, journal and golden test stays bit-identical.
+DEFAULT_Z = 1.96
+
+
+def z_for_confidence(confidence: float) -> float:
+    """Two-sided normal quantile for ``confidence`` (0.95 -> 1.95996...)."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return NormalDist().inv_cdf(0.5 + confidence / 2.0)
+
+
+def wilson_interval(
+    failures: int, trials: int, z: float = DEFAULT_Z
+) -> Tuple[float, float]:
+    """95% (by default) Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    p_hat = failures / trials
+    denom = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+# --------------------------------------------------------------------------
+# regularized incomplete beta (log-domain) and its inverse
+# --------------------------------------------------------------------------
+
+_CF_MAX_ITER = 300
+_CF_EPS = 3e-16
+_CF_TINY = 1e-300
+
+
+def _log_beta(a: float, b: float) -> float:
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+
+
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Lentz's continued fraction for I_x(a, b) (Numerical Recipes form)."""
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _CF_TINY:
+        d = _CF_TINY
+    d = 1.0 / d
+    h = d
+    for m in range(1, _CF_MAX_ITER + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _CF_TINY:
+            d = _CF_TINY
+        c = 1.0 + aa / c
+        if abs(c) < _CF_TINY:
+            c = _CF_TINY
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _CF_TINY:
+            d = _CF_TINY
+        c = 1.0 + aa / c
+        if abs(c) < _CF_TINY:
+            c = _CF_TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _CF_EPS:
+            return h
+    return h  # converged to working precision in practice long before this
+
+
+def regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """I_x(a, b), the regularized incomplete beta function.
+
+    The prefactor ``x^a (1-x)^b / B(a, b)`` is assembled in log space so
+    parameters like ``a = 0.5, b = 1e6 + 0.5, x = 1e-12`` — exactly the
+    Jeffreys-at-tiny-BER regime — neither overflow nor lose the exponent
+    to premature underflow.
+    """
+    if a <= 0 or b <= 0:
+        raise ValueError("beta parameters must be positive")
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = a * math.log(x) + b * math.log1p(-x) - _log_beta(a, b)
+    front = math.exp(ln_front)
+    # Continued fraction converges fast for x below the distribution
+    # bulk; use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) above it.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return min(1.0, front * _beta_continued_fraction(a, b, x) / a)
+    return max(0.0, 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b)
+
+
+def regularized_incomplete_beta_inv(a: float, b: float, q: float) -> float:
+    """Solve ``I_x(a, b) = q`` for ``x`` by monotone bisection.
+
+    Bisection is slower than Newton but has no basin-of-attraction
+    failure modes; it runs to full double resolution (the loop exits
+    when the bracket midpoint stops moving), which keeps quantiles at
+    x ~ 1e-12 accurate in a *relative* sense despite the linear split.
+    """
+    if a <= 0 or b <= 0:
+        raise ValueError("beta parameters must be positive")
+    if q <= 0.0:
+        return 0.0
+    if q >= 1.0:
+        return 1.0
+    lo, hi = 0.0, 1.0
+    for _ in range(2000):
+        mid = 0.5 * (lo + hi)
+        if mid <= lo or mid >= hi:  # bracket exhausted double precision
+            break
+        if regularized_incomplete_beta(a, b, mid) < q:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def jeffreys_interval(
+    failures: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Equal-tailed Jeffreys (Beta(k+1/2, n-k+1/2)) credible interval.
+
+    Boundary convention (Brown, Cai & DasGupta 2001): the lower limit is
+    0 when ``failures == 0`` and the upper limit is 1 when
+    ``failures == trials``, which is what keeps one-sided coverage at
+    the edges of the parameter space.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= failures <= trials:
+        raise ValueError(f"failures must be in [0, {trials}], got {failures}")
+    alpha = 1.0 - confidence
+    a = failures + 0.5
+    b = trials - failures + 0.5
+    low = (
+        0.0
+        if failures == 0
+        else regularized_incomplete_beta_inv(a, b, alpha / 2.0)
+    )
+    high = (
+        1.0
+        if failures == trials
+        else regularized_incomplete_beta_inv(a, b, 1.0 - alpha / 2.0)
+    )
+    return low, high
+
+
+def binomial_interval(
+    failures: int,
+    trials: int,
+    method: str = "wilson",
+    confidence: float = 0.95,
+) -> Tuple[float, float]:
+    """Dispatch to an interval family by name (``wilson`` | ``jeffreys``).
+
+    For the default 95% confidence, Wilson uses the repo-pinned
+    ``z = 1.96`` so streamed snapshots match the final
+    :class:`~repro.simulator.montecarlo.FailureEstimate` exactly.
+    """
+    if method == "wilson":
+        z = DEFAULT_Z if confidence == 0.95 else z_for_confidence(confidence)
+        return wilson_interval(failures, trials, z=z)
+    if method == "jeffreys":
+        return jeffreys_interval(failures, trials, confidence=confidence)
+    raise ValueError(
+        f"unknown interval method {method!r}: expected one of {INTERVAL_METHODS}"
+    )
+
+
+def relative_halfwidth(failures: int, trials: int, low: float, high: float) -> float:
+    """CI halfwidth relative to the point estimate; ``inf`` when k = 0.
+
+    The adaptive stopping rule is defined on this quantity: with zero
+    observed failures the point estimate is 0 and no finite interval
+    can be declared "tight enough relative to it", so the rule can never
+    stop on an all-zero prefix — the ``--min-trials`` floor and the
+    total trial budget bound that case instead.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    p_hat = failures / trials
+    if p_hat <= 0.0:
+        return math.inf
+    return (high - low) / (2.0 * p_hat)

@@ -33,6 +33,10 @@ target                    layers                   compares
                                                    checkpoint journal: doctor-repair or
                                                    direct resume must converge to the
                                                    bit-identical campaign estimate
+``mc-streaming-vs-final`` stats, simulator         streaming BER snapshots vs the one-shot
+                                                   final estimate, and the adaptive
+                                                   early-stop prefix vs a literal
+                                                   recomputation of the stopping rule
 ========================  =======================  ==========================================
 """
 
@@ -810,6 +814,167 @@ def _shrink_journal_case(case: Case) -> Iterator[Case]:
 
 
 # --------------------------------------------------------------------------
+# mc-streaming-vs-final: incremental snapshots vs one-shot aggregation
+# --------------------------------------------------------------------------
+
+
+def _gen_streaming_case(rng: np.random.Generator) -> Case:
+    return {
+        "arrangement": str(rng.choice(["simplex", "duplex"])),
+        "trials": int(rng.integers(60, 201)),
+        "chunk_size": int(rng.choice([15, 20, 25, 40])),
+        "seed": int(rng.integers(0, 2**31)),
+        "seu_per_bit_day": float(rng.choice([1e-3, 2e-3, 4e-3])),
+        "rel_ci": float(rng.choice([0.3, 0.5, 1.0, 2.0])),
+        "min_trials": int(rng.choice([0, 30, 60])),
+        "method": str(rng.choice(["wilson", "jeffreys"])),
+    }
+
+
+def _check_mc_streaming_vs_final(case: Case) -> Optional[Mismatch]:
+    """Streaming snapshots vs the final estimate, stop prefix vs a
+    literal re-derivation of the stopping rule.
+
+    Three independently-checkable contracts:
+
+    1. the streaming trajectory is internally coherent (monotone
+       cumulative counts, ``probability == failures/trials`` exactly,
+       intervals reproducible from the published counts);
+    2. the *last* snapshot of a full run equals the one-shot final
+       estimate bit for bit;
+    3. an early-stopped run returns exactly the estimate a straight-line
+       scan of the per-chunk deltas predicts — recomputed here without
+       :class:`~repro.stats.AdaptiveStopper`'s out-of-order frontier
+       machinery, so the two stopping implementations vote.
+    """
+    from ..rs import RSCode
+    from ..runtime import RuntimeConfig
+    from ..simulator import simulate_fail_probability_batched
+    from ..stats import StoppingRule, binomial_interval, relative_halfwidth
+
+    code = RSCode(18, 16, m=8)
+    lam = case["seu_per_bit_day"] / 24.0
+
+    def run(stop=None, on_snapshot=None):
+        runtime = RuntimeConfig(
+            executor="serial", stop=stop, on_snapshot=on_snapshot
+        )
+        return simulate_fail_probability_batched(
+            case["arrangement"],
+            code,
+            48.0,
+            lam,
+            0.0,
+            case["trials"],
+            seed=case["seed"],
+            chunk_size=case["chunk_size"],
+            runtime=runtime,
+        )
+
+    detail: Dict[str, Any] = dict(case)
+    snapshots: List[Any] = []
+    reference = run(on_snapshot=snapshots.append)
+
+    # 1. trajectory coherence: one snapshot per chunk, monotone counts,
+    #    exact ratio, interval reproducible from the published counts.
+    if not snapshots:
+        return Mismatch("full run produced no streaming snapshots", detail)
+    prev_f = prev_t = 0
+    deltas: List[Tuple[int, int]] = []
+    for snap in snapshots:
+        if snap.trials < prev_t or snap.failures < prev_f:
+            return Mismatch(
+                "streaming snapshot counts are not monotone",
+                {**detail, "snapshot": snap.as_dict()},
+            )
+        expected_p = snap.failures / snap.trials if snap.trials else 0.0
+        if snap.probability != expected_p:
+            return Mismatch(
+                "snapshot probability is not exactly failures/trials",
+                {**detail, "snapshot": snap.as_dict()},
+            )
+        lo, hi = binomial_interval(snap.failures, snap.trials)
+        if (lo, hi) != (snap.ci_low, snap.ci_high):
+            return Mismatch(
+                "snapshot interval not reproducible from its counts",
+                {**detail, "snapshot": snap.as_dict(), "recomputed": [lo, hi]},
+            )
+        deltas.append((snap.failures - prev_f, snap.trials - prev_t))
+        prev_f, prev_t = snap.failures, snap.trials
+
+    # 2. last snapshot == one-shot final estimate, bit for bit.
+    last = snapshots[-1]
+    if (last.failures, last.trials, last.probability) != (
+        reference.failures,
+        reference.trials,
+        reference.probability,
+    ):
+        return Mismatch(
+            "final streaming snapshot differs from the one-shot estimate",
+            {
+                **detail,
+                "snapshot": last.as_dict(),
+                "final": [reference.failures, reference.trials],
+            },
+        )
+
+    # 3. early stop == literal prefix scan of the same deltas.
+    stopped = run(
+        stop=StoppingRule(
+            rel_ci=case["rel_ci"],
+            min_trials=case["min_trials"],
+            method=case["method"],
+        )
+    )
+    cum_f = cum_t = 0
+    expected_f, expected_t = reference.failures, reference.trials
+    for chunk_f, chunk_t in deltas:
+        cum_f += chunk_f
+        cum_t += chunk_t
+        if cum_t < case["min_trials"] or cum_f <= 0:
+            continue
+        lo, hi = binomial_interval(cum_f, cum_t, method=case["method"])
+        if relative_halfwidth(cum_f, cum_t, lo, hi) <= case["rel_ci"]:
+            expected_f, expected_t = cum_f, cum_t
+            break
+    detail["expected_failures"] = expected_f
+    detail["expected_trials"] = expected_t
+    if (stopped.failures, stopped.trials) != (expected_f, expected_t):
+        return Mismatch(
+            "adaptive stop prefix differs from the literal rule scan",
+            {**detail, "got": [stopped.failures, stopped.trials]},
+        )
+    if stopped.probability != (
+        expected_f / expected_t if expected_t else 0.0
+    ):
+        return Mismatch(
+            "early-stopped probability is not exactly failures/trials",
+            {**detail, "got": stopped.probability},
+        )
+    lo, hi = binomial_interval(expected_f, expected_t)
+    if (lo, hi) != (stopped.ci_low, stopped.ci_high):
+        return Mismatch(
+            "early-stopped interval not reproducible from its counts",
+            {**detail, "got": [stopped.ci_low, stopped.ci_high]},
+        )
+    if stopped.stopped_early != (expected_t < reference.trials):
+        return Mismatch(
+            "stopped_early flag inconsistent with the trials actually used",
+            {**detail, "flag": stopped.stopped_early},
+        )
+    return None
+
+
+def _shrink_streaming_case(case: Case) -> Iterator[Case]:
+    if case["trials"] > 60:
+        yield {**case, "trials": max(60, case["trials"] // 2)}
+    if case["min_trials"]:
+        yield {**case, "min_trials": 0}
+    if case["method"] != "wilson":
+        yield {**case, "method": "wilson"}
+
+
+# --------------------------------------------------------------------------
 # registration
 # --------------------------------------------------------------------------
 
@@ -935,6 +1100,23 @@ register_target(
         generate=_gen_journal_case,
         check=_check_journal_roundtrip,
         shrink=_shrink_journal_case,
+        induced_check=_induced_generic_bug,
+    )
+)
+
+register_target(
+    Target(
+        name="mc-streaming-vs-final",
+        layers=("stats", "simulator"),
+        description=(
+            "Streaming BER snapshots vs the one-shot final estimate "
+            "(bit-identical last snapshot, reproducible intervals) and "
+            "the adaptive early-stop prefix vs a literal straight-line "
+            "recomputation of the stopping rule"
+        ),
+        generate=_gen_streaming_case,
+        check=_check_mc_streaming_vs_final,
+        shrink=_shrink_streaming_case,
         induced_check=_induced_generic_bug,
     )
 )

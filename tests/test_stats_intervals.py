@@ -1,0 +1,282 @@
+"""Property and golden tests for :mod:`repro.stats.intervals`.
+
+The statistical claims the streaming/adaptive machinery leans on:
+
+* both interval families produce bounds in [0, 1] that bracket the
+  point estimate, with the documented edge conventions at k=0 and k=n;
+* empirical coverage over seeded binomial ensembles is at least nominal
+  on grid cells where the (oscillating) exact coverage clears nominal —
+  including the degenerate p=0 and the extreme p~1e-9 regimes;
+* interval width is monotone decreasing in n at fixed k/n;
+* the from-scratch regularized incomplete beta matches scipy to near
+  machine precision, including the log-domain a=0.5, b~1e6 regime;
+* a golden table pins exact Wilson (z = 1.96, the repo's historical
+  constant) and Jeffreys values so silent numeric drift fails loudly.
+
+Coverage note: both Wilson and Jeffreys coverage *oscillates* around
+nominal in (p, n) — guaranteed-above-nominal everywhere is a property
+neither family has (Brown, Cai & DasGupta 2001).  The coverage grids
+below were selected by computing the exact coverage sum over the
+binomial pmf and keeping cells where it is >= 0.95, so the seeded
+empirical check is testing a true property, not sampling luck.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    binomial_interval,
+    jeffreys_interval,
+    regularized_incomplete_beta,
+    regularized_incomplete_beta_inv,
+    relative_halfwidth,
+    wilson_interval,
+    z_for_confidence,
+)
+from repro.stats.intervals import DEFAULT_Z, INTERVAL_METHODS
+
+# --------------------------------------------------------------------------
+# shape properties: bounds, bracketing, edge conventions
+# --------------------------------------------------------------------------
+
+
+def _cases(rng, count=300):
+    for _ in range(count):
+        n = int(rng.integers(1, 10_000))
+        k = int(rng.integers(0, n + 1))
+        yield k, n
+
+
+@pytest.mark.parametrize("method", INTERVAL_METHODS)
+def test_bounds_bracket_estimate(method):
+    rng = np.random.default_rng(20260809)
+    for k, n in _cases(rng):
+        lo, hi = binomial_interval(k, n, method=method)
+        assert 0.0 <= lo <= hi <= 1.0
+        assert lo <= k / n <= hi
+
+
+@pytest.mark.parametrize("method", INTERVAL_METHODS)
+def test_edge_conventions(method):
+    for n in (1, 7, 100, 10**6):
+        lo0, hi0 = binomial_interval(0, n, method=method)
+        assert lo0 == 0.0 and hi0 > 0.0
+        lon, hin = binomial_interval(n, n, method=method)
+        # Wilson's k=n upper limit is 1 only algebraically (the clamp
+        # meets centre+half == 1 up to rounding); Jeffreys pins it.
+        assert hin >= 1.0 - 1e-12 and lon < 1.0
+    # Jeffreys pins the k=0 lower / k=n upper limits *exactly*; Wilson's
+    # clamp happens to agree at k=0.
+    assert jeffreys_interval(0, 50)[0] == 0.0
+    assert jeffreys_interval(50, 50)[1] == 1.0
+
+
+@pytest.mark.parametrize("method", INTERVAL_METHODS)
+def test_rejects_degenerate_inputs(method):
+    with pytest.raises(ValueError):
+        binomial_interval(0, 0, method=method)
+    with pytest.raises(ValueError):
+        binomial_interval(0, -3, method=method)
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValueError, match="unknown interval method"):
+        binomial_interval(1, 10, method="clopper")
+
+
+# --------------------------------------------------------------------------
+# empirical coverage over seeded ensembles
+# --------------------------------------------------------------------------
+
+#: (p, n) cells whose *exact* coverage (pmf-weighted) is >= 0.95 for the
+#: given family; the seeded empirical run must then land >= nominal too
+#: (up to a 0.005 resampling slack at 4000 reps).
+_COVERAGE_GRID = {
+    "wilson": [(0.1, 200), (0.02, 500), (0.01, 1000), (0.3, 75), (0.9, 120)],
+    "jeffreys": [(0.1, 100), (0.3, 75), (0.9, 120), (1e-3, 2000)],
+}
+
+
+def _empirical_coverage(method, p, n, reps=4000, seed=0, confidence=0.95):
+    rng = np.random.default_rng(seed)
+    ks, counts = np.unique(rng.binomial(n, p, size=reps), return_counts=True)
+    covered = 0
+    for k, c in zip(ks, counts):
+        lo, hi = binomial_interval(
+            int(k), n, method=method, confidence=confidence
+        )
+        if lo <= p <= hi:
+            covered += int(c)
+    return covered / reps
+
+
+@pytest.mark.parametrize("method", INTERVAL_METHODS)
+def test_empirical_coverage_at_least_nominal(method):
+    for p, n in _COVERAGE_GRID[method]:
+        cov = _empirical_coverage(method, p, n, seed=42)
+        assert cov >= 0.95 - 0.005, (method, p, n, cov)
+
+
+@pytest.mark.parametrize("method", INTERVAL_METHODS)
+def test_coverage_degenerate_and_extreme_p(method):
+    # p = 0: k is always 0, the lower limit is pinned to 0 -> coverage 1.
+    assert _empirical_coverage(method, 0.0, 100, seed=1) == 1.0
+    # p ~ 1e-9 with n = 1000: k = 0 in every rep, and the k=0 upper limit
+    # (~1e-3) easily covers the true p -> coverage 1.  This is the BER
+    # regime the paper's memories live in.
+    assert _empirical_coverage(method, 1e-9, 1000, seed=2) == 1.0
+
+
+def test_exact_coverage_cross_check_scipy():
+    """The grid's exact (pmf-weighted) coverage really is >= nominal."""
+    scipy_stats = pytest.importorskip("scipy.stats")
+    for method, grid in _COVERAGE_GRID.items():
+        for p, n in grid:
+            ks = np.arange(n + 1)
+            pmf = scipy_stats.binom.pmf(ks, n, p)
+            cov = sum(
+                pmf[k]
+                for k in ks
+                if (lambda b: b[0] <= p <= b[1])(
+                    binomial_interval(int(k), n, method=method)
+                )
+            )
+            assert cov >= 0.95, (method, p, n, cov)
+
+
+# --------------------------------------------------------------------------
+# monotonicity in n
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("method", INTERVAL_METHODS)
+@pytest.mark.parametrize("rate", [0.5, 0.1, 0.01])
+def test_width_monotone_decreasing_in_n(method, rate):
+    widths = []
+    for n in (100, 400, 1600, 6400, 25600):
+        k = int(round(rate * n))
+        lo, hi = binomial_interval(k, n, method=method)
+        widths.append(hi - lo)
+    assert all(a > b for a, b in zip(widths, widths[1:])), widths
+
+
+@pytest.mark.parametrize("method", INTERVAL_METHODS)
+def test_zero_failure_upper_limit_shrinks_with_n(method):
+    uppers = [
+        binomial_interval(0, n, method=method)[1]
+        for n in (10, 100, 1000, 10**6, 10**9)
+    ]
+    assert all(a > b for a, b in zip(uppers, uppers[1:])), uppers
+    # and stays strictly positive even at n = 1e9 (no underflow to a
+    # degenerate [0, 0] interval)
+    assert uppers[-1] > 0.0
+
+
+# --------------------------------------------------------------------------
+# regularized incomplete beta vs scipy
+# --------------------------------------------------------------------------
+
+
+def test_betainc_matches_scipy():
+    scipy_special = pytest.importorskip("scipy.special")
+    rng = np.random.default_rng(7)
+    worst = 0.0
+    for _ in range(400):
+        a = float(10.0 ** rng.uniform(-1, 5))
+        b = float(10.0 ** rng.uniform(-1, 5))
+        x = float(rng.uniform(0.0, 1.0))
+        ours = regularized_incomplete_beta(a, b, x)
+        ref = float(scipy_special.betainc(a, b, x))
+        worst = max(worst, abs(ours - ref))
+    assert worst < 1e-10, worst
+
+
+def test_betainc_log_domain_extreme_regime():
+    """a = 0.5, b ~ 1e6: the Jeffreys-at-tiny-BER parameterisation."""
+    scipy_special = pytest.importorskip("scipy.special")
+    a, b = 0.5, 1e6 + 0.5
+    for x in (1e-12, 1e-9, 1e-7, 1e-6):
+        ours = regularized_incomplete_beta(a, b, x)
+        ref = float(scipy_special.betainc(a, b, x))
+        assert ours == pytest.approx(ref, rel=1e-9), (x, ours, ref)
+        assert ours > 0.0  # no premature underflow
+
+
+def test_betainc_inverse_round_trip():
+    rng = np.random.default_rng(11)
+    for _ in range(200):
+        a = float(10.0 ** rng.uniform(-1, 4))
+        b = float(10.0 ** rng.uniform(-1, 4))
+        q = float(rng.uniform(1e-6, 1.0 - 1e-6))
+        x = regularized_incomplete_beta_inv(a, b, q)
+        # x is resolved to the last double, but dq/dx grows like sqrt(n)
+        # for sharp posteriors, so the round-trip tolerance is in q-space
+        assert regularized_incomplete_beta(a, b, x) == pytest.approx(
+            q, abs=1e-6
+        )
+
+
+def test_betainc_inverse_matches_scipy_quantiles():
+    scipy_special = pytest.importorskip("scipy.special")
+    # Moderate parameters: near machine-precision agreement.  (At
+    # pathological scales like b ~ 1e12 scipy's own betaincinv drifts to
+    # ~1e-4 relative of this implementation — both are at the precision
+    # frontier there, so that regime is pinned by the round-trip test
+    # above rather than by cross-checking two frontier approximations.)
+    for a, b, q in [
+        (0.5, 99.5, 0.025),
+        (0.5, 99.5, 0.975),
+        (3.5, 996.5, 0.025),
+        (10.5, 10.5, 0.5),
+        (0.5, 1e6 + 0.5, 0.975),
+    ]:
+        ours = regularized_incomplete_beta_inv(a, b, q)
+        ref = float(scipy_special.betaincinv(a, b, q))
+        assert ours == pytest.approx(ref, rel=1e-8), (a, b, q, ours, ref)
+
+
+# --------------------------------------------------------------------------
+# golden table + helpers
+# --------------------------------------------------------------------------
+
+#: Pinned outputs.  Wilson values are exact closed-form evaluations at
+#: the repo's historical z = 1.96; Jeffreys values were computed by this
+#: implementation and cross-validated against scipy.stats.beta.ppf to
+#: < 1e-10 relative before pinning.
+_GOLDEN = [
+    ("wilson", 0, 100, 0.0, 0.03699480747600191),
+    ("wilson", 5, 100, 0.02154336145631356, 0.11175196527208817),
+    ("wilson", 50, 100, 0.40382982859014716, 0.5961701714098528),
+    ("wilson", 3, 10**6, 1.0202527766968218e-06, 8.82130941595786e-06),
+    ("jeffreys", 0, 100, 0.0, 0.024745270015269452),
+    ("jeffreys", 5, 100, 0.019331811985866844, 0.10610007388310266),
+    ("jeffreys", 50, 100, 0.40317395089641783, 0.5968260491035822),
+    ("jeffreys", 3, 10**6, 8.449352892800974e-07, 8.006360095479223e-06),
+]
+
+
+@pytest.mark.parametrize("method,k,n,lo,hi", _GOLDEN)
+def test_golden_table(method, k, n, lo, hi):
+    got_lo, got_hi = binomial_interval(k, n, method=method)
+    assert got_lo == pytest.approx(lo, rel=1e-12, abs=1e-15)
+    assert got_hi == pytest.approx(hi, rel=1e-12, abs=1e-15)
+
+
+def test_wilson_moved_not_changed():
+    """The repo-pinned z stays the rounded 1.96 used since the seed."""
+    assert DEFAULT_Z == 1.96
+    # and z_for_confidence gives the *unrounded* quantile, distinct
+    # from the pinned constant
+    assert z_for_confidence(0.95) == pytest.approx(1.959963984540054)
+    assert z_for_confidence(0.95) != DEFAULT_Z
+
+
+def test_relative_halfwidth_conventions():
+    lo, hi = wilson_interval(10, 1000)
+    rel = relative_halfwidth(10, 1000, lo, hi)
+    assert rel == (hi - lo) / (2 * 0.01)
+    assert math.isinf(relative_halfwidth(0, 1000, 0.0, 0.004))
+    with pytest.raises(ValueError):
+        relative_halfwidth(0, 0, 0.0, 1.0)

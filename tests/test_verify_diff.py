@@ -29,6 +29,7 @@ EXPECTED_TARGETS = {
     "memory-analytic",
     "memory-mc-ber",
     "journal-roundtrip",
+    "mc-streaming-vs-final",
 }
 
 # Trial counts tuned so the whole module stays in the seconds range:
@@ -43,6 +44,7 @@ TRIALS = {
     "memory-analytic": 8,
     "memory-mc-ber": 3,
     "journal-roundtrip": 3,
+    "mc-streaming-vs-final": 3,
 }
 
 
