@@ -123,8 +123,44 @@ def build_parser() -> argparse.ArgumentParser:
     camp = sub.add_parser(
         "campaign", help="bulk model-vs-simulation validation campaign"
     )
-    camp.add_argument("--trials", type=int, default=300)
-    camp.add_argument("--seed", type=int, default=2005)
+    camp.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="MC trials per cell (default 300, or the preset's budget "
+        "under --scenario)",
+    )
+    camp.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed (default 2005, or the preset's pinned seed "
+        "under --scenario)",
+    )
+    camp.add_argument(
+        "--scenario",
+        metavar="NAME",
+        help="run a named fault-physics preset instead of the default "
+        "validation matrix; see --list-scenarios",
+    )
+    camp.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the scenario catalog and exit",
+    )
+    camp.add_argument(
+        "--pattern",
+        metavar="SPEC",
+        help="correlated fault-pattern mixture for every cell of the "
+        "default matrix, e.g. '0.9*1BIT+0.08*MBU:3+0.02*ROW' "
+        "(exclusive with --scenario)",
+    )
+    camp.add_argument(
+        "--schedule",
+        metavar="SPEC",
+        help="piecewise-cyclic SEU rate schedule, e.g. "
+        "'42.0h@1.0,6.0h@8.0' (exclusive with --scenario)",
+    )
     camp.add_argument(
         "--engine",
         choices=("batch", "scalar"),
@@ -541,8 +577,41 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         campaign_fingerprint,
         campaign_summary,
         default_validation_campaign,
+        get_scenario,
+        render_catalog,
         run_campaign,
     )
+    from .simulator.patterns import parse_pattern, parse_schedule
+
+    if args.list_scenarios:
+        print(render_catalog())
+        return 0
+    if args.scenario is not None and (
+        args.pattern is not None or args.schedule is not None
+    ):
+        print(
+            "--scenario presets pin their own pattern/schedule; "
+            "--pattern/--schedule apply to the default matrix only",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = None
+    if args.scenario is not None:
+        try:
+            scenario = get_scenario(args.scenario)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    try:
+        if args.pattern is not None:
+            parse_pattern(args.pattern)
+        parse_schedule(args.schedule)
+    except ValueError as exc:
+        print(f"bad fault-physics spec: {exc}", file=sys.stderr)
+        return 2
+    if args.trials is not None and args.trials <= 0:
+        print("--trials must be positive", file=sys.stderr)
+        return 2
 
     if args.checkpoint and args.engine != "batch":
         print(
@@ -600,7 +669,26 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"bad --chaos spec: {exc}", file=sys.stderr)
         return 2
 
-    cells = default_validation_campaign()
+    if scenario is not None:
+        cells = list(scenario.cells)
+        n, k, m = scenario.n, scenario.k, scenario.m
+        t_end_hours = scenario.t_end_hours
+        trials = args.trials if args.trials is not None else scenario.trials
+        seed = args.seed if args.seed is not None else scenario.seed
+    else:
+        cells = default_validation_campaign()
+        if args.pattern is not None or args.schedule is not None:
+            from dataclasses import replace as _replace
+
+            cells = [
+                _replace(
+                    cell, pattern=args.pattern, schedule=args.schedule
+                )
+                for cell in cells
+            ]
+        n, k, m, t_end_hours = 18, 16, 8, 48.0
+        trials = args.trials if args.trials is not None else 300
+        seed = args.seed if args.seed is not None else 2005
     counters = PerfCounters()
     try:
         journal = (
@@ -668,7 +756,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     tracker = None
     if args.engine == "batch" and (args.progress or args.trace or args.manifest):
         tracker = ProgressTracker(
-            total=args.trials * len(cells), unit="trials"
+            total=trials * len(cells), unit="trials"
         )
     runtime = RuntimeConfig(
         retry=RetryPolicy(max_attempts=args.max_retries),
@@ -689,8 +777,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     try:
         rows = run_campaign(
             cells,
-            trials=args.trials,
-            base_seed=args.seed,
+            n=n,
+            k=k,
+            m=m,
+            t_end_hours=t_end_hours,
+            trials=trials,
+            base_seed=seed,
             engine=args.engine,
             workers=args.workers,
             chunk_size=args.chunk_size,
@@ -737,13 +829,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         mark = "OK " if row.consistent else "!! "
         est = row.estimate
         early = (
-            f" (stopped early: {est.trials}/{args.trials} trials)"
+            f" (stopped early: {est.trials}/{trials} trials)"
             if est.stopped_early
             else ""
         )
+        # Out-of-model cells (correlated patterns) have no analytic
+        # prediction: degrade the column gracefully instead of failing.
+        model_text = (
+            "   -- "
+            if row.model_fail_probability is None
+            else f"{row.model_fail_probability:.4f}"
+        )
         print(
-            f"{mark}{row.cell.label():<40} model={row.model_fail_probability:.4f} "
-            f"mc={est.probability:.4f} [{est.ci_low:.4f},{est.ci_high:.4f}]{early}"
+            f"{mark}{row.cell.label():<40} model={model_text} "
+            f"mc={est.probability:.4f} [{est.ci_low:.4f},{est.ci_high:.4f}] "
+            f"miscorrect={est.silent_miscorrections} "
+            f"unreadable={est.detected_uncorrectable}{early}"
         )
     summary = campaign_summary(rows)
     print()
@@ -760,14 +861,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.manifest:
         manifest = build_manifest(
             command="campaign",
+            scenario=args.scenario,
             fingerprint=campaign_fingerprint(
                 cells,
-                18,
-                16,
-                8,
-                48.0,
-                args.trials,
-                args.seed,
+                n,
+                k,
+                m,
+                t_end_hours,
+                trials,
+                seed,
                 args.engine,
                 args.chunk_size,
             ),

@@ -38,9 +38,11 @@ class MissionPhase:
     rates: FaultRates
 
     def __post_init__(self) -> None:
-        if self.duration_hours <= 0:
+        # ``not (x > 0)`` instead of ``x <= 0`` so NaN is rejected too —
+        # a NaN leg would silently poison every phase propagator.
+        if not (self.duration_hours > 0 and np.isfinite(self.duration_hours)):
             raise ValueError(
-                f"phase {self.name!r} needs positive duration, "
+                f"phase {self.name!r} needs positive finite duration, "
                 f"got {self.duration_hours}"
             )
 
@@ -71,6 +73,15 @@ class MissionProfile:
     ):
         if not phases:
             raise ValueError("a mission needs at least one phase")
+        # Validate code parameters up front: k and m feed ``ber_factor``
+        # as divisors, and a degenerate code would otherwise surface as a
+        # ZeroDivisionError deep inside a BER sweep.
+        if m < 1:
+            raise ValueError(f"bits per symbol m must be >= 1, got {m}")
+        if not 0 < k < n:
+            raise ValueError(
+                f"code parameters need 0 < k < n, got n={n}, k={k}"
+            )
         self.model_cls = model_cls
         self.n, self.k, self.m = n, k, m
         self.phases = list(phases)

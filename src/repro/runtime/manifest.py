@@ -23,7 +23,11 @@ from typing import Any, Dict, Optional, Sequence, Union
 from ..ioutil import atomic_write
 
 # Version 2 added the "progress" heartbeat list and "metrics" snapshot.
-MANIFEST_VERSION = 2
+# Version 3 added the top-level "scenario" name and per-row fault-pattern
+# provenance ("pattern", "schedule") with the robustness counters
+# ("silent_miscorrections", "detected_uncorrectable");
+# "model_fail_probability" may now be null (out-of-model cells).
+MANIFEST_VERSION = 3
 
 
 def git_describe(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
@@ -55,6 +59,7 @@ def build_manifest(
     checkpoint_path: Optional[str] = None,
     progress_events: Sequence[Dict[str, Any]] = (),  # heartbeat dicts
     metrics: Optional[Dict[str, Dict[str, Any]]] = None,  # registry snapshot
+    scenario: Optional[str] = None,  # named preset, if one drove the run
 ) -> Dict[str, Any]:
     """Assemble the manifest document (pure; no I/O, no clock reads)."""
     import numpy as np
@@ -65,6 +70,8 @@ def build_manifest(
         results.append(
             {
                 "cell": row.cell.label(),
+                "pattern": getattr(row.cell, "pattern", None),
+                "schedule": getattr(row.cell, "schedule", None),
                 "model_fail_probability": row.model_fail_probability,
                 "probability": est.probability,
                 "failures": est.failures,
@@ -72,6 +79,12 @@ def build_manifest(
                 "ci_low": est.ci_low,
                 "ci_high": est.ci_high,
                 "outcome_counts": est.outcome_counts,
+                "silent_miscorrections": getattr(
+                    est, "silent_miscorrections", None
+                ),
+                "detected_uncorrectable": getattr(
+                    est, "detected_uncorrectable", None
+                ),
                 "stopped_early": getattr(est, "stopped_early", False),
                 "consistent": row.consistent,
             }
@@ -79,6 +92,7 @@ def build_manifest(
     return {
         "manifest_version": MANIFEST_VERSION,
         "command": command,
+        "scenario": scenario,
         "fingerprint": fingerprint,
         "resumed": resumed,
         "checkpoint": checkpoint_path,

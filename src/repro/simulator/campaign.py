@@ -16,6 +16,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..memory import duplex_model, simplex_model
+from ..memory.duplex import DuplexMarkovModel
+from ..memory.mission import MissionProfile
+from ..memory.rates import FaultRates
+from ..memory.simplex import SimplexMarkovModel
 from ..obs import trace
 from ..perf import PerfCounters
 from ..rs import RSCode
@@ -25,16 +29,25 @@ from .montecarlo import (
     simulate_fail_probability,
     simulate_fail_probability_batched,
 )
+from .patterns import parse_pattern, parse_schedule
 
 
 @dataclass(frozen=True)
 class CampaignCell:
-    """One configuration of the campaign matrix."""
+    """One configuration of the campaign matrix.
+
+    ``pattern``/``schedule`` are canonical spec strings of
+    :mod:`repro.simulator.patterns` (kept textual so cells stay plain
+    JSON in fingerprints and manifests); ``None`` means the paper's
+    i.i.d. constant-rate model.
+    """
 
     arrangement: str
     seu_per_bit_day: float
     erasure_per_symbol_day: float
     scrub_period_seconds: Optional[float] = None
+    pattern: Optional[str] = None
+    schedule: Optional[str] = None
 
     def label(self) -> str:
         """Unambiguous cell label for journals, manifests, and summaries.
@@ -53,15 +66,26 @@ class CampaignCell:
         ]
         if self.scrub_period_seconds is not None:
             parts.append(f"tsc={self.scrub_period_seconds:g}s")
+        if self.pattern is not None:
+            parts.append(f"pat={self.pattern}")
+        if self.schedule is not None:
+            parts.append(f"sched={self.schedule}")
         return " ".join(parts)
 
 
 @dataclass(frozen=True)
 class CampaignRow:
-    """Result of one cell: model prediction next to the MC estimate."""
+    """Result of one cell: model prediction next to the MC estimate.
+
+    ``model_fail_probability`` is ``None`` for out-of-model cells —
+    correlated patterns the paper's i.i.d. chains cannot predict.  Such
+    cells degrade gracefully: the campaign still runs them, reports
+    their robustness counters, and marks them consistent-by-default
+    (there is no model claim to falsify).
+    """
 
     cell: CampaignCell
-    model_fail_probability: float
+    model_fail_probability: Optional[float]
     estimate: FailureEstimate
 
     @property
@@ -71,10 +95,13 @@ class CampaignRow:
 
         The wide interval keeps the per-cell false-alarm rate negligible
         even for quick low-trial campaigns; serious validation should
-        raise ``trials`` rather than trust narrow intervals.
+        raise ``trials`` rather than trust narrow intervals.  Cells with
+        no model prediction are vacuously consistent.
         """
         from .montecarlo import wilson_interval
 
+        if self.model_fail_probability is None:
+            return True
         if self.cell.arrangement == "simplex":
             low, high = wilson_interval(
                 self.estimate.failures, self.estimate.trials, z=3.29
@@ -86,6 +113,60 @@ class CampaignRow:
         return low <= self.model_fail_probability or (
             self.estimate.probability <= self.model_fail_probability
         )
+
+
+def cell_model_probability(
+    cell: CampaignCell,
+    n: int,
+    k: int,
+    m: int,
+    t_end_hours: float,
+) -> Optional[float]:
+    """Analytic ``P_Fail(t_end)`` for one cell, or ``None`` if out of model.
+
+    Three regimes:
+
+    * no pattern/schedule — the paper's constant-rate chain;
+    * i.i.d.-reducible pattern (see
+      :attr:`~repro.simulator.patterns.FaultPattern.iid_reducible`),
+      optionally scheduled — the pattern's law matches the i.i.d. model,
+      so a constant-rate chain (unscheduled) or a
+      :class:`~repro.memory.mission.MissionProfile` built phase-for-phase
+      from the schedule (scheduled) predicts it exactly;
+    * anything else — correlated physics outside the chains' state
+      space: ``None``, the graceful-degradation contract.
+    """
+    pattern = None if cell.pattern is None else parse_pattern(cell.pattern)
+    schedule = parse_schedule(cell.schedule)
+    if pattern is not None and not pattern.iid_reducible:
+        return None
+    if schedule is None:
+        factory = (
+            simplex_model if cell.arrangement == "simplex" else duplex_model
+        )
+        model = factory(
+            n,
+            k,
+            m=m,
+            seu_per_bit_day=cell.seu_per_bit_day,
+            erasure_per_symbol_day=cell.erasure_per_symbol_day,
+            scrub_period_seconds=cell.scrub_period_seconds,
+        )
+        return float(model.fail_probability([t_end_hours])[0])
+    base_rates = FaultRates.from_paper_units(
+        seu_per_bit_day=cell.seu_per_bit_day,
+        erasure_per_symbol_day=cell.erasure_per_symbol_day,
+        scrub_period_seconds=cell.scrub_period_seconds,
+    )
+    model_cls = (
+        SimplexMarkovModel
+        if cell.arrangement == "simplex"
+        else DuplexMarkovModel
+    )
+    profile = MissionProfile(
+        model_cls, n, k, m, schedule.mission_phases(base_rates)
+    )
+    return float(profile.fail_probability([t_end_hours])[0])
 
 
 def campaign_fingerprint(
@@ -107,7 +188,7 @@ def campaign_fingerprint(
     absent — it cannot affect results.
     """
     return {
-        "schema": 1,
+        "schema": 2,
         "n": n,
         "k": k,
         "m": m,
@@ -122,6 +203,8 @@ def campaign_fingerprint(
                 "seu_per_bit_day": cell.seu_per_bit_day,
                 "erasure_per_symbol_day": cell.erasure_per_symbol_day,
                 "scrub_period_seconds": cell.scrub_period_seconds,
+                "pattern": cell.pattern,
+                "schedule": cell.schedule,
             }
             for cell in cells
         ],
@@ -179,6 +262,11 @@ def run_campaign(
     for cell in cells:
         if cell.arrangement not in ("simplex", "duplex"):
             raise ValueError(f"unknown arrangement {cell.arrangement!r}")
+        # Fail fast on malformed specs — before any model solve or
+        # journal header is written.
+        if cell.pattern is not None:
+            parse_pattern(cell.pattern)
+        parse_schedule(cell.schedule)
     if runtime is not None and runtime.journal is not None:
         if engine != "batch":
             raise ValueError(
@@ -200,19 +288,8 @@ def run_campaign(
             engine=engine,
             trials=trials,
         ):
-            factory = (
-                simplex_model if cell.arrangement == "simplex" else duplex_model
-            )
-            model = factory(
-                n,
-                k,
-                m=m,
-                seu_per_bit_day=cell.seu_per_bit_day,
-                erasure_per_symbol_day=cell.erasure_per_symbol_day,
-                scrub_period_seconds=cell.scrub_period_seconds,
-            )
             with trace.span("campaign_model_solve", cell=cell.label()):
-                p_model = float(model.fail_probability([t_end_hours])[0])
+                p_model = cell_model_probability(cell, n, k, m, t_end_hours)
             scrub_period_hours = (
                 None
                 if cell.scrub_period_seconds is None
@@ -234,6 +311,8 @@ def run_campaign(
                     counters=counters,
                     runtime=runtime,
                     cell_key=f"{idx}:{cell.label()}",
+                    pattern=cell.pattern,
+                    schedule=cell.schedule,
                 )
             else:
                 estimate = simulate_fail_probability(
@@ -246,6 +325,8 @@ def run_campaign(
                     rng=np.random.default_rng(base_seed + idx),
                     scrub_period=scrub_period_hours,
                     scrub_exponential=True,
+                    pattern=cell.pattern,
+                    schedule=cell.schedule,
                 )
             rows.append(CampaignRow(cell, p_model, estimate))
     return rows

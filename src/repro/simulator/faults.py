@@ -5,15 +5,24 @@ processes per memory module: SEU bit flips at rate λ per bit and permanent
 faults at rate λe per symbol.  This module samples concrete timed event
 streams from those processes for the fault-injection simulator — the
 substitute for radiation-beam or on-orbit data, preserving exactly the
-stochastic model the paper's chains assume.
+stochastic model the paper's chains assume.  Correlated (multi-cell)
+event generation lives in :mod:`repro.simulator.patterns` and reuses the
+same :class:`FaultEvent` record with a symbol-level ``mask``.
+
+Event streams are emitted and merged in a *total* deterministic order:
+ascending time, with equal-time ties broken by ``(kind, module, symbol,
+bit, mask, stuck_value)`` — see :func:`event_sort_key`.  Equal-time
+events are common under correlated patterns (every cell of one burst
+shares its arrival instant), and a platform-dependent tie order would
+make campaign results platform-dependent too.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator, List
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
@@ -26,16 +35,58 @@ class FaultKind(Enum):
     SCRUB = "scrub"
 
 
-@dataclass(frozen=True, order=True)
+#: Deterministic rank of each kind for equal-time tie-breaking.  Faults
+#: apply before a same-instant scrub (the scrub then sees — and may
+#: clean — their damage); transients rank before permanents (the stuck
+#: level then overrides the struck cell either way, so the choice is
+#: about determinism, not physics).
+_KIND_RANK = {FaultKind.SEU: 0, FaultKind.PERMANENT: 1, FaultKind.SCRUB: 2}
+
+
+@dataclass(frozen=True)
 class FaultEvent:
-    """One timed event; ordering is by time (heap-friendly)."""
+    """One timed event.
+
+    ``bit``/``stuck_value`` address a single cell when ``mask == 0``;
+    a nonzero ``mask`` addresses several cells of one symbol at once
+    (correlated patterns): for an SEU the masked cells flip, for a
+    permanent fault the masked cells stick at the corresponding bits of
+    ``stuck_value``.
+    """
 
     time: float
-    kind: FaultKind = field(compare=False)
-    module: int = field(compare=False, default=0)
-    symbol: int = field(compare=False, default=0)
-    bit: int = field(compare=False, default=0)
-    stuck_value: int = field(compare=False, default=0)
+    kind: FaultKind
+    module: int = 0
+    symbol: int = 0
+    bit: int = 0
+    stuck_value: int = 0
+    mask: int = 0
+
+
+def event_sort_key(
+    event: FaultEvent,
+) -> Tuple[float, int, int, int, int, int, int]:
+    """Total deterministic ordering: time, then a full-field tie-break.
+
+    Sorting by this key makes merged event streams — and therefore
+    campaign results — bit-identical across platforms even when several
+    events share one timestamp (correlated bursts, simultaneous module
+    strikes).
+    """
+    return (
+        event.time,
+        _KIND_RANK[event.kind],
+        event.module,
+        event.symbol,
+        event.bit,
+        event.mask,
+        event.stuck_value,
+    )
+
+
+def sort_events(events: List[FaultEvent]) -> List[FaultEvent]:
+    """Events in the canonical total order (see :func:`event_sort_key`)."""
+    return sorted(events, key=event_sort_key)
 
 
 def sample_seu_events(
@@ -46,11 +97,14 @@ def sample_seu_events(
     t_end: float,
     module: int = 0,
 ) -> List[FaultEvent]:
-    """SEU events over ``[0, t_end]`` for one module.
+    """SEU events over ``[0, t_end]`` for one module, time-sorted.
 
     The superposition of ``n_symbols * m`` independent per-bit Poisson
     processes is one Poisson process of rate ``rate_per_bit * n * m`` with
-    uniformly random cell assignment.
+    uniformly random cell assignment.  The sampled (time, cell) tuples
+    are emitted already in canonical order — sorting whole events keeps
+    each time paired with its drawn cell, so the stream is sample-for-
+    sample identical to the historical unsorted emission once merged.
     """
     total_rate = rate_per_bit * n_symbols * m
     if total_rate <= 0 or t_end <= 0:
@@ -59,10 +113,12 @@ def sample_seu_events(
     times = rng.uniform(0.0, t_end, size=count)
     symbols = rng.integers(0, n_symbols, size=count)
     bits = rng.integers(0, m, size=count)
-    return [
-        FaultEvent(float(t), FaultKind.SEU, module, int(s), int(b))
-        for t, s, b in zip(times, symbols, bits)
-    ]
+    return sort_events(
+        [
+            FaultEvent(float(t), FaultKind.SEU, module, int(s), int(b))
+            for t, s, b in zip(times, symbols, bits)
+        ]
+    )
 
 
 def sample_permanent_events(
@@ -73,7 +129,7 @@ def sample_permanent_events(
     t_end: float,
     module: int = 0,
 ) -> List[FaultEvent]:
-    """Permanent-fault events over ``[0, t_end]`` for one module.
+    """Permanent-fault events over ``[0, t_end]`` for one module, time-sorted.
 
     Each event pins one uniformly chosen cell of the struck symbol to a
     uniformly random value (stuck-at-0/1 equally likely) — with
@@ -88,10 +144,12 @@ def sample_permanent_events(
     symbols = rng.integers(0, n_symbols, size=count)
     bits = rng.integers(0, m, size=count)
     values = rng.integers(0, 2, size=count)
-    return [
-        FaultEvent(float(t), FaultKind.PERMANENT, module, int(s), int(b), int(v))
-        for t, s, b, v in zip(times, symbols, bits, values)
-    ]
+    return sort_events(
+        [
+            FaultEvent(float(t), FaultKind.PERMANENT, module, int(s), int(b), int(v))
+            for t, s, b, v in zip(times, symbols, bits, values)
+        ]
+    )
 
 
 def scrub_schedule(
@@ -125,5 +183,14 @@ def scrub_schedule(
 
 
 def merge_event_streams(*streams: List[FaultEvent]) -> Iterator[FaultEvent]:
-    """Time-ordered merge of several event lists."""
-    return iter(heapq.merge(*[sorted(s) for s in streams]))
+    """Deterministic time-ordered merge of several event lists.
+
+    Equal-time events from different streams are interleaved by the full
+    :func:`event_sort_key` tie-break, so the merged order — and any
+    campaign result derived from it — is identical on every platform.
+    """
+    return iter(
+        heapq.merge(
+            *[sort_events(s) for s in streams], key=event_sort_key
+        )
+    )

@@ -44,12 +44,27 @@ from .arbiter import decide_from_decodes, recover_erasures
 from .faults import (
     FaultEvent,
     FaultKind,
+    event_sort_key,
     merge_event_streams,
     sample_permanent_events,
     sample_seu_events,
     scrub_schedule,
 )
+from .patterns import (
+    IID_1BIT,
+    FaultPattern,
+    RateSchedule,
+    expand_arrivals,
+    format_pattern,
+    format_schedule,
+    parse_pattern,
+    parse_schedule,
+    sample_pattern_events,
+)
 from .systems import DuplexSystem, ReadOutcome, SimplexSystem
+
+PatternLike = Union[str, FaultPattern, None]
+ScheduleLike = Union[str, "RateSchedule", None]
 
 
 @dataclass(frozen=True)
@@ -69,6 +84,25 @@ class FailureEstimate:
     def consistent_with(self, p: float) -> bool:
         """True if ``p`` lies inside the 95% confidence interval."""
         return self.ci_low <= p <= self.ci_high
+
+    @property
+    def silent_miscorrections(self) -> Optional[int]:
+        """Reads that "succeeded" with wrong data (decoder miscorrected).
+
+        The headline robustness casualty under beyond-capacity
+        correlated faults: the i.i.d. analytic model cannot see these.
+        ``None`` when the estimator did not classify outcomes.
+        """
+        if self.outcome_counts is None:
+            return None
+        return self.outcome_counts.get(ReadOutcome.CORRUPTED.value, 0)
+
+    @property
+    def detected_uncorrectable(self) -> Optional[int]:
+        """Reads the decoder/arbiter refused — failures, but *detected*."""
+        if self.outcome_counts is None:
+            return None
+        return self.outcome_counts.get(ReadOutcome.UNREADABLE.value, 0)
 
 
 # --------------------------------------------------------------------------
@@ -130,11 +164,16 @@ def simulate_read_outcome(
     rng: np.random.Generator,
     scrub_period: float | None = None,
     scrub_exponential: bool = False,
+    pattern: PatternLike = None,
+    schedule: ScheduleLike = None,
 ) -> ReadOutcome:
     """One fault-injection trial: inject events over ``[0, t_end]``, then read.
 
     ``arrangement`` is ``"simplex"`` or ``"duplex"``.  Rates share the time
-    unit of ``t_end`` and ``scrub_period``.
+    unit of ``t_end`` and ``scrub_period``.  ``pattern``/``schedule``
+    switch the transient process from the paper's i.i.d. SEU model to a
+    correlated compound-Poisson mixture (:mod:`repro.simulator.patterns`);
+    the base permanent-fault process is unaffected.
     """
     if arrangement == "simplex":
         system: SimplexSystem | DuplexSystem = SimplexSystem(code, rng=rng)
@@ -145,11 +184,32 @@ def simulate_read_outcome(
     else:
         raise ValueError(f"unknown arrangement {arrangement!r}")
 
+    use_patterns = pattern is not None or schedule is not None
+    if use_patterns:
+        pat = parse_pattern(pattern) if pattern is not None else IID_1BIT
+        sched = parse_schedule(schedule)
+
     streams = []
     for module in range(n_modules):
-        streams.append(
-            sample_seu_events(rng, seu_per_bit, code.n, code.m, t_end, module)
-        )
+        if use_patterns:
+            streams.append(
+                sample_pattern_events(
+                    rng,
+                    pat,
+                    seu_per_bit,
+                    code.n,
+                    code.m,
+                    t_end,
+                    module=module,
+                    schedule=sched,
+                )
+            )
+        else:
+            streams.append(
+                sample_seu_events(
+                    rng, seu_per_bit, code.n, code.m, t_end, module
+                )
+            )
         streams.append(
             sample_permanent_events(
                 rng, erasure_per_symbol, code.n, code.m, t_end, module
@@ -173,10 +233,15 @@ def simulate_fail_probability(
     rng: Optional[np.random.Generator] = None,
     scrub_period: float | None = None,
     scrub_exponential: bool = False,
+    pattern: PatternLike = None,
+    schedule: ScheduleLike = None,
 ) -> FailureEstimate:
     """Monte-Carlo failure probability through the real codec and arbiter."""
     if rng is None:
         rng = np.random.default_rng()
+    # Parse specs once; per-trial calls then skip re-validation.
+    pattern = None if pattern is None else parse_pattern(pattern)
+    schedule = parse_schedule(schedule)
     counts = {outcome.value: 0 for outcome in ReadOutcome}
     failures = 0
     for _ in range(trials):
@@ -189,6 +254,8 @@ def simulate_fail_probability(
             rng,
             scrub_period=scrub_period,
             scrub_exponential=scrub_exponential,
+            pattern=pattern,
+            schedule=schedule,
         )
         counts[outcome.value] += 1
         if outcome.is_failure:
@@ -343,6 +410,13 @@ def _run_injection_chunk(args: tuple) -> Dict[str, object]:
     dirty trials' event streams through the real bit-level systems, then
     push *all* final reads through one ``decode_batch`` call and apply
     the scalar classification/arbitration rules to the per-word results.
+
+    When a correlated ``pattern_spec``/``schedule_spec`` is set the
+    transient process is the compound-Poisson mixture of
+    :mod:`repro.simulator.patterns`: arrival *counts* are still drawn
+    vectorized per chunk, but every fault-bearing trial takes the replay
+    path (mask events and in-arrival permanents are stateful), keeping
+    the fast zero-event shortcut for the clean majority.
     """
     (
         arrangement,
@@ -357,6 +431,8 @@ def _run_injection_chunk(args: tuple) -> Dict[str, object]:
         scrub_exponential,
         n_trials,
         seed_seq,
+        pattern_spec,
+        schedule_spec,
     ) = args
     codec = _cached_batch_codec(n, k, m, fcr)
     code = codec.scalar
@@ -374,12 +450,50 @@ def _run_injection_chunk(args: tuple) -> Dict[str, object]:
         data = rng.integers(0, code.gf.order, size=(n_trials, k))
         codewords = codec.encode_batch(data)
 
-        seu_tables = [
-            _draw_event_table(
-                rng, seu_per_bit * n * m, t_end, n_trials, n, m, False
+        use_patterns = pattern_spec is not None or schedule_spec is not None
+        if use_patterns:
+            pat = (
+                parse_pattern(pattern_spec)
+                if pattern_spec is not None
+                else IID_1BIT
             )
-            for _ in range(n_modules)
-        ]
+            sched = parse_schedule(schedule_spec)
+            expected = seu_per_bit * n * m * (
+                sched.integral(t_end) if sched is not None else t_end
+            )
+            seu_tables: Optional[List[tuple]] = None
+            seu_counts = np.zeros(n_trials, dtype=np.int64)
+            # Per module: {trial -> expanded events}; counts drawn
+            # vectorized, expansion done per dirty trial in trial order
+            # so the stream is a pure function of the chunk seed.
+            pattern_trial_events: List[Dict[int, List[FaultEvent]]] = []
+            for module in range(n_modules):
+                mod_counts = (
+                    rng.poisson(expected, size=n_trials)
+                    if expected > 0
+                    else np.zeros(n_trials, dtype=np.int64)
+                )
+                per_trial: Dict[int, List[FaultEvent]] = {}
+                for trial in np.flatnonzero(mod_counts):
+                    arrivals = int(mod_counts[trial])
+                    if sched is not None:
+                        times = sched.sample_times(rng, t_end, arrivals)
+                    else:
+                        times = np.sort(
+                            rng.uniform(0.0, t_end, size=arrivals)
+                        )
+                    per_trial[int(trial)] = expand_arrivals(
+                        rng, pat, times, n, m, module
+                    )
+                seu_counts = seu_counts + mod_counts.astype(np.int64)
+                pattern_trial_events.append(per_trial)
+        else:
+            seu_tables = [
+                _draw_event_table(
+                    rng, seu_per_bit * n * m, t_end, n_trials, n, m, False
+                )
+                for _ in range(n_modules)
+            ]
         perm_tables = [
             _draw_event_table(
                 rng, erasure_per_symbol * n, t_end, n_trials, n, m, True
@@ -394,7 +508,8 @@ def _run_injection_chunk(args: tuple) -> Dict[str, object]:
         # Trials with no fault events at all read back CORRECT by
         # construction (scrubs are no-ops on fault-free words): count them
         # without touching the codec.
-        seu_counts = sum(t[0] for t in seu_tables)
+        if not use_patterns:
+            seu_counts = sum(t[0] for t in seu_tables)
         perm_counts = sum(t[0] for t in perm_tables)
         fault_counts = seu_counts + perm_counts
         scrubless = np.asarray(
@@ -406,7 +521,12 @@ def _run_injection_chunk(args: tuple) -> Dict[str, object]:
         # SEU-only trials with no scrubs need no event replay: with no
         # stuck cells and no rewrites, flips commute, so the final stored
         # word is just the codeword XOR the scatter of all flip masks.
-        vector_mask = dirty & (perm_counts == 0) & scrubless
+        # Pattern events are excluded: mask strikes and in-arrival
+        # permanents are stateful, so every pattern-dirty trial replays.
+        if use_patterns:
+            vector_mask = np.zeros(n_trials, dtype=bool)
+        else:
+            vector_mask = dirty & (perm_counts == 0) & scrubless
         vec_trials = np.flatnonzero(vector_mask)
         replay_trials = np.flatnonzero(dirty & ~vector_mask)
 
@@ -446,16 +566,19 @@ def _run_injection_chunk(args: tuple) -> Dict[str, object]:
         for trial in replay_trials:
             events: List[FaultEvent] = []
             for module in range(n_modules):
-                events += _trial_events(
-                    trial, FaultKind.SEU, module, seu_tables[module]
-                )
+                if use_patterns:
+                    events += pattern_trial_events[module].get(int(trial), [])
+                else:
+                    events += _trial_events(
+                        trial, FaultKind.SEU, module, seu_tables[module]
+                    )
                 events += _trial_events(
                     trial, FaultKind.PERMANENT, module, perm_tables[module]
                 )
             events += [
                 FaultEvent(float(t), FaultKind.SCRUB) for t in scrub_times[trial]
             ]
-            events.sort()
+            events.sort(key=event_sort_key)
             codeword = codewords[trial].tolist()
             if arrangement == "simplex":
                 system: SimplexSystem | DuplexSystem = SimplexSystem(
@@ -552,10 +675,14 @@ def _run_scalar_chunk(args: tuple) -> Dict[str, object]:
         scrub_exponential,
         n_trials,
         seed_seq,
+        pattern_spec,
+        schedule_spec,
     ) = args
     code = _cached_batch_codec(n, k, m, fcr).scalar
     t_busy = time.perf_counter()
     rng = np.random.default_rng(seed_seq)
+    pattern = None if pattern_spec is None else parse_pattern(pattern_spec)
+    schedule = parse_schedule(schedule_spec)
     counts = {outcome.value: 0 for outcome in ReadOutcome}
     failures = 0
     for _ in range(n_trials):
@@ -568,6 +695,8 @@ def _run_scalar_chunk(args: tuple) -> Dict[str, object]:
             rng,
             scrub_period=scrub_period,
             scrub_exponential=scrub_exponential,
+            pattern=pattern,
+            schedule=schedule,
         )
         counts[outcome.value] += 1
         if outcome.is_failure:
@@ -614,6 +743,8 @@ def simulate_fail_probability_batched(
     counters: Optional[PerfCounters] = None,
     runtime: Optional[RuntimeConfig] = None,
     cell_key: str = "0",
+    pattern: PatternLike = None,
+    schedule: ScheduleLike = None,
 ) -> FailureEstimate:
     """Batched Monte-Carlo failure probability through the batch codec.
 
@@ -662,6 +793,16 @@ def simulate_fail_probability_batched(
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    # Canonicalize pattern/schedule to their spec strings: validated
+    # here (ValueError on malformed input, before any work is spawned)
+    # and picklable for the worker-process path.
+    pattern_spec = (
+        None if pattern is None else format_pattern(parse_pattern(pattern))
+    )
+    parsed_schedule = parse_schedule(schedule)
+    schedule_spec = (
+        None if parsed_schedule is None else format_schedule(parsed_schedule)
+    )
     sizes = chunk_sizes(trials, chunk_size)
     seeds = spawn_chunk_seeds(seed, len(sizes))
     job_args = [
@@ -678,6 +819,8 @@ def simulate_fail_probability_batched(
             scrub_exponential,
             size,
             chunk_seed,
+            pattern_spec,
+            schedule_spec,
         )
         for size, chunk_seed in zip(sizes, seeds)
     ]
@@ -817,6 +960,22 @@ def simulate_fail_probability_batched(
             PerfCounters.from_dict(res["counters"])  # type: ignore[arg-type]
         )
     low, high = wilson_interval(failures, trials_used)
+    # Robustness accounting: split the failure mass into *detected*
+    # (decoder/arbiter refused output) vs *silent* (wrong data served) —
+    # the axis on which out-of-model correlated faults differ from the
+    # i.i.d. analytic picture.
+    corrupted = counts[ReadOutcome.CORRUPTED.value]
+    unreadable = counts[ReadOutcome.UNREADABLE.value]
+    registry = obs_metrics.get_registry()
+    registry.counter("repro.mc.silent_miscorrections").inc(corrupted)
+    registry.counter("repro.mc.detected_uncorrectable").inc(unreadable)
+    trace.event(
+        "robustness_counts",
+        cell=cell_key,
+        silent_miscorrections=corrupted,
+        detected_uncorrectable=unreadable,
+        trials=trials_used,
+    )
     return FailureEstimate(
         failures / trials_used,
         trials_used,

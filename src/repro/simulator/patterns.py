@@ -1,0 +1,566 @@
+"""Correlated fault-pattern grammar and time-varying rate schedules.
+
+The paper's stochastic model is i.i.d. SEU bit flips plus independent
+per-symbol stuck-ats; real highly-reliable memories also fail in
+*correlated* patterns — multi-bit upsets spanning adjacent cells,
+row/column faults taking out many symbols of one codeword, and
+mission-phase-dependent SEU rates.  This module is the injection layer
+for that physics:
+
+* :func:`parse_pattern` — a composable textual grammar for fault-event
+  *shapes*: ``1BIT`` (the paper's SEU), ``kSYM`` adjacent-symbol
+  clusters, ``MBU:w`` adjacent-cell bursts, ``ROW``/``COL`` correlated
+  multi-symbol events, a ``!`` suffix for the permanent (stuck-at)
+  variant of any shape, and weighted mixtures such as
+  ``"0.9*1BIT+0.08*MBU:3+0.02*ROW"``.
+* :class:`RateSchedule` — piecewise-constant, cyclically repeating
+  modulation of the transient arrival rate (orbit/mission profiles),
+  mirroring :mod:`repro.memory.mission` phase-for-phase so scheduled
+  i.i.d. scenarios stay analytically checkable.
+* :func:`sample_pattern_events` — a seeded compound-Poisson event
+  generator: arrivals at the *same total rate as the paper's i.i.d.
+  model* (``seu_per_bit * n * m``, optionally schedule-modulated), each
+  arrival drawn from the mixture and expanded into concrete
+  :class:`~repro.simulator.faults.FaultEvent` records.
+
+Because a pure ``1BIT`` mixture reproduces the i.i.d. model's law
+exactly, every i.i.d.-reducible pattern can be cross-validated against
+:mod:`repro.memory` analytic chains (differential-verify target
+``scenario-analytic-parity``); everything else is deliberately
+*out-of-model* physics whose graceful-degradation behaviour the
+miscorrection accounting measures.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .faults import FaultEvent, FaultKind
+
+__all__ = [
+    "PatternKind",
+    "PatternTerm",
+    "FaultPattern",
+    "RateSchedule",
+    "IID_1BIT",
+    "parse_pattern",
+    "format_pattern",
+    "parse_schedule",
+    "format_schedule",
+    "expand_arrivals",
+    "sample_pattern_events",
+]
+
+
+class PatternKind(Enum):
+    """Shape classes of one correlated fault arrival."""
+
+    BIT = "1BIT"  # single-cell upset: the paper's i.i.d. SEU
+    SYM = "SYM"  # cluster of k adjacent symbols, each fully corrupted
+    MBU = "MBU"  # burst of w adjacent cells (may straddle symbols)
+    ROW = "ROW"  # row fault: a run of symbols of one word (default: all)
+    COL = "COL"  # column fault: one bit plane across a run of symbols
+
+
+@dataclass(frozen=True)
+class PatternTerm:
+    """One weighted mixture component of a :class:`FaultPattern`.
+
+    ``size`` is the shape parameter (cluster symbols, burst cells, or
+    row/column span); ``None`` means the shape's default (3 cells for
+    ``MBU``, the whole word for ``ROW``/``COL``).  ``permanent`` selects
+    the stuck-at variant (grammar suffix ``!``).
+    """
+
+    kind: PatternKind
+    size: Optional[int] = None
+    permanent: bool = False
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (self.weight > 0.0 and np.isfinite(self.weight)):
+            raise ValueError(
+                f"pattern term weight must be positive and finite, "
+                f"got {self.weight!r}"
+            )
+        if self.size is not None and self.size < 1:
+            raise ValueError(
+                f"pattern term size must be >= 1, got {self.size}"
+            )
+        if self.kind is PatternKind.BIT and self.size is not None:
+            raise ValueError("1BIT takes no size parameter")
+        if self.kind is PatternKind.SYM and self.size is None:
+            raise ValueError("kSYM terms need an explicit cluster size")
+
+    def token(self) -> str:
+        """Canonical token text (without the weight prefix)."""
+        if self.kind is PatternKind.BIT:
+            base = "1BIT"
+        elif self.kind is PatternKind.SYM:
+            base = f"{self.size}SYM"
+        else:
+            base = self.kind.value
+            if self.size is not None:
+                base += f":{self.size}"
+        return base + ("!" if self.permanent else "")
+
+
+@dataclass(frozen=True)
+class FaultPattern:
+    """A weighted mixture of correlated fault shapes."""
+
+    terms: Tuple[PatternTerm, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("a fault pattern needs at least one term")
+        total = sum(t.weight for t in self.terms)
+        if not (total > 0.0 and np.isfinite(total)):
+            raise ValueError(
+                f"pattern term weights must sum to a positive finite "
+                f"value, got {total!r}"
+            )
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Normalized mixture probabilities, term order preserved."""
+        weights = np.asarray([t.weight for t in self.terms], dtype=float)
+        return weights / weights.sum()
+
+    @property
+    def iid_reducible(self) -> bool:
+        """True when the mixture's law matches the paper's i.i.d. model.
+
+        ``1BIT`` flips one uniformly random cell; ``1SYM`` corrupts one
+        uniformly random symbol.  Both corrupt exactly one symbol per
+        arrival, which is all the symbol-level Markov chains can see, so
+        any transient-only mixture of the two is analytically checkable
+        against :mod:`repro.memory`.
+        """
+        return all(
+            not t.permanent
+            and (
+                t.kind is PatternKind.BIT
+                or (t.kind is PatternKind.SYM and t.size == 1)
+            )
+            for t in self.terms
+        )
+
+    def spec(self) -> str:
+        """Canonical grammar text; ``parse_pattern`` round-trips it."""
+        return format_pattern(self)
+
+
+#: The paper's own fault model as a pattern: one uniformly random cell
+#: flipped per arrival.
+IID_1BIT = FaultPattern((PatternTerm(PatternKind.BIT),))
+
+_TOKEN_RE = re.compile(
+    r"^(?:(?P<ksym>\d+)SYM|(?P<name>1BIT|MBU|ROW|COL))"
+    r"(?::(?P<param>-?\d+))?(?P<perm>!)?$"
+)
+
+
+def _parse_term(text: str) -> PatternTerm:
+    weight = 1.0
+    token = text
+    if "*" in text:
+        weight_text, _, token = text.partition("*")
+        try:
+            weight = float(weight_text)
+        except ValueError:
+            raise ValueError(
+                f"bad pattern weight {weight_text!r} in term {text!r}"
+            ) from None
+    match = _TOKEN_RE.match(token.strip())
+    if match is None:
+        raise ValueError(
+            f"unknown pattern token {token.strip()!r} (expected 1BIT, "
+            f"kSYM, MBU[:w], ROW[:span], or COL[:span], optionally "
+            f"suffixed with '!')"
+        )
+    permanent = match.group("perm") is not None
+    param = match.group("param")
+    size = int(param) if param is not None else None
+    if match.group("ksym") is not None:
+        if size is not None:
+            raise ValueError(
+                f"kSYM terms carry their size in the token name; "
+                f"{token.strip()!r} also has a ':' parameter"
+            )
+        size = int(match.group("ksym"))
+        kind = PatternKind.SYM
+    else:
+        kind = PatternKind(match.group("name")) if match.group(
+            "name"
+        ) != "1BIT" else PatternKind.BIT
+        if kind is PatternKind.BIT and size is not None:
+            raise ValueError("1BIT takes no ':' parameter")
+    return PatternTerm(kind=kind, size=size, permanent=permanent, weight=weight)
+
+
+def parse_pattern(spec: Union[str, FaultPattern]) -> FaultPattern:
+    """Parse a pattern spec like ``"0.9*1BIT+0.08*MBU:3+0.02*ROW"``.
+
+    Terms are ``[WEIGHT*]TOKEN`` joined by ``+``; a missing weight means
+    1.  Malformed specs raise :class:`ValueError` (the CLI maps these to
+    exit code 2).
+    """
+    if isinstance(spec, FaultPattern):
+        return spec
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError(f"empty fault-pattern spec {spec!r}")
+    terms = tuple(
+        _parse_term(part.strip()) for part in spec.split("+") if True
+    )
+    return FaultPattern(terms)
+
+
+def format_pattern(pattern: FaultPattern) -> str:
+    """Canonical text for a pattern; ``parse_pattern`` inverts it exactly.
+
+    Weights are emitted with :func:`repr`, which round-trips Python
+    floats bit-for-bit; a weight of exactly 1 on a single-term pattern
+    is omitted.
+    """
+    parts = []
+    for term in pattern.terms:
+        if len(pattern.terms) == 1 and term.weight == 1.0:
+            parts.append(term.token())
+        else:
+            parts.append(f"{term.weight!r}*{term.token()}")
+    return "+".join(parts)
+
+
+# --------------------------------------------------------------------------
+# time-varying rate schedules
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RateSchedule:
+    """Piecewise-constant, cyclically repeating rate modulation.
+
+    ``segments`` are ``(duration_hours, factor)`` legs; the transient
+    arrival rate inside a leg is ``base_rate * factor``.  Past the total
+    cycle duration the schedule repeats from the first leg (periodic
+    orbits), exactly like :class:`repro.memory.mission.MissionProfile`.
+    """
+
+    segments: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("a rate schedule needs at least one segment")
+        for duration, factor in self.segments:
+            if not (duration > 0.0 and np.isfinite(duration)):
+                raise ValueError(
+                    f"schedule segment durations must be positive and "
+                    f"finite, got {duration!r}"
+                )
+            if not (factor >= 0.0 and np.isfinite(factor)):
+                raise ValueError(
+                    f"schedule segment factors must be nonnegative and "
+                    f"finite, got {factor!r}"
+                )
+
+    @property
+    def cycle_hours(self) -> float:
+        return sum(d for d, _f in self.segments)
+
+    def integral(self, t_end: float) -> float:
+        """``∫₀^t_end factor(t) dt`` with cyclic repetition."""
+        if t_end <= 0.0:
+            return 0.0
+        cycle = self.cycle_hours
+        cycle_area = sum(d * f for d, f in self.segments)
+        full, rest = divmod(t_end, cycle)
+        area = full * cycle_area
+        for duration, factor in self.segments:
+            if rest <= 0.0:
+                break
+            step = min(duration, rest)
+            area += step * factor
+            rest -= step
+        return area
+
+    def windows(self, t_end: float) -> List[Tuple[float, float, float]]:
+        """Absolute ``(start, end, factor)`` windows covering ``[0, t_end]``."""
+        out: List[Tuple[float, float, float]] = []
+        t = 0.0
+        while t < t_end:
+            for duration, factor in self.segments:
+                if t >= t_end:
+                    break
+                end = min(t + duration, t_end)
+                out.append((t, end, factor))
+                t = end
+        return out
+
+    def sample_times(
+        self, rng: np.random.Generator, t_end: float, count: int
+    ) -> np.ndarray:
+        """``count`` arrival instants on ``[0, t_end]`` with density ∝ factor."""
+        if count <= 0:
+            return np.zeros(0)
+        windows = self.windows(t_end)
+        weights = np.asarray([(e - s) * f for s, e, f in windows])
+        total = weights.sum()
+        if total <= 0.0:
+            raise ValueError(
+                "cannot sample arrival times from an all-zero schedule"
+            )
+        starts = np.asarray([s for s, _e, _f in windows])
+        spans = np.asarray([e - s for s, e, _f in windows])
+        idx = rng.choice(len(windows), size=count, p=weights / total)
+        times = starts[idx] + rng.uniform(0.0, 1.0, size=count) * spans[idx]
+        return np.sort(times)
+
+    def mission_phases(self, base_rates, name_prefix: str = "seg"):
+        """The schedule as :class:`~repro.memory.mission.MissionPhase` legs.
+
+        Only the transient (SEU) rate is modulated — schedules model the
+        radiation environment, not wearout — so permanent and scrub
+        rates carry through unchanged.  This is the bridge that keeps
+        scheduled i.i.d. scenarios analytically checkable.
+        """
+        from dataclasses import replace
+
+        from ..memory.mission import MissionPhase
+
+        return [
+            MissionPhase(
+                name=f"{name_prefix}{i}",
+                duration_hours=duration,
+                rates=replace(
+                    base_rates, seu_per_bit=base_rates.seu_per_bit * factor
+                ),
+            )
+            for i, (duration, factor) in enumerate(self.segments)
+        ]
+
+    def spec(self) -> str:
+        return format_schedule(self)
+
+
+_SEGMENT_RE = re.compile(r"^(?P<dur>[^@]+)h@(?P<factor>.+)$")
+
+
+def parse_schedule(
+    spec: Union[str, RateSchedule, None],
+) -> Optional[RateSchedule]:
+    """Parse ``"1.36h@1,0.24h@23.3"`` into a :class:`RateSchedule`.
+
+    Each segment is ``<duration-hours>h@<factor>``; segments are joined
+    by commas.  ``None`` passes through (no schedule).
+    """
+    if spec is None or isinstance(spec, RateSchedule):
+        return spec
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError(f"empty rate-schedule spec {spec!r}")
+    segments = []
+    for part in spec.split(","):
+        match = _SEGMENT_RE.match(part.strip())
+        if match is None:
+            raise ValueError(
+                f"bad schedule segment {part.strip()!r} "
+                f"(expected '<hours>h@<factor>')"
+            )
+        try:
+            duration = float(match.group("dur"))
+            factor = float(match.group("factor"))
+        except ValueError:
+            raise ValueError(
+                f"bad schedule segment numbers in {part.strip()!r}"
+            ) from None
+        segments.append((duration, factor))
+    return RateSchedule(tuple(segments))
+
+
+def format_schedule(schedule: RateSchedule) -> str:
+    """Canonical text for a schedule; ``parse_schedule`` inverts it."""
+    return ",".join(f"{d!r}h@{f!r}" for d, f in schedule.segments)
+
+
+# --------------------------------------------------------------------------
+# seeded event generation
+# --------------------------------------------------------------------------
+
+
+def _nonzero_mask(rng: np.random.Generator, m: int) -> int:
+    """A uniformly random nonzero m-bit corruption mask."""
+    return int(rng.integers(1, 1 << m))
+
+
+def _expand_term(
+    rng: np.random.Generator,
+    term: PatternTerm,
+    n: int,
+    m: int,
+    t: float,
+    module: int,
+) -> List[FaultEvent]:
+    """Concrete fault events of one arrival of shape ``term`` at time ``t``.
+
+    Anchors are uniform over every position whose span can intersect the
+    word (the clipped-cluster geometry of :mod:`repro.simulator.mbu`),
+    so edge symbols see partial clusters exactly as in a physical array.
+    """
+    kind = FaultKind.PERMANENT if term.permanent else FaultKind.SEU
+    events: List[FaultEvent] = []
+    if term.kind is PatternKind.BIT:
+        symbol = int(rng.integers(0, n))
+        bit = int(rng.integers(0, m))
+        if term.permanent:
+            events.append(
+                FaultEvent(
+                    t, kind, module, symbol, bit, int(rng.integers(0, 2))
+                )
+            )
+        else:
+            events.append(FaultEvent(t, kind, module, symbol, bit))
+    elif term.kind in (PatternKind.SYM, PatternKind.ROW):
+        span = term.size if term.size is not None else n
+        span = min(span, n)
+        anchor = int(rng.integers(-(span - 1), n)) if span > 1 else int(
+            rng.integers(0, n)
+        )
+        for symbol in range(max(anchor, 0), min(anchor + span, n)):
+            if term.permanent:
+                # One stuck cell per symbol suffices: the word marks the
+                # whole symbol as located (an erasure), the paper's
+                # per-symbol stuck-at abstraction.
+                bit = int(rng.integers(0, m))
+                events.append(
+                    FaultEvent(
+                        t, kind, module, symbol, bit, int(rng.integers(0, 2))
+                    )
+                )
+            else:
+                events.append(
+                    FaultEvent(
+                        t,
+                        kind,
+                        module,
+                        symbol,
+                        0,
+                        0,
+                        mask=_nonzero_mask(rng, m),
+                    )
+                )
+    elif term.kind is PatternKind.MBU:
+        width = term.size if term.size is not None else 3
+        cells = n * m
+        width = min(width, cells)
+        anchor = int(rng.integers(-(width - 1), cells)) if width > 1 else int(
+            rng.integers(0, cells)
+        )
+        lo, hi = max(anchor, 0), min(anchor + width, cells)
+        # Group the burst's cells per symbol into one mask event each.
+        by_symbol: dict = {}
+        for cell in range(lo, hi):
+            by_symbol.setdefault(cell // m, 0)
+            by_symbol[cell // m] |= 1 << (cell % m)
+        for symbol in sorted(by_symbol):
+            mask = by_symbol[symbol]
+            if term.permanent:
+                values = int(rng.integers(0, 1 << m)) & mask
+                events.append(
+                    FaultEvent(
+                        t, kind, module, symbol, 0, values, mask=mask
+                    )
+                )
+            else:
+                events.append(
+                    FaultEvent(t, kind, module, symbol, 0, 0, mask=mask)
+                )
+    elif term.kind is PatternKind.COL:
+        span = term.size if term.size is not None else n
+        span = min(span, n)
+        bit = int(rng.integers(0, m))
+        anchor = int(rng.integers(-(span - 1), n)) if span > 1 else int(
+            rng.integers(0, n)
+        )
+        # A column-driver fault forces the whole plane to one level, so
+        # the stuck value is drawn once for the event.
+        value = int(rng.integers(0, 2))
+        for symbol in range(max(anchor, 0), min(anchor + span, n)):
+            if term.permanent:
+                events.append(
+                    FaultEvent(t, kind, module, symbol, bit, value)
+                )
+            else:
+                events.append(FaultEvent(t, kind, module, symbol, bit))
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unhandled pattern kind {term.kind}")
+    return events
+
+
+def expand_arrivals(
+    rng: np.random.Generator,
+    pattern: FaultPattern,
+    times: Sequence[float],
+    n: int,
+    m: int,
+    module: int = 0,
+) -> List[FaultEvent]:
+    """Expand pre-drawn arrival instants into concrete fault events.
+
+    ``times`` must already be sorted ascending: events are expanded in
+    time order so the generator's rng consumption (and therefore every
+    downstream estimate) is a pure function of the seed.
+    """
+    if len(times) == 0:
+        return []
+    probs = pattern.probabilities
+    term_idx = rng.choice(len(pattern.terms), size=len(times), p=probs)
+    events: List[FaultEvent] = []
+    for t, idx in zip(times, term_idx):
+        events.extend(
+            _expand_term(rng, pattern.terms[int(idx)], n, m, float(t), module)
+        )
+    return events
+
+
+def sample_pattern_events(
+    rng: np.random.Generator,
+    pattern: Union[str, FaultPattern],
+    seu_per_bit: float,
+    n: int,
+    m: int,
+    t_end: float,
+    module: int = 0,
+    schedule: Union[str, RateSchedule, None] = None,
+) -> List[FaultEvent]:
+    """Correlated fault events over ``[0, t_end]`` for one module.
+
+    Arrivals form a (possibly schedule-modulated) Poisson process at the
+    i.i.d. model's total rate ``seu_per_bit * n * m``; each arrival is
+    one shape drawn from the mixture.  A pure ``1BIT`` pattern with no
+    schedule is distribution-identical to
+    :func:`~repro.simulator.faults.sample_seu_events` — the analytic
+    cross-validation anchor.
+    """
+    pattern = parse_pattern(pattern)
+    schedule = parse_schedule(schedule)
+    base_rate = seu_per_bit * n * m
+    if base_rate <= 0 or t_end <= 0:
+        return []
+    expected = base_rate * (
+        schedule.integral(t_end) if schedule is not None else t_end
+    )
+    if expected <= 0:
+        return []
+    count = int(rng.poisson(expected))
+    if count == 0:
+        return []
+    if schedule is not None:
+        times = schedule.sample_times(rng, t_end, count)
+    else:
+        times = np.sort(rng.uniform(0.0, t_end, size=count))
+    return expand_arrivals(rng, pattern, times, n, m, module)

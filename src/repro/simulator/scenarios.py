@@ -1,0 +1,216 @@
+"""Named fault-physics scenario presets.
+
+Each :class:`Scenario` is a fully seeded, self-contained campaign
+configuration pairing a correlated fault pattern (and optionally a
+mission rate schedule) with code geometry, rates, horizon, and a trial
+budget — selectable as ``repro campaign --scenario NAME``.  The catalog
+spans three validation regimes:
+
+* **in-model** presets (``iid-baseline``, ``solar-flare-mission``) whose
+  pattern is i.i.d.-reducible: the paper's analytic chains predict them
+  exactly, which the campaign checks cell by cell and the
+  ``scenario-analytic-parity`` differential target fuzzes nightly;
+* **out-of-model** presets (``mbu-cluster``, ``row-burst``,
+  ``col-burst``, ``mixed-field``, ``stuck-row-permanent``) exercising
+  correlated physics the chains cannot see — these demonstrate graceful
+  degradation: no model column, but full robustness accounting
+  (detected-uncorrectable vs silent-miscorrection counts);
+* a **stress** preset (``beyond-capacity-stress``) driving multi-symbol
+  bursts past the code's correction capability, where the decoder's
+  failure mass visibly splits into detected refusals and silent
+  miscorrections that the i.i.d. baseline does not exhibit.
+
+Rates sit in the MC-visible band (1e-3 .. 6e-3 errors/bit/day over a
+48 h horizon) so modest trial budgets resolve the failure probability;
+they are *scaled up* from the paper's Section 6 environment exactly like
+the repo's standard validation campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .campaign import CampaignCell
+from .patterns import parse_pattern
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+    "render_catalog",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, seeded campaign preset.
+
+    ``summary`` is the one-line catalog entry; ``physics`` states the
+    fault mechanism being modelled.  ``cells`` carry the canonical
+    pattern/schedule spec strings, so a scenario is plain data all the
+    way into fingerprints and manifests.
+    """
+
+    name: str
+    summary: str
+    physics: str
+    cells: Tuple[CampaignCell, ...]
+    seed: int = 2005
+    trials: int = 400
+    n: int = 18
+    k: int = 16
+    m: int = 8
+    t_end_hours: float = 48.0
+
+    @property
+    def iid_reducible(self) -> bool:
+        """True when every cell's law matches the paper's i.i.d. model.
+
+        Such presets must agree with :mod:`repro.memory` analytics
+        within MC confidence — the catalog's cross-validation contract.
+        """
+        return all(
+            cell.pattern is None
+            or parse_pattern(cell.pattern).iid_reducible
+            for cell in self.cells
+        )
+
+
+def _pair(
+    seu: float,
+    perm: float = 0.0,
+    tsc: float | None = None,
+    pattern: str | None = None,
+    schedule: str | None = None,
+) -> Tuple[CampaignCell, CampaignCell]:
+    """The standard simplex + duplex cell pair of one environment."""
+    return (
+        CampaignCell(
+            arrangement="simplex",
+            seu_per_bit_day=seu,
+            erasure_per_symbol_day=perm,
+            scrub_period_seconds=tsc,
+            pattern=pattern,
+            schedule=schedule,
+        ),
+        CampaignCell(
+            arrangement="duplex",
+            seu_per_bit_day=seu,
+            erasure_per_symbol_day=perm,
+            scrub_period_seconds=tsc,
+            pattern=pattern,
+            schedule=schedule,
+        ),
+    )
+
+
+def _catalog() -> Dict[str, Scenario]:
+    presets = [
+        Scenario(
+            name="iid-baseline",
+            summary="the paper's i.i.d. SEU model, run through the "
+            "pattern sampler",
+            physics="independent single-cell upsets, constant rate — "
+            "the control every correlated preset is compared against",
+            cells=_pair(1.2e-3, pattern="1BIT"),
+            seed=2005,
+        ),
+        Scenario(
+            name="mbu-cluster",
+            summary="occasional multi-bit upsets from single strikes",
+            physics="high-LET ions deposit charge across 3 adjacent "
+            "cells; bursts may straddle a symbol boundary",
+            cells=_pair(2e-3, pattern="0.9*1BIT+0.1*MBU:3"),
+            seed=2013,
+        ),
+        Scenario(
+            name="row-burst",
+            summary="row glitches corrupting runs of adjacent symbols",
+            physics="a wordline/driver transient garbles 4 consecutive "
+            "symbols of one codeword in a single instant",
+            cells=_pair(2e-3, pattern="0.85*1BIT+0.15*ROW:4"),
+            seed=2021,
+        ),
+        Scenario(
+            name="col-burst",
+            summary="column glitches flipping one bit plane",
+            physics="a bitline transient flips the same cell position "
+            "across 6 consecutive symbols — many symbols, one bit each",
+            cells=_pair(2e-3, pattern="0.85*1BIT+0.15*COL:6"),
+            seed=2029,
+        ),
+        Scenario(
+            name="mixed-field",
+            summary="composite environment: SEUs + MBUs + row/col events",
+            physics="a realistic radiation mix dominated by single-cell "
+            "upsets with rare clustered and array-level events",
+            cells=_pair(
+                2e-3,
+                pattern="0.82*1BIT+0.1*MBU:3+0.05*ROW:4+0.03*COL:6",
+            ),
+            seed=2037,
+        ),
+        Scenario(
+            name="solar-flare-mission",
+            summary="i.i.d. upsets under a quiet/flare rate schedule",
+            physics="a 42 h quiet cruise followed by a 6 h solar-flare "
+            "enhancement at 8x the quiet SEU rate; i.i.d.-reducible, so "
+            "the piecewise-constant mission chains predict it exactly",
+            cells=_pair(8e-4, pattern="1BIT", schedule="42.0h@1.0,6.0h@8.0"),
+            seed=2045,
+        ),
+        Scenario(
+            name="stuck-row-permanent",
+            summary="transient field plus correlated permanent row faults",
+            physics="driver wearout sticks 3 adjacent symbols at once; "
+            "hourly scrubbing clears transients but not the stuck row",
+            cells=_pair(
+                2e-3, tsc=3600.0, pattern="0.9*1BIT+0.1*ROW:3!"
+            ),
+            seed=2053,
+        ),
+        Scenario(
+            name="beyond-capacity-stress",
+            summary="correlated bursts past the code's correction power",
+            physics="wide row and MBU events corrupt more symbols than "
+            "RS(18,16) can correct, splitting failures into detected "
+            "refusals and silent miscorrections",
+            cells=_pair(6e-3, pattern="0.4*1BIT+0.35*ROW:6+0.25*MBU:8"),
+            seed=2061,
+            trials=300,
+        ),
+    ]
+    return {s.name: s for s in presets}
+
+
+#: The catalog, in presentation order.
+SCENARIOS: Dict[str, Scenario] = _catalog()
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a preset; unknown names raise ValueError (CLI exit 2)."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: "
+            + ", ".join(scenario_names())
+        )
+    return scenario
+
+
+def render_catalog() -> str:
+    """Human-readable catalog table for ``repro campaign --list-scenarios``."""
+    width = max(len(name) for name in SCENARIOS)
+    lines = []
+    for scenario in SCENARIOS.values():
+        tag = "in-model" if scenario.iid_reducible else "out-of-model"
+        lines.append(
+            f"{scenario.name:<{width}}  [{tag:>12}]  {scenario.summary}"
+        )
+    return "\n".join(lines)

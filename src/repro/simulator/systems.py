@@ -40,6 +40,27 @@ class ReadOutcome(Enum):
         return self is not ReadOutcome.CORRECT
 
 
+def _apply_fault(word: MemoryWord, event: FaultEvent) -> None:
+    """Apply one SEU or permanent fault event (bit- or mask-addressed).
+
+    Correlated pattern events (:mod:`repro.simulator.patterns`) carry a
+    nonzero symbol-level ``mask`` upsetting several cells in one
+    instant; classic single-cell events keep ``mask == 0``.
+    """
+    if event.kind is FaultKind.SEU:
+        if event.mask:
+            word.flip_mask(event.symbol, event.mask)
+        else:
+            word.flip_bit(event.symbol, event.bit)
+    elif event.kind is FaultKind.PERMANENT:
+        if event.mask:
+            word.make_stuck_mask(event.symbol, event.mask, event.stuck_value)
+        else:
+            word.make_stuck(event.symbol, event.bit, event.stuck_value)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unhandled event kind {event.kind}")
+
+
 class SimplexSystem:
     """One RS(n, k)-coded memory word with scrubbing support."""
 
@@ -69,14 +90,10 @@ class SimplexSystem:
 
     def apply_event(self, event: FaultEvent) -> None:
         """Apply one injected fault or a scrub operation."""
-        if event.kind is FaultKind.SEU:
-            self.word.flip_bit(event.symbol, event.bit)
-        elif event.kind is FaultKind.PERMANENT:
-            self.word.make_stuck(event.symbol, event.bit, event.stuck_value)
-        elif event.kind is FaultKind.SCRUB:
+        if event.kind is FaultKind.SCRUB:
             self.scrub()
-        else:  # pragma: no cover - exhaustive enum
-            raise ValueError(f"unhandled event kind {event.kind}")
+        else:
+            _apply_fault(self.word, event)
 
     def scrub(self) -> bool:
         """Read-correct-writeback; returns False if the word was uncorrectable.
@@ -140,13 +157,7 @@ class DuplexSystem:
         if event.kind is FaultKind.SCRUB:
             self.scrub()
             return
-        module = self.modules[event.module]
-        if event.kind is FaultKind.SEU:
-            module.flip_bit(event.symbol, event.bit)
-        elif event.kind is FaultKind.PERMANENT:
-            module.make_stuck(event.symbol, event.bit, event.stuck_value)
-        else:  # pragma: no cover - exhaustive enum
-            raise ValueError(f"unhandled event kind {event.kind}")
+        _apply_fault(self.modules[event.module], event)
 
     def arbitrate(self) -> ArbiterResult:
         """One pass of erasure recovery + decoding + comparison."""

@@ -50,6 +50,17 @@ class MemoryWord:
             return
         self._logical[symbol] ^= mask
 
+    def flip_mask(self, symbol: int, mask: int) -> None:
+        """Correlated SEU: invert every masked cell of one symbol at once.
+
+        The physical event is one particle strike (or row/column glitch)
+        upsetting several cells of the same symbol in the same instant;
+        stuck cells absorb their share of the strike exactly as in
+        :meth:`flip_bit`.
+        """
+        self._check_mask(symbol, mask)
+        self._logical[symbol] ^= mask & ~self._stuck_mask[symbol]
+
     def make_stuck(self, symbol: int, bit: int, value: int) -> None:
         """Permanent fault: force one cell to ``value`` (0 or 1) forever.
 
@@ -66,6 +77,24 @@ class MemoryWord:
             self._stuck_value[symbol] |= mask
         else:
             self._stuck_value[symbol] &= ~mask
+        self._located.add(symbol)
+
+    def make_stuck_mask(self, symbol: int, mask: int, values: int) -> None:
+        """Correlated permanent fault: stick every masked cell at once.
+
+        The masked cells of ``symbol`` are forced to the corresponding
+        bits of ``values`` forever; the symbol is recorded as located
+        (one erasure), exactly as for a single stuck cell.
+        """
+        self._check_mask(symbol, mask)
+        if values & ~mask:
+            raise ValueError(
+                f"stuck values {values:#x} extend outside mask {mask:#x}"
+            )
+        self._stuck_mask[symbol] |= mask
+        self._stuck_value[symbol] = (
+            self._stuck_value[symbol] & ~mask
+        ) | values
         self._located.add(symbol)
 
     # -- access ------------------------------------------------------------
@@ -106,6 +135,15 @@ class MemoryWord:
             raise IndexError(f"symbol index {symbol} out of range")
         if not 0 <= bit < self.m:
             raise IndexError(f"bit index {bit} out of range for m={self.m}")
+
+    def _check_mask(self, symbol: int, mask: int) -> None:
+        if not 0 <= symbol < self.n:
+            raise IndexError(f"symbol index {symbol} out of range")
+        if not 0 < mask < (1 << self.m):
+            raise ValueError(
+                f"cell mask must be a nonzero {self.m}-bit value, "
+                f"got {mask:#x}"
+            )
 
     def __repr__(self) -> str:
         return (

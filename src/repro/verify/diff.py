@@ -37,6 +37,11 @@ target                    layers                   compares
                                                    final estimate, and the adaptive
                                                    early-stop prefix vs a literal
                                                    recomputation of the stopping rule
+``scenario-analytic-parity`` memory, simulator     random i.i.d.-reducible fault-pattern
+                                                   mixtures (optionally rate-scheduled) vs
+                                                   the campaign's analytic bridge within a
+                                                   5-sigma Wilson interval, plus the
+                                                   miscorrection/unreadable split invariant
 ========================  =======================  ==========================================
 """
 
@@ -695,6 +700,118 @@ def _shrink_memory_mc(case: Case) -> Iterator[Case]:
         yield {**case, "t_end_hours": case["t_end_hours"] / 2.0}
 
 
+def _gen_scenario_parity_case(rng: np.random.Generator) -> Case:
+    return gen.gen_scenario_parity_case(rng)
+
+
+def _check_scenario_parity(case: Case) -> Optional[Mismatch]:
+    """I.i.d.-reducible scenario cells vs the analytic bridge.
+
+    The pattern sampler's compound-Poisson law is anchored to the i.i.d.
+    total arrival rate, so any transient ``1BIT``/``1SYM`` mixture —
+    optionally under a piecewise rate schedule — must agree with the
+    same analytic prediction the campaign layer publishes through
+    :func:`repro.simulator.campaign.cell_model_probability`.  The gate
+    mirrors ``memory-mc-ber``: two-sided 5-sigma Wilson for simplex,
+    one-sided (``model >= ci_low``) for the documented-conservative
+    duplex chain.  The check also asserts the robustness-accounting
+    invariant that every failure lands in exactly one bucket:
+    ``failures == silent_miscorrections + detected_uncorrectable``.
+    """
+    from ..rs import RSCode
+    from ..simulator.campaign import CampaignCell, cell_model_probability
+    from ..simulator.montecarlo import (
+        simulate_fail_probability_batched,
+        wilson_interval,
+    )
+    from ..simulator.patterns import parse_pattern
+
+    pattern = parse_pattern(case["pattern"])
+    if not pattern.iid_reducible:
+        return Mismatch(
+            "generator produced a non-iid-reducible pattern; the parity "
+            "contract only covers in-model physics",
+            {"pattern": case["pattern"]},
+        )
+    cell = CampaignCell(
+        arrangement=case["arrangement"],
+        seu_per_bit_day=case["seu_per_bit_day"],
+        erasure_per_symbol_day=0.0,
+        scrub_period_seconds=None,
+        pattern=case["pattern"],
+        schedule=case["schedule"],
+    )
+    p_model = cell_model_probability(
+        cell, case["n"], case["k"], case["m"], case["t_end_hours"]
+    )
+    if p_model is None:
+        return Mismatch(
+            "analytic bridge declared an iid-reducible cell out of model",
+            {"pattern": case["pattern"], "schedule": case["schedule"]},
+        )
+    code = RSCode(case["n"], case["k"], m=case["m"])
+    estimate = simulate_fail_probability_batched(
+        case["arrangement"],
+        code,
+        case["t_end_hours"],
+        seu_per_bit=case["seu_per_bit_day"] / 24.0,
+        erasure_per_symbol=0.0,
+        trials=case["trials"],
+        seed=case["mc_seed"],
+        chunk_size=256,
+        pattern=case["pattern"],
+        schedule=case["schedule"],
+    )
+    detail = {
+        "pattern": case["pattern"],
+        "schedule": case["schedule"],
+        "model_probability": p_model,
+        "mc_probability": estimate.probability,
+        "mc_failures": estimate.failures,
+        "mc_trials": estimate.trials,
+        "silent_miscorrections": estimate.silent_miscorrections,
+        "detected_uncorrectable": estimate.detected_uncorrectable,
+        "z": _MC_Z,
+    }
+    split = (estimate.silent_miscorrections or 0) + (
+        estimate.detected_uncorrectable or 0
+    )
+    if estimate.failures != split:
+        return Mismatch(
+            "failure mass does not split into the two robustness buckets",
+            detail,
+        )
+    ci_low, ci_high = wilson_interval(
+        estimate.failures, estimate.trials, z=_MC_Z
+    )
+    detail["ci_low"] = ci_low
+    detail["ci_high"] = ci_high
+    if case["arrangement"] == "duplex":
+        if p_model < ci_low:
+            return Mismatch(
+                "duplex chain fell below the scenario MC interval (the "
+                "chain must be conservative, never optimistic)",
+                detail,
+            )
+        return None
+    if not ci_low <= p_model <= ci_high:
+        return Mismatch(
+            "simplex chain outside the scenario MC Wilson interval", detail
+        )
+    return None
+
+
+def _shrink_scenario_parity(case: Case) -> Iterator[Case]:
+    if case["trials"] > 50:
+        yield {**case, "trials": case["trials"] // 2}
+    if case["t_end_hours"] > 1.0:
+        yield {**case, "t_end_hours": case["t_end_hours"] / 2.0}
+    if case["schedule"] is not None:
+        yield {**case, "schedule": None}
+    if case["pattern"] != "1BIT":
+        yield {**case, "pattern": "1BIT"}
+
+
 def _shrink_memory_case(case: Case) -> Iterator[Case]:
     times = case["times_hours"]
     for i in range(len(times)):
@@ -1117,6 +1234,23 @@ register_target(
         generate=_gen_streaming_case,
         check=_check_mc_streaming_vs_final,
         shrink=_shrink_streaming_case,
+        induced_check=_induced_generic_bug,
+    )
+)
+
+register_target(
+    Target(
+        name="scenario-analytic-parity",
+        layers=("memory", "simulator"),
+        description=(
+            "Random i.i.d.-reducible fault-pattern mixtures (optionally "
+            "under a piecewise rate schedule) vs the campaign layer's "
+            "analytic bridge within a 5-sigma Wilson interval, plus the "
+            "failures == miscorrections + unreadable split invariant"
+        ),
+        generate=_gen_scenario_parity_case,
+        check=_check_scenario_parity,
+        shrink=_shrink_scenario_parity,
         induced_check=_induced_generic_bug,
     )
 )

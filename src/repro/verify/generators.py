@@ -339,3 +339,43 @@ def gen_mc_case(rng: np.random.Generator) -> Dict[str, Any]:
         "trials": 400,
         "mc_seed": int(rng.integers(0, 2**31 - 1)),
     }
+
+
+def gen_scenario_parity_case(rng: np.random.Generator) -> Dict[str, Any]:
+    """One scenario-vs-analytic parity case.
+
+    Draws a random *i.i.d.-reducible* fault-pattern spec (a transient
+    mixture of ``1BIT`` and ``1SYM`` terms — the only shapes whose law
+    the symbol-level chains can see) and, half the time, a two-segment
+    quiet/flare rate schedule.  Scheduled cases pull the rate band down
+    a notch so the extra flare fluence keeps the failure probability
+    inside the MC-visible window.
+    """
+    arrangement = "simplex" if rng.random() < 0.5 else "duplex"
+    if rng.random() < 0.5:
+        pattern = "1BIT" if rng.random() < 0.5 else "1SYM"
+    else:
+        w = round(float(rng.uniform(0.2, 0.8)), 2)
+        pattern = f"{w!r}*1BIT+{round(1.0 - w, 2)!r}*1SYM"
+    schedule: Optional[str] = None
+    if rng.random() < 0.5:
+        quiet = round(float(rng.uniform(24.0, 42.0)), 1)
+        flare = round(float(rng.uniform(2.0, 8.0)), 1)
+        factor = round(float(rng.uniform(2.0, 8.0)), 1)
+        schedule = f"{quiet!r}h@1.0,{flare!r}h@{factor!r}"
+        lam_day = float(10.0 ** rng.uniform(-3.3, -2.7))
+    else:
+        lam_day = float(10.0 ** rng.uniform(-3.3, -2.4))
+    return {
+        "kind": "scenario-parity",
+        "arrangement": arrangement,
+        "n": 18,
+        "k": 16,
+        "m": 8,
+        "seu_per_bit_day": lam_day,
+        "pattern": pattern,
+        "schedule": schedule,
+        "t_end_hours": 48.0,
+        "trials": 400,
+        "mc_seed": int(rng.integers(0, 2**31 - 1)),
+    }

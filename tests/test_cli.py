@@ -237,7 +237,7 @@ class TestCampaignCommand:
         )
         assert code == 0
         manifest = json.loads(path.read_text())
-        assert manifest["manifest_version"] == 2
+        assert manifest["manifest_version"] == 3
         assert manifest["progress"]
         assert manifest["progress"][-1]["done"] == 480
         assert manifest["metrics"]["repro.mc.chunk_seconds"]["count"] == 16
@@ -245,6 +245,94 @@ class TestCampaignCommand:
         perf = manifest["counters"]
         assert perf["cpu_seconds"] > 0.0
         assert perf["elapsed_seconds"] > 0.0
+
+
+class TestCampaignScenarioFlags:
+    def test_list_scenarios(self, capsys):
+        from repro.simulator.scenarios import scenario_names
+
+        assert main(["campaign", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["campaign", "--scenario", "no-such-preset"]) == 2
+        assert "iid-baseline" in capsys.readouterr().err
+
+    def test_scenario_conflicts_with_pattern_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "--scenario",
+                    "iid-baseline",
+                    "--pattern",
+                    "1BIT",
+                ]
+            )
+            == 2
+        )
+        assert "--scenario" in capsys.readouterr().err
+
+    def test_bad_pattern_spec_exits_2(self, capsys):
+        assert main(["campaign", "--pattern", "BOGUS"]) == 2
+        assert "BOGUS" in capsys.readouterr().err
+
+    def test_bad_schedule_spec_exits_2(self, capsys):
+        assert main(["campaign", "--schedule", "5h"]) == 2
+        assert "5h" in capsys.readouterr().err
+
+    def test_scenario_smoke_with_manifest(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "scenario.json"
+        code = main(
+            [
+                "campaign",
+                "--scenario",
+                "mbu-cluster",
+                "--trials",
+                "20",
+                "--chunk-size",
+                "10",
+                "--manifest",
+                str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "miscorrect=" in out and "unreadable=" in out
+        manifest = json.loads(path.read_text())
+        assert manifest["scenario"] == "mbu-cluster"
+        rows = manifest["results"]
+        assert rows
+        for row in rows:
+            assert row["pattern"] == "0.9*1BIT+0.1*MBU:3"
+            # out-of-model physics: graceful degradation, not a wrong model
+            assert row["model_fail_probability"] is None
+            assert row["consistent"] is True
+            assert isinstance(row["silent_miscorrections"], int)
+            assert isinstance(row["detected_uncorrectable"], int)
+
+    def test_adhoc_pattern_on_default_matrix(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--trials",
+                "20",
+                "--chunk-size",
+                "10",
+                "--seed",
+                "3",
+                "--pattern",
+                "0.9*1BIT+0.1*ROW:3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simplex: 4/4" in out
+        assert "duplex: 4/4" in out
 
 
 class TestScenarioCommand:

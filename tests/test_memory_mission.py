@@ -32,8 +32,32 @@ class TestConstruction:
             MissionProfile(SimplexMarkovModel, 18, 16, 8, [])
 
     def test_nonpositive_phase_duration_rejected(self):
-        with pytest.raises(ValueError, match="positive duration"):
+        with pytest.raises(ValueError, match="positive finite duration"):
             phase("bad", 0.0)
+
+    def test_negative_phase_duration_rejected(self):
+        with pytest.raises(ValueError, match="positive finite duration"):
+            phase("bad", -1.0)
+
+    def test_nan_phase_duration_rejected(self):
+        with pytest.raises(ValueError, match="positive finite duration"):
+            phase("bad", float("nan"))
+
+    def test_infinite_phase_duration_rejected(self):
+        with pytest.raises(ValueError, match="positive finite duration"):
+            phase("bad", float("inf"))
+
+    def test_zero_symbol_width_rejected(self):
+        # m = 0 would divide by zero in the ber_factor denominator
+        with pytest.raises(ValueError, match="m"):
+            MissionProfile(SimplexMarkovModel, 18, 16, 0, [phase("a", 1.0)])
+
+    def test_degenerate_code_rejected(self):
+        # k = n leaves no parity; n*m - k*m = 0 also breaks ber_factor
+        with pytest.raises(ValueError, match="0 < k < n"):
+            MissionProfile(SimplexMarkovModel, 18, 18, 8, [phase("a", 1.0)])
+        with pytest.raises(ValueError, match="0 < k < n"):
+            MissionProfile(SimplexMarkovModel, 18, 0, 8, [phase("a", 1.0)])
 
     def test_total_duration(self):
         profile = MissionProfile(

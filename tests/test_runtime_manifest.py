@@ -47,7 +47,8 @@ class TestManifest:
             resumed=True,
             checkpoint_path="run.jsonl",
         )
-        assert manifest["manifest_version"] == 2
+        assert manifest["manifest_version"] == 3
+        assert manifest["scenario"] is None
         assert manifest["fingerprint"]["base_seed"] == 5
         assert manifest["fingerprint"]["cells"][0]["arrangement"] == "simplex"
         assert manifest["resumed"] is True
@@ -61,6 +62,13 @@ class TestManifest:
         assert result["cell"] == rows[0].cell.label()
         assert result["trials"] == 100
         assert result["failures"] == rows[0].estimate.failures
+        assert result["pattern"] is None
+        assert result["schedule"] is None
+        assert isinstance(result["silent_miscorrections"], int)
+        assert isinstance(result["detected_uncorrectable"], int)
+        assert result["silent_miscorrections"] + result[
+            "detected_uncorrectable"
+        ] == result["failures"]
         assert set(manifest["environment"]) == {
             "git_describe",
             "python",

@@ -53,7 +53,8 @@ def scalar_reference(trials=300, seed=17, chunk_size=75):
     counts = {outcome.value: 0 for outcome in ReadOutcome}
     for size, seed_seq in zip(sizes, seeds):
         res = _run_scalar_chunk(
-            ("simplex", 18, 16, 8, 1, 48.0, LAM, 0.0, None, False, size, seed_seq)
+            ("simplex", 18, 16, 8, 1, 48.0, LAM, 0.0, None, False, size, seed_seq,
+             None, None)
         )
         failures += res["failures"]
         for key, value in res["counts"].items():
@@ -91,7 +92,7 @@ class TestSerialResilience:
         seeds = spawn_chunk_seeds(17, len(sizes))
         scalar_res = _run_scalar_chunk(
             ("simplex", 18, 16, 8, 1, 48.0, LAM, 0.0, None, False,
-             sizes[2], seeds[2])
+             sizes[2], seeds[2], None, None)
         )
         expected_failures = (
             REFERENCE.failures - _chunk_failures(2) + scalar_res["failures"]
@@ -144,7 +145,7 @@ def _chunk_failures(index, trials=300, seed=17, chunk_size=75):
     seeds = spawn_chunk_seeds(seed, len(sizes))
     res = _run_injection_chunk(
         ("simplex", 18, 16, 8, 1, 48.0, LAM, 0.0, None, False,
-         sizes[index], seeds[index])
+         sizes[index], seeds[index], None, None)
     )
     return res["failures"]
 
@@ -212,7 +213,7 @@ class TestPooledResilience:
         seeds = spawn_chunk_seeds(17, len(sizes))
         scalar_res = _run_scalar_chunk(
             ("simplex", 18, 16, 8, 1, 48.0, LAM, 0.0, None, False,
-             sizes[0], seeds[0])
+             sizes[0], seeds[0], None, None)
         )
         expected = REFERENCE.failures - _chunk_failures(0) + scalar_res["failures"]
         assert estimate.failures == expected

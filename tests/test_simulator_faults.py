@@ -4,11 +4,14 @@ import numpy as np
 import pytest
 
 from repro.simulator import (
+    FaultEvent,
     FaultKind,
+    event_sort_key,
     merge_event_streams,
     sample_permanent_events,
     sample_seu_events,
     scrub_schedule,
+    sort_events,
 )
 
 
@@ -95,3 +98,64 @@ class TestMerge:
         assert len(merged) == len(seu) + len(perm) + len(scrubs)
         times = [e.time for e in merged]
         assert times == sorted(times)
+
+
+class TestDeterministicOrdering:
+    def test_samplers_emit_sorted_streams(self):
+        rng = np.random.default_rng(13)
+        for events in (
+            sample_seu_events(rng, 0.05, 18, 8, 20.0),
+            sample_permanent_events(rng, 0.05, 18, 8, 20.0),
+        ):
+            assert events == sort_events(events)
+
+    def test_equal_time_tie_break_is_total(self):
+        """Simultaneous events order by kind, module, symbol, bit, mask."""
+        t = 1.0
+        events = [
+            FaultEvent(t, FaultKind.SCRUB, 0, 0, 0),
+            FaultEvent(t, FaultKind.PERMANENT, 0, 2, 1, 1),
+            FaultEvent(t, FaultKind.SEU, 1, 0, 0),
+            FaultEvent(t, FaultKind.SEU, 0, 5, 3),
+            FaultEvent(t, FaultKind.SEU, 0, 5, 0, 0, mask=0b110),
+            FaultEvent(t, FaultKind.SEU, 0, 5, 0),
+        ]
+        ordered = sort_events(events)
+        # transients first, then permanents, then scrubs
+        assert [e.kind for e in ordered] == [
+            FaultKind.SEU,
+            FaultKind.SEU,
+            FaultKind.SEU,
+            FaultKind.SEU,
+            FaultKind.PERMANENT,
+            FaultKind.SCRUB,
+        ]
+        # within SEUs: module then symbol then bit then mask
+        seus = ordered[:4]
+        assert [(e.module, e.symbol, e.bit, e.mask) for e in seus] == [
+            (0, 5, 0, 0),
+            (0, 5, 0, 0b110),
+            (0, 5, 3, 0),
+            (1, 0, 0, 0),
+        ]
+
+    def test_sort_is_deterministic_under_any_input_order(self):
+        rng = np.random.default_rng(14)
+        events = sample_seu_events(rng, 0.05, 18, 8, 20.0)
+        events += [FaultEvent(e.time, e.kind, 1, e.symbol, e.bit) for e in events]
+        reference = sort_events(events)
+        for seed in range(5):
+            shuffled = list(events)
+            np.random.default_rng(seed).shuffle(shuffled)
+            assert sort_events(shuffled) == reference
+
+    def test_merge_uses_full_tie_break(self):
+        t = 2.0
+        a = [FaultEvent(t, FaultKind.SEU, 0, 7, 1)]
+        b = [FaultEvent(t, FaultKind.SEU, 0, 3, 0)]
+        c = [FaultEvent(t, FaultKind.SCRUB, 0, 0, 0)]
+        merged = list(merge_event_streams(a, b, c))
+        assert [event_sort_key(e) for e in merged] == sorted(
+            event_sort_key(e) for e in merged
+        )
+        assert merged[0].symbol == 3 and merged[-1].kind is FaultKind.SCRUB

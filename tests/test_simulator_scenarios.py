@@ -1,0 +1,134 @@
+"""Tests for the named fault-physics scenario catalog."""
+
+import pytest
+
+from repro.simulator import (
+    SCENARIOS,
+    get_scenario,
+    parse_pattern,
+    parse_schedule,
+    render_catalog,
+    scenario_names,
+)
+from repro.simulator.campaign import run_campaign
+
+EXPECTED_NAMES = [
+    "iid-baseline",
+    "mbu-cluster",
+    "row-burst",
+    "col-burst",
+    "mixed-field",
+    "solar-flare-mission",
+    "stuck-row-permanent",
+    "beyond-capacity-stress",
+]
+
+IN_MODEL = {"iid-baseline", "solar-flare-mission"}
+
+
+def _run(name):
+    """Run a preset exactly as the CLI defaults would (batch, chunk 512)."""
+    s = get_scenario(name)
+    return run_campaign(
+        s.cells,
+        n=s.n,
+        k=s.k,
+        m=s.m,
+        t_end_hours=s.t_end_hours,
+        trials=s.trials,
+        base_seed=s.seed,
+        engine="batch",
+        chunk_size=512,
+    )
+
+
+class TestCatalog:
+    def test_expected_names_in_order(self):
+        assert scenario_names() == EXPECTED_NAMES
+
+    def test_every_cell_spec_is_canonical(self):
+        """Specs parse, and are already in canonical grammar text."""
+        for scenario in SCENARIOS.values():
+            assert scenario.cells, scenario.name
+            for cell in scenario.cells:
+                if cell.pattern is not None:
+                    assert parse_pattern(cell.pattern).spec() == cell.pattern
+                if cell.schedule is not None:
+                    assert (
+                        parse_schedule(cell.schedule).spec() == cell.schedule
+                    )
+
+    def test_in_model_classification(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.iid_reducible == (scenario.name in IN_MODEL), (
+                scenario.name
+            )
+
+    def test_presets_are_fully_seeded(self):
+        seeds = [s.seed for s in SCENARIOS.values()]
+        assert len(set(seeds)) == len(seeds), "per-preset seeds must differ"
+        for scenario in SCENARIOS.values():
+            assert scenario.trials > 0
+            assert scenario.t_end_hours > 0
+
+    def test_get_scenario_unknown_name(self):
+        with pytest.raises(ValueError, match="iid-baseline"):
+            get_scenario("no-such-scenario")
+
+    def test_render_catalog_lists_every_preset(self):
+        text = render_catalog()
+        for name in EXPECTED_NAMES:
+            assert name in text
+        assert "in-model" in text and "out-of-model" in text
+
+
+class TestScenarioRuns:
+    def test_iid_baseline_agrees_with_analytics_and_never_miscorrects(self):
+        rows = _run("iid-baseline")
+        for row in rows:
+            assert row.model_fail_probability is not None
+            assert row.consistent, (
+                f"{row.cell.label()}: model {row.model_fail_probability} "
+                f"outside [{row.estimate.ci_low}, {row.estimate.ci_high}]"
+            )
+            assert row.estimate.silent_miscorrections == 0
+            assert row.estimate.detected_uncorrectable >= 0
+
+    def test_solar_flare_mission_matches_mission_profile(self):
+        """The scheduled i.i.d. preset is predicted by the mission chains."""
+        rows = _run("solar-flare-mission")
+        for row in rows:
+            assert row.model_fail_probability is not None
+            assert row.consistent, row.cell.label()
+
+    def test_beyond_capacity_stress_miscorrects_where_baseline_does_not(self):
+        rows = _run("beyond-capacity-stress")
+        for row in rows:
+            # out-of-model: no analytic column, graceful degradation
+            assert row.model_fail_probability is None
+            assert row.consistent  # vacuously — nothing to contradict
+            assert row.estimate.silent_miscorrections > 0, row.cell.label()
+            assert row.estimate.detected_uncorrectable > 0
+            assert row.estimate.failures == (
+                row.estimate.silent_miscorrections
+                + row.estimate.detected_uncorrectable
+            )
+
+    def test_out_of_model_preset_reports_null_model(self):
+        s = get_scenario("mbu-cluster")
+        rows = run_campaign(
+            s.cells,
+            n=s.n,
+            k=s.k,
+            m=s.m,
+            t_end_hours=s.t_end_hours,
+            trials=40,
+            base_seed=s.seed,
+            engine="batch",
+            chunk_size=512,
+        )
+        for row in rows:
+            assert row.model_fail_probability is None
+            assert row.consistent
+            assert row.estimate.silent_miscorrections is not None
+            assert row.estimate.detected_uncorrectable is not None

@@ -30,6 +30,7 @@ EXPECTED_TARGETS = {
     "memory-mc-ber",
     "journal-roundtrip",
     "mc-streaming-vs-final",
+    "scenario-analytic-parity",
 }
 
 # Trial counts tuned so the whole module stays in the seconds range:
@@ -45,6 +46,7 @@ TRIALS = {
     "memory-mc-ber": 3,
     "journal-roundtrip": 3,
     "mc-streaming-vs-final": 3,
+    "scenario-analytic-parity": 3,
 }
 
 
