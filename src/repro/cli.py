@@ -23,6 +23,10 @@ Subcommands:
   manifests (``--manifest``), deterministic fault injection
   (``--chaos``, dev), a JSONL span/event/metric trace (``--trace``),
   and live per-chunk heartbeats with ETA (``--progress``).
+* ``serve --state-dir DIR`` — the campaign service: an HTTP/JSON API
+  to submit campaign specs as jobs, poll/stream their progress, and
+  fetch results, backed by a durable job queue (jobs survive restarts)
+  and a content-addressed result cache keyed by campaign fingerprint.
 * ``doctor PATH [--repair]`` — audit a checkpoint journal or a whole
   state directory (frame CRCs, hash chain, quarantine sidecars, locks,
   manifests) and print a machine-readable JSON report; with
@@ -353,6 +357,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="truncate torn tails, quarantine corrupt records, and "
         "rewrite a clean checksummed v2 journal (upgrades legacy v1 "
         "files); the rewrite is atomic",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service HTTP API (submit/poll/stream/"
+        "result jobs backed by a durable queue and result cache)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        required=True,
+        help="service state directory (job queue journal, chunk "
+        "journals, content-addressed result cache)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port; 0 picks an ephemeral port (default: 8765)",
+    )
+    serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=2,
+        help="worker threads / concurrent campaigns (default: 2)",
+    )
+    serve.add_argument(
+        "--tenant-cap",
+        type=int,
+        default=1,
+        help="max concurrent jobs per tenant (default: 1)",
     )
 
     design = sub.add_parser(
@@ -872,6 +911,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 seed,
                 args.engine,
                 args.chunk_size,
+                stop=stop,
             ),
             rows=rows,
             counters=counters,
@@ -1008,6 +1048,72 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .runtime.integrity import (
+        LOCK_CONTENTION_EXIT_CODE,
+        JournalLockedError,
+    )
+    from .service import CampaignScheduler, ServiceServer
+    from .service.queue import QueueError
+
+    if not (0 <= args.port <= 65535):
+        print(f"--port must be in [0, 65535], got {args.port}", file=sys.stderr)
+        return 2
+    if args.max_jobs < 1:
+        print(f"--max-jobs must be >= 1, got {args.max_jobs}", file=sys.stderr)
+        return 2
+    if args.tenant_cap < 1:
+        print(
+            f"--tenant-cap must be >= 1, got {args.tenant_cap}",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        scheduler = CampaignScheduler(
+            args.state_dir,
+            max_jobs=args.max_jobs,
+            tenant_cap=args.tenant_cap,
+        )
+    except JournalLockedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return LOCK_CONTENTION_EXIT_CODE
+    except QueueError as exc:
+        print(
+            f"error: {exc}\nhint: repro doctor {args.state_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    scheduler.start()
+
+    async def run() -> int:
+        server = ServiceServer(scheduler, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"repro service on http://{args.host}:{server.port} "
+            f"(state: {args.state_dir}, workers: {args.max_jobs})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stopping.set)
+        await stopping.wait()
+        await server.close()
+        return 130
+
+    try:
+        code = asyncio.run(run())
+    finally:
+        scheduler.stop()
+    # Queued/running jobs revert to queued on the next start; 130
+    # mirrors the campaign SIGINT contract (state resumable).
+    return code
+
+
 _COMMANDS = {
     "figure": cmd_figure,
     "report": cmd_report,
@@ -1020,6 +1126,7 @@ _COMMANDS = {
     "verify": cmd_verify,
     "doctor": cmd_doctor,
     "scrub-design": cmd_scrub_design,
+    "serve": cmd_serve,
 }
 
 

@@ -34,6 +34,7 @@ from .metrics import (
     MetricsRegistry,
     get_registry,
     log_spaced_buckets,
+    render_prometheus,
     set_registry,
 )
 from .progress import ProgressEvent, ProgressTracker, format_progress
@@ -65,6 +66,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "log_spaced_buckets",
+    "render_prometheus",
     "get_registry",
     "set_registry",
     "ProgressEvent",

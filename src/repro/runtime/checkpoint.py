@@ -293,7 +293,11 @@ class CheckpointJournal:
 
     # -- protocol ----------------------------------------------------------
 
-    def ensure_header(self, fingerprint: Dict[str, Any]) -> bool:
+    def ensure_header(
+        self,
+        fingerprint: Dict[str, Any],
+        upgrade=None,
+    ) -> bool:
         """Bind the journal to a campaign fingerprint.
 
         Writes the header on a fresh journal; on an existing one,
@@ -303,6 +307,12 @@ class CheckpointJournal:
         journal's advisory lock happens here (or at the first append),
         so a second concurrent campaign fails fast with
         :class:`~repro.runtime.integrity.JournalLockedError`.
+
+        ``upgrade`` (optional) lifts a *stored* legacy fingerprint to
+        the caller's current schema before comparison (see
+        :func:`repro.simulator.campaign.upgrade_fingerprint`), so old
+        journals stay resumable without weakening the strict equality
+        check for same-schema fingerprints.
         """
         if not self.readonly:
             self._lock.acquire()
@@ -317,6 +327,8 @@ class CheckpointJournal:
                 self._append(header)
             return False
         stored = self._header.get("fingerprint")
+        if upgrade is not None and isinstance(stored, dict):
+            stored = upgrade(stored)
         if stored != fingerprint:
             diff = sorted(
                 k

@@ -1,0 +1,462 @@
+"""The asyncio HTTP/JSON front of the campaign service (stdlib only).
+
+A deliberately small HTTP/1.1 server — ``asyncio.start_server`` plus a
+hand-rolled request parser — because the repo's no-new-dependencies rule
+applies to the serving layer too.  One request per connection
+(``Connection: close``), JSON in, JSON out, NDJSON for streams.
+
+Endpoints::
+
+    POST /v1/jobs                submit a campaign spec -> job id
+    GET  /v1/jobs                job listing (newest last)
+    GET  /v1/jobs/{id}           poll job status
+    GET  /v1/jobs/{id}/stream    NDJSON: BER snapshots as chunks land,
+                                 then one terminal status line
+    GET  /v1/jobs/{id}/result    final result document (from the cache)
+    GET  /v1/jobs/{id}/trace     per-job trace records as JSONL
+    GET  /metrics                Prometheus text exposition of the obs
+                                 metrics registry
+    GET  /healthz                liveness probe
+
+Blocking scheduler calls (journal fsyncs, condition waits) run in the
+event loop's default thread-pool executor, so a slow disk cannot stall
+every connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from ..obs import metrics as obs_metrics
+from ..obs.metrics import render_prometheus
+from .protocol import SpecError
+from .scheduler import CampaignScheduler
+
+#: Request hygiene limits: a public endpoint reads untrusted bytes.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+#: How often a stream endpoint re-checks for new snapshots.
+STREAM_POLL_SECONDS = 0.05
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP request (before routing)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _response_head(
+    status: int, content_type: str, length: Optional[int]
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("utf-8")
+
+
+class ServiceApp:
+    """Routing and handlers over a :class:`CampaignScheduler`."""
+
+    def __init__(self, scheduler: CampaignScheduler):
+        self.scheduler = scheduler
+
+    # -- plumbing ----------------------------------------------------------
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        registry = obs_metrics.get_registry()
+        try:
+            try:
+                method, path, headers = await self._read_head(reader)
+                body = await self._read_body(reader, headers)
+            except _BadRequest as exc:
+                await self._send_json(
+                    writer, exc.status, {"error": exc.message}
+                )
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            registry.counter("repro.service.http_requests").inc()
+            try:
+                await self._route(writer, method, path, body)
+            except (ConnectionError, BrokenPipeError):
+                pass  # client went away mid-response
+            except Exception as exc:  # noqa: BLE001 - keep the server alive
+                registry.counter("repro.service.http_errors").inc()
+                try:
+                    await self._send_json(
+                        writer,
+                        500,
+                        {"error": f"{type(exc).__name__}: {exc}"},
+                    )
+                except (ConnectionError, BrokenPipeError):
+                    pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _BadRequest(413, "headers too large") from None
+        if len(head) > MAX_HEADER_BYTES:
+            raise _BadRequest(413, "headers too large")
+        try:
+            text = head.decode("latin-1")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+            raise _BadRequest(400, "undecodable request head") from None
+        request_line, *header_lines = text.split("\r\n")
+        parts = request_line.split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _BadRequest(400, f"malformed request line {request_line!r}")
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        return method, path, headers
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: Dict[str, str]
+    ) -> bytes:
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise _BadRequest(
+                400, f"bad Content-Length {length_text!r}"
+            ) from None
+        if length < 0:
+            raise _BadRequest(400, f"bad Content-Length {length}")
+        if length > MAX_BODY_BYTES:
+            raise _BadRequest(
+                413, f"body too large ({length} > {MAX_BODY_BYTES})"
+            )
+        if length == 0:
+            return b""
+        return await reader.readexactly(length)
+
+    async def _send_json(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        writer.write(_response_head(status, "application/json", len(body)))
+        writer.write(body)
+        await writer.drain()
+
+    async def _send_text(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str,
+    ) -> None:
+        body = text.encode("utf-8")
+        writer.write(_response_head(status, content_type, len(body)))
+        writer.write(body)
+        await writer.drain()
+
+    async def _in_thread(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            None, fn, *args
+        )
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(
+        self,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: bytes,
+    ) -> None:
+        path = path.split("?", 1)[0]
+        if path == "/healthz" and method == "GET":
+            await self._send_json(writer, 200, {"ok": True})
+            return
+        if path == "/metrics":
+            if method != "GET":
+                await self._send_json(writer, 405, {"error": "GET only"})
+                return
+            await self._send_text(
+                writer,
+                200,
+                render_prometheus(obs_metrics.get_registry()),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            return
+        if path == "/v1/jobs":
+            if method == "POST":
+                await self._submit(writer, body)
+            elif method == "GET":
+                jobs = await self._in_thread(self.scheduler.list_jobs)
+                await self._send_json(writer, 200, {"jobs": jobs})
+            else:
+                await self._send_json(
+                    writer, 405, {"error": "GET or POST only"}
+                )
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, sub = rest.partition("/")
+            if method != "GET":
+                await self._send_json(writer, 405, {"error": "GET only"})
+                return
+            job = self.scheduler.get_job(job_id)
+            if job is None:
+                await self._send_json(
+                    writer, 404, {"error": f"no such job {job_id!r}"}
+                )
+                return
+            if sub == "":
+                await self._send_json(writer, 200, job.status_dict())
+            elif sub == "stream":
+                await self._stream(writer, job_id)
+            elif sub == "result":
+                await self._result(writer, job)
+            elif sub == "trace":
+                await self._trace(writer, job)
+            else:
+                await self._send_json(
+                    writer, 404, {"error": f"unknown endpoint {sub!r}"}
+                )
+            return
+        await self._send_json(writer, 404, {"error": f"no route for {path}"})
+
+    # -- handlers ----------------------------------------------------------
+
+    async def _submit(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            await self._send_json(
+                writer, 400, {"error": f"body is not JSON: {exc}"}
+            )
+            return
+        try:
+            outcome = await self._in_thread(self.scheduler.submit, payload)
+        except SpecError as exc:
+            await self._send_json(writer, 400, {"error": str(exc)})
+            return
+        await self._send_json(writer, 200, outcome.as_dict())
+
+    async def _stream(self, writer: asyncio.StreamWriter, job_id: str) -> None:
+        """NDJSON: every snapshot so far, new ones as they land, then a
+        terminal ``{"kind": "status", ...}`` line."""
+        writer.write(_response_head(200, "application/x-ndjson", None))
+        await writer.drain()
+        cursor = 0
+        while True:
+            snapshots, state = await self._in_thread(
+                self.scheduler.snapshots_since, job_id, cursor
+            )
+            for snap in snapshots:
+                line = dict(snap)
+                line["kind"] = "snapshot"
+                writer.write((json.dumps(line) + "\n").encode("utf-8"))
+            cursor += len(snapshots)
+            if snapshots:
+                await writer.drain()
+            if state in ("done", "failed"):
+                job = self.scheduler.get_job(job_id)
+                final = {"kind": "status"}
+                final.update(job.status_dict())
+                writer.write((json.dumps(final) + "\n").encode("utf-8"))
+                await writer.drain()
+                return
+            await asyncio.sleep(STREAM_POLL_SECONDS)
+
+    async def _result(self, writer: asyncio.StreamWriter, job) -> None:
+        if job.state == "failed":
+            await self._send_json(
+                writer,
+                409,
+                {"error": f"job failed: {job.error}", "state": job.state},
+            )
+            return
+        if job.state != "done":
+            await self._send_json(
+                writer,
+                409,
+                {"error": "job not finished", "state": job.state},
+            )
+            return
+        entry = await self._in_thread(self.scheduler.result_entry, job)
+        if entry is None:
+            await self._send_json(
+                writer,
+                500,
+                {"error": "result entry missing or failed verification"},
+            )
+            return
+        await self._send_json(
+            writer,
+            200,
+            {
+                "job_id": job.id,
+                "cached": job.cached,
+                "fingerprint_digest": entry["fingerprint_digest"],
+                "fingerprint": entry["fingerprint"],
+                "result": entry["result"],
+            },
+        )
+
+    async def _trace(self, writer: asyncio.StreamWriter, job) -> None:
+        if job.trace_records is None:
+            await self._send_json(
+                writer,
+                404,
+                {
+                    "error": "no trace for this job (another job held the "
+                    "trace slot, it ran before this server start, or it "
+                    "has not run yet)"
+                },
+            )
+            return
+        text = "".join(
+            json.dumps(record) + "\n" for record in job.trace_records
+        )
+        await self._send_text(writer, 200, text, "application/x-ndjson")
+
+
+class ServiceServer:
+    """Bind/serve wrapper around :class:`ServiceApp`.
+
+    ``port=0`` binds an ephemeral port; :attr:`port` reports the actual
+    one after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        scheduler: CampaignScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.scheduler = scheduler
+        self.app = ServiceApp(scheduler)
+        self.host = host
+        self.requested_port = port
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> "ServiceServer":
+        self._server = await asyncio.start_server(
+            self.app.handle_connection,
+            host=self.host,
+            port=self.requested_port,
+            limit=MAX_HEADER_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+def start_in_thread(
+    scheduler: CampaignScheduler,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> "ThreadedServer":
+    """Run a :class:`ServiceServer` on a background event-loop thread.
+
+    The embedding entry point (tests, notebooks): returns once the
+    socket is bound, with the actual port resolved.
+    """
+    handle = ThreadedServer(scheduler, host, port)
+    handle.start()
+    return handle
+
+
+class ThreadedServer:
+    """A server + event loop confined to one daemon thread."""
+
+    def __init__(self, scheduler: CampaignScheduler, host: str, port: int):
+        self.server = ServiceServer(scheduler, host, port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = None
+        self._started = None
+
+    @property
+    def port(self) -> int:
+        if self.server.port is None:
+            raise RuntimeError("server not started")
+        return self.server.port
+
+    def start(self) -> None:
+        import threading
+
+        self._started = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-http", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("service HTTP thread failed to start")
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            await self.server.start()
+            self._started.set()
+            try:
+                await self.server._server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+
+        try:
+            self._loop.run_until_complete(main())
+        finally:
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+
+        def _shutdown() -> None:
+            for task in asyncio.all_tasks(self._loop):
+                task.cancel()
+
+        self._loop.call_soon_threadsafe(_shutdown)
+        self._thread.join(timeout=10.0)

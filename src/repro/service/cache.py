@@ -1,0 +1,179 @@
+"""Content-addressed result cache keyed by campaign fingerprints.
+
+The cache's key space *is* the journal-binding identity: the SHA-256
+digest of the canonical JSON of
+:func:`repro.simulator.campaign.campaign_fingerprint` (one
+canonicalization, shared with ``--checkpoint`` journals and manifests).
+Two requests with equal fingerprints are guaranteed bit-identical
+results by the runtime's determinism contract, so serving the second
+from cache is not an approximation — it is the same answer.
+
+Layout (``repro doctor``-style auditable, two-level fan-out so a busy
+cache never puts millions of entries in one directory)::
+
+    cache/
+      ab/
+        ab3f...e2.json          # entry, written atomically
+        ab3f...e2.json.quarantine  # a failed self-check, moved aside
+
+Every entry embeds its own fingerprint digest and a SHA-256 over its
+canonical body, so a flipped byte is detected on read: the damaged entry
+is moved to a ``.quarantine`` sidecar (never silently served, never
+silently deleted) and the read degrades to a miss — the campaign simply
+recomputes, exactly the checkpoint-journal healing contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..ioutil import atomic_write
+from ..obs import metrics as obs_metrics
+from ..obs import trace
+from ..simulator.campaign import fingerprint_digest
+
+CACHE_SCHEMA = 1
+
+_DIGEST_HEX_LENGTH = 64
+
+
+def _canonical_body(entry: Dict[str, Any]) -> str:
+    """The canonical JSON the embedded ``body_sha256`` covers."""
+    body = {k: v for k, v in entry.items() if k != "body_sha256"}
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _body_sha256(entry: Dict[str, Any]) -> str:
+    return hashlib.sha256(_canonical_body(entry).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Atomic, self-verifying, content-addressed campaign results."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # -- addressing --------------------------------------------------------
+
+    def path_for(self, digest: str) -> Path:
+        if (
+            len(digest) != _DIGEST_HEX_LENGTH
+            or not all(c in "0123456789abcdef" for c in digest)
+        ):
+            raise ValueError(f"not a sha-256 hex digest: {digest!r}")
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- read --------------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The verified cache entry for ``digest``, or ``None`` (miss).
+
+        A structurally broken or self-check-failing entry is
+        quarantined and reported as a miss; it cannot poison a response.
+        """
+        registry = obs_metrics.get_registry()
+        path = self.path_for(digest)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            registry.counter("repro.service.cache_misses").inc()
+            return None
+        entry: Optional[Dict[str, Any]]
+        try:
+            entry = json.loads(raw)
+        except ValueError:
+            entry = None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != CACHE_SCHEMA
+            or entry.get("fingerprint_digest") != digest
+            or entry.get("body_sha256") != _body_sha256(entry)
+        ):
+            self._quarantine(path, digest)
+            registry.counter("repro.service.cache_misses").inc()
+            return None
+        registry.counter("repro.service.cache_hits").inc()
+        return entry
+
+    def _quarantine(self, path: Path, digest: str) -> None:
+        quarantined = path.with_suffix(path.suffix + ".quarantine")
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            return
+        obs_metrics.get_registry().counter(
+            "repro.service.cache_quarantined"
+        ).inc()
+        trace.event(
+            "cache_quarantine", digest=digest, path=str(quarantined)
+        )
+
+    # -- write -------------------------------------------------------------
+
+    def put(
+        self,
+        fingerprint: Dict[str, Any],
+        result: Dict[str, Any],
+    ) -> Path:
+        """Store ``result`` under its fingerprint's content address.
+
+        The full fingerprint rides inside the entry, so an auditor can
+        recompute the address from the content alone — the definition of
+        content-addressed storage.  The write is atomic; concurrent
+        writers of one digest are therefore last-writer-wins over
+        *identical* content.
+        """
+        digest = fingerprint_digest(fingerprint)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint_digest": digest,
+            "fingerprint": fingerprint,
+            "result": result,
+        }
+        entry["body_sha256"] = _body_sha256(entry)
+        path = self.path_for(digest)
+        atomic_write(path, json.dumps(entry, indent=2, sort_keys=True) + "\n")
+        obs_metrics.get_registry().counter("repro.service.cache_writes").inc()
+        return path
+
+    # -- audit -------------------------------------------------------------
+
+    def audit(self) -> Dict[str, Any]:
+        """Verify every entry in place (read-only; nothing quarantined).
+
+        Returns a doctor-style report: per-entry verdicts plus the
+        address check (an entry filed under a digest its own fingerprint
+        does not hash to is misfiled, even if internally consistent).
+        """
+        entries: List[Dict[str, Any]] = []
+        healthy = True
+        for path in sorted(self.root.glob("*/*.json")):
+            digest = path.stem
+            verdict = "healthy"
+            try:
+                entry = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                entry = None
+            if not isinstance(entry, dict):
+                verdict = "unreadable"
+            elif entry.get("schema") != CACHE_SCHEMA:
+                verdict = "unknown-schema"
+            elif entry.get("body_sha256") != _body_sha256(entry):
+                verdict = "body-hash-mismatch"
+            elif entry.get("fingerprint_digest") != digest:
+                verdict = "misfiled"
+            elif fingerprint_digest(entry.get("fingerprint", {})) != digest:
+                verdict = "address-mismatch"
+            healthy = healthy and verdict == "healthy"
+            entries.append({"path": str(path), "verdict": verdict})
+        quarantined = [str(p) for p in sorted(self.root.glob("*/*.quarantine"))]
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "quarantined": quarantined,
+            "healthy": healthy,
+        }

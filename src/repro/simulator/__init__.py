@@ -25,13 +25,18 @@ from .arbiter import (
     recover_erasures,
 )
 from .campaign import (
+    FINGERPRINT_SCHEMA,
     CampaignCell,
     CampaignRow,
     campaign_fingerprint,
     campaign_summary,
+    canonical_fingerprint_json,
     cell_model_probability,
     default_validation_campaign,
+    fingerprint_digest,
     run_campaign,
+    stopping_fingerprint,
+    upgrade_fingerprint,
 )
 from .controller import ControllerStats, simulate_controller
 from .faults import (
@@ -130,7 +135,12 @@ __all__ = [
     "compare_policies",
     "CampaignCell",
     "CampaignRow",
+    "FINGERPRINT_SCHEMA",
     "campaign_fingerprint",
+    "canonical_fingerprint_json",
+    "fingerprint_digest",
+    "stopping_fingerprint",
+    "upgrade_fingerprint",
     "cell_model_probability",
     "run_campaign",
     "default_validation_campaign",

@@ -10,6 +10,8 @@ of what this module automates.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -169,6 +171,31 @@ def cell_model_probability(
     return float(profile.fail_probability([t_end_hours])[0])
 
 
+#: Current fingerprint schema.  3 folded the adaptive-stopping rule in:
+#: ``stop_rel_ci``/``min_trials``/``ci_method`` change the recorded
+#: ``stopped_early`` prefix and hence the final estimate, so two runs
+#: differing only in the stopping rule are *different campaigns* and
+#: must not share a journal (or a cached result).
+FINGERPRINT_SCHEMA = 3
+
+
+def stopping_fingerprint(stop) -> Optional[Dict[str, object]]:
+    """Canonical JSON form of a stopping rule (``None`` = full budget).
+
+    Accepts a :class:`repro.stats.StoppingRule` (or anything with the
+    same four attributes); every field that can move the stop index —
+    and therefore the estimate — is included.
+    """
+    if stop is None:
+        return None
+    return {
+        "rel_ci": float(stop.rel_ci),
+        "min_trials": int(stop.min_trials),
+        "method": str(stop.method),
+        "confidence": float(stop.confidence),
+    }
+
+
 def campaign_fingerprint(
     cells: Sequence[CampaignCell],
     n: int,
@@ -179,16 +206,21 @@ def campaign_fingerprint(
     base_seed: int,
     engine: str,
     chunk_size: int,
+    stop=None,
 ) -> Dict[str, object]:
     """Every parameter the campaign estimates depend on, as plain JSON.
 
-    This is the identity a checkpoint journal is bound to: two campaigns
-    with equal fingerprints produce bit-identical estimates, so their
-    journaled chunks are interchangeable.  Worker count is deliberately
-    absent — it cannot affect results.
+    This is the identity a checkpoint journal is bound to — and, via
+    :func:`fingerprint_digest`, the content address of the service-layer
+    result cache: two campaigns with equal fingerprints produce
+    bit-identical estimates, so their journaled chunks (and cached
+    results) are interchangeable.  Worker count is deliberately absent —
+    it cannot affect results.  ``stop`` is the adaptive stopping rule
+    (or ``None`` for a full-budget run); see :func:`stopping_fingerprint`
+    for why it is part of the identity.
     """
     return {
-        "schema": 2,
+        "schema": FINGERPRINT_SCHEMA,
         "n": n,
         "k": k,
         "m": m,
@@ -197,6 +229,7 @@ def campaign_fingerprint(
         "base_seed": base_seed,
         "engine": engine,
         "chunk_size": chunk_size,
+        "stopping": stopping_fingerprint(stop),
         "cells": [
             {
                 "arrangement": cell.arrangement,
@@ -209,6 +242,61 @@ def campaign_fingerprint(
             for cell in cells
         ],
     }
+
+
+def upgrade_fingerprint(fingerprint: Dict[str, object]) -> Dict[str, object]:
+    """Lift a legacy journal fingerprint to the current schema.
+
+    Older schemas could only have been written by features that did not
+    exist yet, so the migration defaults are exact, not guesses:
+
+    * schema 1 (pre fault-physics) — every cell ran the i.i.d. model:
+      ``pattern``/``schedule`` become ``None``;
+    * schema 2 (pre stopping-rule identity) — the journal's *header*
+      carries no stopping information, so it is treated as a full-budget
+      run (``stopping: None``).  A schema-2 journal that was actually
+      written under ``--stop-rel-ci`` is exactly the bug this migration
+      closes: it now only resumes into a run with no stopping rule,
+      which replays every journaled chunk and recomputes the rest —
+      still bit-identical, never silently truncated.
+
+    Unknown/newer schemas are returned unchanged (the strict equality
+    check in ``ensure_header`` then refuses them).
+    """
+    schema = fingerprint.get("schema")
+    if schema not in (1, 2):
+        return fingerprint
+    upgraded = dict(fingerprint)
+    if schema == 1:
+        upgraded["cells"] = [
+            {**cell, "pattern": None, "schedule": None}
+            for cell in upgraded.get("cells", [])
+        ]
+    upgraded["schema"] = FINGERPRINT_SCHEMA
+    upgraded.setdefault("stopping", None)
+    return upgraded
+
+
+def canonical_fingerprint_json(fingerprint: Dict[str, object]) -> str:
+    """The one canonical serialization shared by journals and the cache.
+
+    Sorted keys, no whitespace — byte-identical for equal fingerprints,
+    so the digest below is a true content address.
+    """
+    return json.dumps(
+        fingerprint, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def fingerprint_digest(fingerprint: Dict[str, object]) -> str:
+    """SHA-256 hex digest of the canonical fingerprint JSON.
+
+    This is the content-address of the service result cache *and* the
+    identity journals are bound to: one canonicalization, one key space.
+    """
+    return hashlib.sha256(
+        canonical_fingerprint_json(fingerprint).encode("utf-8")
+    ).hexdigest()
 
 
 def run_campaign(
@@ -275,8 +363,18 @@ def run_campaign(
             )
         runtime.journal.ensure_header(
             campaign_fingerprint(
-                cells, n, k, m, t_end_hours, trials, base_seed, engine, chunk_size
-            )
+                cells,
+                n,
+                k,
+                m,
+                t_end_hours,
+                trials,
+                base_seed,
+                engine,
+                chunk_size,
+                stop=runtime.stop,
+            ),
+            upgrade=upgrade_fingerprint,
         )
     code = RSCode(n, k, m=m)
     rows: List[CampaignRow] = []

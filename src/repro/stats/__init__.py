@@ -19,6 +19,7 @@ cross-check it against independent implementations.
 """
 
 from .intervals import (
+    INTERVAL_METHODS,
     jeffreys_interval,
     binomial_interval,
     regularized_incomplete_beta,
@@ -35,6 +36,7 @@ from .streaming import (
 )
 
 __all__ = [
+    "INTERVAL_METHODS",
     "jeffreys_interval",
     "binomial_interval",
     "regularized_incomplete_beta",

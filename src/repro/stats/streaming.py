@@ -93,20 +93,44 @@ class StreamingEstimator:
     def offer(
         self, index: int, failures: int, trials: int
     ) -> Optional[BerSnapshot]:
-        """Fold chunk ``index`` in; ``None`` if it was a duplicate."""
+        """Fold chunk ``index`` in; ``None`` if it was a duplicate.
+
+        Inputs are validated before any state changes: a malformed
+        service request or a corrupt chunk record must raise here, not
+        propagate ``failures > trials`` into ``binomial_interval`` and
+        come back as a nonsense interval.
+        """
+        failures = int(failures)
+        trials = int(trials)
+        if trials < 0:
+            raise ValueError(f"trials must be >= 0, got {trials}")
+        if failures < 0:
+            raise ValueError(f"failures must be >= 0, got {failures}")
+        if failures > trials:
+            raise ValueError(
+                f"failures ({failures}) cannot exceed trials ({trials})"
+            )
         if index in self._seen:
             return None
         self._seen.add(index)
-        self.failures += int(failures)
-        self.trials += int(trials)
+        self.failures += failures
+        self.trials += trials
         self.chunks += 1
         return self.snapshot()
 
     def snapshot(self) -> BerSnapshot:
-        """The current aggregate as a :class:`BerSnapshot`."""
+        """The current aggregate as a :class:`BerSnapshot`.
+
+        With zero trials the interval is degenerate (``[0, 1]``, infinite
+        relative width) but the counters are still the estimator's own:
+        zero-trial chunks folded in via :meth:`offer` keep counting, so
+        ``chunks``/``failures`` never silently disagree with the
+        instance's state.
+        """
         if self.trials <= 0:
             return BerSnapshot(
-                chunks=0, trials=0, failures=0, probability=0.0,
+                chunks=self.chunks, trials=self.trials,
+                failures=self.failures, probability=0.0,
                 ci_low=0.0, ci_high=1.0, rel_halfwidth=math.inf,
                 method=self.method,
             )

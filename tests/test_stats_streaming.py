@@ -1,0 +1,97 @@
+"""Regression tests for StreamingEstimator input validation and the
+zero-trials snapshot.
+
+Two historical bugs pinned here:
+
+* ``snapshot()`` at ``trials == 0`` used to fabricate a snapshot with
+  hardcoded ``chunks=0, failures=0`` — discarding the estimator's real
+  counters when zero-trial chunks had been folded in;
+* ``offer()`` accepted ``failures > trials`` (and negative counts),
+  silently feeding impossible proportions into the interval math.
+"""
+
+import math
+
+import pytest
+
+from repro.stats import BerSnapshot, StreamingEstimator
+
+
+class TestSnapshotZeroTrials:
+    def test_fresh_estimator_degenerate_interval(self):
+        snap = StreamingEstimator().snapshot()
+        assert snap.chunks == 0
+        assert snap.trials == 0
+        assert snap.failures == 0
+        assert snap.probability == 0.0
+        assert (snap.ci_low, snap.ci_high) == (0.0, 1.0)
+        assert math.isinf(snap.rel_halfwidth)
+
+    def test_zero_trial_chunks_keep_counting(self):
+        # The regression: folding in empty chunks must be visible in the
+        # snapshot's chunk count, not reset to a hardcoded zero.
+        est = StreamingEstimator()
+        est.offer(0, 0, 0)
+        est.offer(1, 0, 0)
+        snap = est.snapshot()
+        assert snap.chunks == 2
+        assert snap.trials == 0
+        assert snap.failures == 0
+        assert (snap.ci_low, snap.ci_high) == (0.0, 1.0)
+        assert math.isinf(snap.rel_halfwidth)
+
+    def test_snapshot_counters_match_instance_state(self):
+        est = StreamingEstimator()
+        est.offer(3, 0, 0)
+        snap = est.snapshot()
+        assert snap.chunks == est.chunks
+        assert snap.trials == est.trials
+        assert snap.failures == est.failures
+
+    def test_snapshot_method_preserved(self):
+        snap = StreamingEstimator(method="jeffreys").snapshot()
+        assert snap.method == "jeffreys"
+
+    def test_as_dict_infinite_rel_halfwidth_is_null(self):
+        d = StreamingEstimator().snapshot().as_dict()
+        assert d["rel_halfwidth"] is None
+
+
+class TestOfferValidation:
+    def test_failures_exceeding_trials_rejected(self):
+        est = StreamingEstimator()
+        with pytest.raises(ValueError, match="cannot exceed"):
+            est.offer(0, failures=5, trials=3)
+
+    def test_negative_failures_rejected(self):
+        with pytest.raises(ValueError, match="failures"):
+            StreamingEstimator().offer(0, failures=-1, trials=10)
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            StreamingEstimator().offer(0, failures=0, trials=-10)
+
+    def test_rejected_offer_leaves_state_untouched(self):
+        est = StreamingEstimator()
+        est.offer(0, 1, 10)
+        with pytest.raises(ValueError):
+            est.offer(1, 9, 3)
+        # Nothing from the bad offer leaked in — not even the index.
+        assert (est.chunks, est.trials, est.failures) == (1, 10, 1)
+        snap = est.offer(1, 2, 10)
+        assert isinstance(snap, BerSnapshot)
+        assert (est.chunks, est.trials, est.failures) == (2, 20, 3)
+
+    def test_valid_offers_still_aggregate(self):
+        est = StreamingEstimator()
+        est.offer(0, 2, 50)
+        snap = est.offer(1, 3, 50)
+        assert snap.trials == 100
+        assert snap.failures == 5
+        assert snap.probability == pytest.approx(0.05)
+
+    def test_duplicate_index_still_dropped(self):
+        est = StreamingEstimator()
+        est.offer(0, 2, 50)
+        assert est.offer(0, 2, 50) is None
+        assert est.trials == 50
