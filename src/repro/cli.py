@@ -8,6 +8,9 @@ Subcommands:
 * ``ber`` — evaluate BER(t) for an ad-hoc configuration (arrangement,
   code, rates, scrub period).
 * ``complexity`` — the Section 6 decoder latency/area table.
+* ``engines`` — the RS backend capability matrix (scalar / numpy /
+  compiled with availability and probe reasons, and what ``--engine
+  auto`` resolves to here).
 * ``validate`` — quick Monte-Carlo cross-check of the chains at an
   MC-visible rate.
 * ``scrub-design`` — the largest scrubbing period meeting a BER budget,
@@ -88,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("complexity", help="Section 6 decoder cost table")
 
+    sub.add_parser(
+        "engines",
+        help="list registered RS backends with availability and reasons",
+    )
+
     val = sub.add_parser("validate", help="Monte-Carlo cross-check")
     val.add_argument("--trials", type=int, default=1000)
     val.add_argument("--seed", type=int, default=2005)
@@ -167,10 +175,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument(
         "--engine",
-        choices=("batch", "scalar"),
-        default="batch",
-        help="trial executor: vectorized batch codec (default) or the "
-        "one-trial-at-a-time scalar reference",
+        choices=("auto", "compiled", "numpy", "scalar", "batch", "reference"),
+        default="auto",
+        help="RS execution engine: 'auto' (default) picks the fastest "
+        "available batch backend (compiled when numba is usable, else "
+        "numpy); 'compiled'/'numpy'/'scalar' pin a batch backend "
+        "('batch' is a legacy alias for numpy) — all batch backends are "
+        "bit-identical, the choice only affects throughput; 'reference' "
+        "is the legacy one-trial-at-a-time loop (see 'repro engines' "
+        "for the capability matrix)",
     )
     camp.add_argument(
         "--workers",
@@ -464,6 +477,19 @@ def cmd_complexity(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_engines(_args: argparse.Namespace) -> int:
+    from .rs.backends import auto_backend, list_backends
+
+    infos = list_backends()
+    width = max(len(info.name) for info in infos)
+    for info in infos:
+        status = "available" if info.available else "UNAVAILABLE"
+        print(f"{info.name:<{width}}  {status:<11}  {info.description}")
+        print(f"{'':<{width}}  {'':<11}  {info.reason}")
+    print(f"\n--engine auto resolves to: {auto_backend()}")
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from .memory import duplex_model, simplex_model
     from .rs import RSCode
@@ -652,31 +678,42 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print("--trials must be positive", file=sys.stderr)
         return 2
 
-    if args.checkpoint and args.engine != "batch":
+    # Resolve the engine up front: '--engine compiled' in an environment
+    # that cannot run it exits loudly here (reason string included),
+    # before any journal header is written or model solved.
+    from .rs.backends import BackendUnavailableError, resolve_engine
+
+    try:
+        family, _backend = resolve_engine(args.engine)
+    except BackendUnavailableError as exc:
+        print(f"{exc} (see 'repro engines')", file=sys.stderr)
+        return 2
+
+    if args.checkpoint and family != "batch":
         print(
-            "--checkpoint requires --engine batch (the scalar engine has "
-            "no chunk structure to journal)",
+            "--checkpoint requires a batch-family engine (the reference "
+            "loop has no chunk structure to journal)",
             file=sys.stderr,
         )
         return 2
-    if args.progress and args.engine != "batch":
+    if args.progress and family != "batch":
         print(
-            "--progress requires --engine batch (heartbeats are emitted "
-            "per chunk; the scalar engine has none)",
+            "--progress requires a batch-family engine (heartbeats are "
+            "emitted per chunk; the reference loop has none)",
             file=sys.stderr,
         )
         return 2
-    if args.executor != "auto" and args.engine != "batch":
+    if args.executor != "auto" and family != "batch":
         print(
-            "--executor requires --engine batch (the scalar engine has "
-            "no chunks to dispatch)",
+            "--executor requires a batch-family engine (the reference "
+            "loop has no chunks to dispatch)",
             file=sys.stderr,
         )
         return 2
-    if args.stop_rel_ci is not None and args.engine != "batch":
+    if args.stop_rel_ci is not None and family != "batch":
         print(
-            "--stop-rel-ci requires --engine batch (adaptive stopping "
-            "consumes per-chunk results)",
+            "--stop-rel-ci requires a batch-family engine (adaptive "
+            "stopping consumes per-chunk results)",
             file=sys.stderr,
         )
         return 2
@@ -793,7 +830,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             method=args.ci_method,
         )
     tracker = None
-    if args.engine == "batch" and (args.progress or args.trace or args.manifest):
+    if family == "batch" and (args.progress or args.trace or args.manifest):
         tracker = ProgressTracker(
             total=trials * len(cells), unit="trials"
         )
@@ -826,7 +863,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             workers=args.workers,
             chunk_size=args.chunk_size,
             counters=counters,
-            runtime=runtime if args.engine == "batch" else None,
+            runtime=runtime if family == "batch" else None,
         )
     except CheckpointMismatchError as exc:
         print(f"checkpoint refused: {exc}", file=sys.stderr)
@@ -894,8 +931,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if counters.had_faults:
         print("\nresilience:")
         print(counters.resilience_summary())
-    if args.perf and args.engine == "batch":
-        print(f"\nbatch engine ({args.workers} worker(s)):")
+    if args.perf and family == "batch":
+        print(
+            f"\nbatch engine [{_backend} backend] "
+            f"({args.workers} worker(s)):"
+        )
         print(counters.summary())
     if args.manifest:
         manifest = build_manifest(
@@ -1122,6 +1162,7 @@ _COMMANDS = {
     "sensitivity": cmd_sensitivity,
     "ber": cmd_ber,
     "complexity": cmd_complexity,
+    "engines": cmd_engines,
     "validate": cmd_validate,
     "verify": cmd_verify,
     "doctor": cmd_doctor,

@@ -62,6 +62,10 @@ class PerfCounters:
     cpu_seconds: busy time accumulated *inside* chunk executors;
         additive across workers and can exceed ``elapsed_seconds``
         under multiprocessing.
+    kernel_seconds: busy time spent inside the RS backend's encode /
+        syndrome kernels specifically (a subset of ``cpu_seconds``).
+        Additive; per-engine kernel time is this counter paired with
+        the run's engine label (a campaign uses one engine throughout).
 
     Resilience counters (filled by :mod:`repro.runtime`):
 
@@ -92,6 +96,7 @@ class PerfCounters:
     chunks: int = 0
     elapsed_seconds: float = 0.0
     cpu_seconds: float = 0.0
+    kernel_seconds: float = 0.0
     retries: int = 0
     chunk_failures: int = 0
     chunk_timeouts: int = 0
@@ -191,6 +196,10 @@ class PerfCounters:
             f"elapsed (wall)     : {self.elapsed_seconds:.3f} s",
             f"cpu (all workers)  : {self.cpu_seconds:.3f} s",
         ]
+        if self.kernel_seconds > 0:
+            lines.append(
+                f"kernel (GF/RS)     : {self.kernel_seconds:.3f} s"
+            )
         if self.elapsed_seconds > 0 and self.cpu_seconds > 0:
             lines.append(f"parallel speedup   : {self.parallel_speedup:.2f}x")
         if self.trials and self.elapsed_seconds > 0:

@@ -1,0 +1,20 @@
+"""Exceptions shared across the backend registry and its engines."""
+
+from __future__ import annotations
+
+
+class BackendUnavailableError(RuntimeError):
+    """A requested RS backend cannot run in this environment.
+
+    Raised loudly at *selection/construction* time — never swallowed into
+    a silent fallback.  ``reason`` carries the capability probe's detail
+    string (e.g. why numba failed to import) so the CLI and service layer
+    can surface it verbatim.
+    """
+
+    def __init__(self, backend: str, reason: str):
+        self.backend = backend
+        self.reason = reason
+        super().__init__(
+            f"RS backend {backend!r} is unavailable: {reason}"
+        )

@@ -1,0 +1,100 @@
+"""Per-field GF(2^m) table codegen for the native-speed backends.
+
+The compiled RS kernels do not share Python objects with
+:class:`~repro.gf.field.GF2m` — a jitted kernel can only consume plain
+ndarrays.  This module *generates* those arrays per field (the "codegen"
+step): exp/log gather tables, and the **bit-sliced multiplication
+planes** the kernels actually use in their hot loops.
+
+Bit-sliced multiplication by a constant ``c`` exploits GF(2^m)
+linearity: writing ``a = XOR_i (bit_i(a) * x^i)`` in the polynomial
+basis,
+
+    ``a * c = XOR over set bits i of a of (c * x^i)``
+
+so a single precomputed plane vector ``planes[i] = c * x^i`` turns every
+multiplication into at most ``m`` masked XORs — no gathers, no data-
+dependent branches, which is exactly what a jitted inner loop (or a
+SIMD unit) wants.  By construction the product is *linear in each
+argument*: linear in ``a`` because it XORs one plane per set bit of
+``a``, and linear in ``c`` because every plane is ``c`` times a fixed
+basis element.  ``tests/test_gf_codegen_property.py`` pins both
+properties against the carry-less reference multiplier.
+
+Everything here is pure numpy and always importable; only the kernels
+that *consume* these tables are numba-gated (see
+:mod:`repro.rs.backends.kernels`).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...gf.batch import batch_field
+
+#: dtype of every generated table — matches :mod:`repro.gf.batch` so
+#: cross-backend comparisons are dtype-exact, and wide enough that the
+#: bit-sliced accumulations can never overflow for any supported ``m``
+#: (values stay < 2^m <= 2^16; the sign bit is only ever used by the
+#: ``-(bit)`` all-ones masks, which are XOR-cancelled before output).
+TABLE_DTYPE = np.int64
+
+
+@lru_cache(maxsize=None)
+def field_tables(
+    m: int, prim_poly: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(exp, log)`` gather tables for GF(2^m), as read-only int64 arrays.
+
+    ``exp`` is the doubled table of :class:`~repro.gf.field.GF2m` (length
+    ``2 * 2^m``) so ``exp[log[a] + log[b]]`` needs no modulo; ``log`` has
+    length ``2^m`` with ``log[0] == 0`` (callers mask zero operands).
+    """
+    bgf = batch_field(m, prim_poly)
+    exp = np.array(bgf._exp, dtype=TABLE_DTYPE)
+    log = np.array(bgf._log, dtype=TABLE_DTYPE)
+    exp.setflags(write=False)
+    log.setflags(write=False)
+    return exp, log
+
+
+def mul_planes(
+    constants, m: int, prim_poly: Optional[int] = None
+) -> np.ndarray:
+    """Bit-sliced multiplication planes for an array of constants.
+
+    For input shape ``(C,)`` the result has shape ``(C, m)`` with
+    ``planes[j, i] = constants[j] * x^i`` (``x^i`` is the polynomial-basis
+    element ``1 << i``, *not* ``alpha^i``).  Then for any field element
+    ``a``::
+
+        a * constants[j] == XOR of planes[j, i] over the set bits i of a
+
+    which :func:`bitsliced_mul` (and the jitted kernels) evaluate with
+    ``m`` masked XORs.
+    """
+    bgf = batch_field(m, prim_poly)
+    consts = bgf.validate_elements(np.atleast_1d(np.asarray(constants)))
+    basis = np.asarray([1 << i for i in range(m)], dtype=TABLE_DTYPE)
+    return bgf.mul(consts[:, np.newaxis], basis[np.newaxis, :]).astype(
+        TABLE_DTYPE
+    )
+
+
+def bitsliced_mul(a, planes: np.ndarray) -> np.ndarray:
+    """Multiply every element of ``a`` by one constant via its planes.
+
+    ``planes`` is a single ``(m,)`` row of :func:`mul_planes`.  The loop
+    is over the ``m`` bit positions only — each step is a vectorized
+    mask-and-XOR — so this is also the numpy fallback form of the
+    compiled kernels' inner product (bit-identical to table gathers).
+    """
+    a = np.asarray(a, dtype=TABLE_DTYPE)
+    out = np.zeros_like(a)
+    for bit in range(planes.shape[0]):
+        # -(bit value) is the all-ones / all-zeros mask: branch-free.
+        out ^= (-((a >> bit) & 1)) & planes[bit]
+    return out

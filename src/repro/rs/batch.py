@@ -27,6 +27,7 @@ pays the scalar price it always paid.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -145,8 +146,23 @@ class BatchRSCodec:
     Parameters mirror :class:`RSCode`; a prebuilt scalar codec may be
     supplied to guarantee both views share one generator/field.  An
     optional :class:`~repro.perf.PerfCounters` records words encoded,
-    words decoded, fast-path hits and scalar fallbacks.
+    words decoded, fast-path hits, scalar fallbacks, and kernel busy
+    time (``kernel_seconds``).
+
+    This class is also the ``numpy`` engine of the backend registry
+    (:mod:`repro.rs.backends`).  The *validation, counter, fast-path and
+    scalar-fallback logic* lives here and is shared by every engine;
+    subclasses override only the two kernel hooks —
+    :meth:`_parity_kernel` and :meth:`_syndromes_kernel` — with their
+    own arithmetic (pure-python loops for the ``scalar`` engine,
+    bit-sliced jitted kernels for ``compiled``).  Because both hooks
+    compute exact field arithmetic, every engine is bit-identical by
+    construction; the conformance suite and the ``rs-compiled-*``
+    differential targets enforce it.
     """
+
+    #: Registry name of this engine; subclasses override.
+    backend_name = "numpy"
 
     def __init__(
         self,
@@ -182,6 +198,41 @@ class BatchRSCodec:
             [scalar.gf.exp(fcr + j) for j in range(self.nsym)], dtype=np.int64
         )
 
+    # -- kernel hooks --------------------------------------------------------
+
+    def _parity_kernel(self, data: np.ndarray) -> np.ndarray:
+        """``(B, nsym)`` parity of a validated ``(B, k)`` data batch.
+
+        The numpy engine runs the systematic LFSR division across the
+        batch dimension — ``k`` vectorized steps instead of ``B``
+        polynomial divisions.
+        """
+        B = data.shape[0]
+        parity = np.zeros((B, self.nsym), dtype=np.int64)
+        for j in range(self.k - 1, -1, -1):
+            feedback = data[:, j] ^ parity[:, -1]
+            shifted = np.empty_like(parity)
+            shifted[:, 1:] = parity[:, :-1]
+            shifted[:, 0] = 0
+            parity = shifted ^ self.bgf.mul(
+                feedback[:, np.newaxis], self._gen_tail[np.newaxis, :]
+            )
+        return parity
+
+    def _syndromes_kernel(self, rec: np.ndarray) -> np.ndarray:
+        """``(B, nsym)`` syndromes of a validated ``(B, n)`` batch."""
+        return self.bgf.poly_eval_batch(rec, self._synd_points)
+
+    def _timed_kernel(self, kernel, *args) -> np.ndarray:
+        """Run a kernel hook, accounting busy time to ``kernel_seconds``."""
+        if self.counters is None:
+            return kernel(*args)
+        t0 = time.perf_counter()
+        try:
+            return kernel(*args)
+        finally:
+            self.counters.kernel_seconds += time.perf_counter() - t0
+
     # -- encoding -----------------------------------------------------------
 
     def encode_batch(self, words: Sequence[Sequence[int]]) -> np.ndarray:
@@ -198,17 +249,7 @@ class BatchRSCodec:
         B = data.shape[0]
         if B == 0:
             return np.zeros((0, self.n), dtype=np.int64)
-        # LFSR division of d(x) * x^nsym by the monic generator, one data
-        # symbol per step, vectorized over the batch dimension.
-        parity = np.zeros((B, self.nsym), dtype=np.int64)
-        for j in range(self.k - 1, -1, -1):
-            feedback = data[:, j] ^ parity[:, -1]
-            shifted = np.empty_like(parity)
-            shifted[:, 1:] = parity[:, :-1]
-            shifted[:, 0] = 0
-            parity = shifted ^ self.bgf.mul(
-                feedback[:, np.newaxis], self._gen_tail[np.newaxis, :]
-            )
+        parity = self._timed_kernel(self._parity_kernel, data)
         out = np.concatenate([parity, data], axis=1)
         if self.counters is not None:
             self.counters.words_encoded += B
@@ -217,15 +258,25 @@ class BatchRSCodec:
     # -- syndromes ----------------------------------------------------------
 
     def syndromes_batch(self, received: Sequence[Sequence[int]]) -> np.ndarray:
-        """``(B, nsym)`` syndrome matrix of a ``(B, n)`` received batch."""
-        rec = self.bgf.asarray(np.atleast_2d(np.asarray(received)))
+        """``(B, nsym)`` syndrome matrix of a ``(B, n)`` received batch.
+
+        Inputs are range-checked like every other entry point: a word
+        containing values outside ``[0, 2^m)`` — e.g. a full-length
+        n=255 byte batch handed over as a *signed* ``int8`` array, whose
+        values >= 128 silently wrapped negative — used to flow into the
+        log-table gather, where numpy's negative indexing made it a
+        silently *wrong* syndrome instead of an error.  A wrong syndrome
+        can prove a dirty word "clean", which is the worst possible
+        failure mode for the fast path; now it raises ``ValueError``.
+        """
+        rec = self.bgf.validate_elements(np.atleast_2d(np.asarray(received)))
         if rec.ndim != 2 or (rec.size and rec.shape[1] != self.n):
             raise ValueError(
                 f"expected a (B, {self.n}) batch, got shape {rec.shape}"
             )
         if rec.shape[0] == 0:
             return np.zeros((0, self.nsym), dtype=np.int64)
-        return self.bgf.poly_eval_batch(rec, self._synd_points)
+        return self._timed_kernel(self._syndromes_kernel, rec)
 
     def is_codeword_mask(self, received: Sequence[Sequence[int]]) -> np.ndarray:
         """Boolean mask of rows whose syndromes are all zero."""
@@ -313,8 +364,27 @@ class BatchRSCodec:
             nsym=self.nsym,
         )
 
+    # -- single-word passthrough (backend contract) -------------------------
+
+    def encode(self, data: Sequence[int]) -> List[int]:
+        """Encode one data word via the shared scalar codec."""
+        return self.scalar.encode(data)
+
+    def decode(
+        self,
+        received: Sequence[int],
+        erasure_positions: Sequence[int] = (),
+    ) -> DecodeResult:
+        """Full errors-and-erasures decode of one word.
+
+        Every engine shares the scalar errors-and-erasures pipeline for
+        single words — the same code path dirty batch words fall back
+        to — so per-word semantics are engine-invariant by construction.
+        """
+        return self.scalar.decode(received, erasure_positions=erasure_positions)
+
     def __repr__(self) -> str:
         return (
-            f"BatchRSCodec(n={self.n}, k={self.k}, m={self.m}, "
+            f"{type(self).__name__}(n={self.n}, k={self.k}, m={self.m}, "
             f"fcr={self.fcr})"
         )

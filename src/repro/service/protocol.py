@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..rs.backends import ENGINE_CHOICES
 from ..runtime.executors import EXECUTOR_NAMES
 from ..simulator.campaign import (
     CampaignCell,
@@ -55,7 +56,11 @@ class CampaignSpec:
     ``cells`` through ``stop`` are the fingerprinted identity;
     ``workers``/``executor`` are execution hints and ``scenario`` is
     provenance only (a preset submitted by name and the same cells
-    submitted explicitly are the same campaign).
+    submitted explicitly are the same campaign).  ``engine`` enters the
+    fingerprint only as its result-relevant family
+    (:func:`repro.rs.backends.canonical_engine`): every batch backend
+    is bit-identical, so jobs differing only in backend share one cache
+    entry.
     """
 
     cells: Tuple[CampaignCell, ...]
@@ -339,15 +344,19 @@ def parse_spec(payload: Any) -> Tuple[str, CampaignSpec]:
     _require(seed >= 0, f"seed must be >= 0, got {seed}")
     engine = payload.get("engine", "batch")
     _require(
-        engine in ("batch", "scalar"),
-        f"engine must be 'batch' or 'scalar', got {engine!r}",
+        engine in ENGINE_CHOICES,
+        f"engine must be one of {ENGINE_CHOICES}, got {engine!r}",
     )
+    # Family is a pure function of the name — spec validation must not
+    # depend on this host's capabilities (an unavailable compiled
+    # backend fails the *job*, loudly, not the submission digest).
+    engine_family = "reference" if engine == "reference" else "batch"
     chunk_size = _as_int(payload, "chunk_size", 512)
     _require(chunk_size > 0, f"chunk_size must be positive, got {chunk_size}")
     stop = _parse_stopping(payload.get("stopping"))
     _require(
-        stop is None or engine == "batch",
-        "adaptive stopping requires the batch engine",
+        stop is None or engine_family == "batch",
+        "adaptive stopping requires a batch-family engine",
     )
     workers = _as_int(payload, "workers", 1)
     _require(1 <= workers <= 64, f"workers must be in [1, 64], got {workers}")
@@ -358,8 +367,8 @@ def parse_spec(payload: Any) -> Tuple[str, CampaignSpec]:
         f"got {executor!r}",
     )
     _require(
-        executor is None or engine == "batch",
-        "an explicit executor requires the batch engine",
+        executor is None or engine_family == "batch",
+        "an explicit executor requires a batch-family engine",
     )
     return tenant, CampaignSpec(
         cells=tuple(cells),

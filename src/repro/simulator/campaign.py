@@ -25,6 +25,7 @@ from ..memory.simplex import SimplexMarkovModel
 from ..obs import trace
 from ..perf import PerfCounters
 from ..rs import RSCode
+from ..rs.backends import ENGINE_CHOICES, canonical_engine, resolve_engine
 from ..runtime import RuntimeConfig
 from .montecarlo import (
     FailureEstimate,
@@ -215,9 +216,15 @@ def campaign_fingerprint(
     result cache: two campaigns with equal fingerprints produce
     bit-identical estimates, so their journaled chunks (and cached
     results) are interchangeable.  Worker count is deliberately absent —
-    it cannot affect results.  ``stop`` is the adaptive stopping rule
-    (or ``None`` for a full-budget run); see :func:`stopping_fingerprint`
-    for why it is part of the identity.
+    it cannot affect results.  The engine is recorded only as its
+    result-relevant family (:func:`~repro.rs.backends.canonical_engine`):
+    every batch backend (``scalar``/``numpy``/``compiled``/``auto``)
+    produces bit-identical estimates, so they share one identity —
+    ``"batch"``, the value pre-registry journals already carry — while
+    the legacy ``reference`` loop keeps its historical ``"scalar"``
+    value.  ``stop`` is the adaptive stopping rule (or ``None`` for a
+    full-budget run); see :func:`stopping_fingerprint` for why it is
+    part of the identity.
     """
     return {
         "schema": FINGERPRINT_SCHEMA,
@@ -227,7 +234,7 @@ def campaign_fingerprint(
         "t_end_hours": t_end_hours,
         "trials": trials,
         "base_seed": base_seed,
-        "engine": engine,
+        "engine": canonical_engine(engine),
         "chunk_size": chunk_size,
         "stopping": stopping_fingerprint(stop),
         "cells": [
@@ -307,7 +314,7 @@ def run_campaign(
     t_end_hours: float = 48.0,
     trials: int = 400,
     base_seed: int = 2005,
-    engine: str = "scalar",
+    engine: str = "auto",
     workers: int = 1,
     chunk_size: int = 512,
     counters: Optional[PerfCounters] = None,
@@ -318,17 +325,25 @@ def run_campaign(
     Seeding is positional (``base_seed + index``) so a campaign is exactly
     reproducible and individual cells can be re-run in isolation.
 
-    ``engine`` selects the trial executor: ``"scalar"`` is the original
-    one-trial-at-a-time reference path (bit-for-bit identical to historic
-    campaigns for a given seed); ``"batch"`` draws each cell's fault
-    events in vectorized chunks and decodes reads through
-    :class:`~repro.rs.batch.BatchRSCodec`, optionally fanning chunks out
-    over ``workers`` processes — batch-engine results are a deterministic
-    function of ``(base_seed, trials, chunk_size)`` only, never of
-    ``workers``.  ``counters`` (batch engine only) accumulates work and
-    throughput across all cells.
+    ``engine`` selects the trial executor (see :mod:`repro.rs.backends`):
 
-    ``runtime`` (batch engine only) threads the resilience layer
+    * ``"auto"`` (default), ``"compiled"``, ``"numpy"`` (alias
+      ``"batch"``), and ``"scalar"`` all run the *batch family* — fault
+      events drawn in vectorized chunks, reads decoded in bulk through
+      the named RS backend, chunks optionally fanned out over ``workers``
+      processes.  All batch backends are bit-identical: the estimate is
+      a deterministic function of ``(base_seed, trials, chunk_size)``
+      only, never of the backend or ``workers``.  ``"auto"`` picks the
+      fastest available backend (``compiled`` when its capability probe
+      passes, else ``numpy`` — announced, never silent).
+    * ``"reference"`` is the legacy one-trial-at-a-time loop
+      (bit-for-bit identical to historic ``engine="scalar"`` campaigns
+      for a given seed), kept as the trusted validation path.
+
+    ``counters`` (batch family only) accumulates work and throughput
+    across all cells.
+
+    ``runtime`` (batch family only) threads the resilience layer
     through every cell: supervised retries, per-chunk timeouts, chaos
     injection, and — when ``runtime.journal`` is set — chunk-level
     checkpointing.  The journal is bound to this campaign's
@@ -339,8 +354,14 @@ def run_campaign(
     """
     if not cells:
         raise ValueError("empty campaign")
-    if engine not in ("scalar", "batch"):
-        raise ValueError(f"engine must be 'scalar' or 'batch', got {engine!r}")
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(
+            f"engine must be one of {', '.join(ENGINE_CHOICES)}, "
+            f"got {engine!r}"
+        )
+    # Resolve now: an unavailable compiled backend fails loudly here,
+    # before any model solve or journal header is written.
+    family, backend = resolve_engine(engine)
     if trials <= 0:
         raise ValueError(f"trials must be positive, got {trials}")
     if chunk_size <= 0:
@@ -356,10 +377,11 @@ def run_campaign(
             parse_pattern(cell.pattern)
         parse_schedule(cell.schedule)
     if runtime is not None and runtime.journal is not None:
-        if engine != "batch":
+        if family != "batch":
             raise ValueError(
-                "checkpoint journaling requires engine='batch' "
-                "(the scalar engine has no chunk structure to journal)"
+                "checkpoint journaling requires a batch-family engine "
+                "(auto/compiled/numpy/scalar); the 'reference' loop has "
+                "no chunk structure to journal"
             )
         runtime.journal.ensure_header(
             campaign_fingerprint(
@@ -384,6 +406,7 @@ def run_campaign(
             cell=cell.label(),
             index=idx,
             engine=engine,
+            backend=backend,
             trials=trials,
         ):
             with trace.span("campaign_model_solve", cell=cell.label()):
@@ -393,7 +416,7 @@ def run_campaign(
                 if cell.scrub_period_seconds is None
                 else cell.scrub_period_seconds / 3600.0
             )
-            if engine == "batch":
+            if family == "batch":
                 estimate = simulate_fail_probability_batched(
                     cell.arrangement,
                     code,
@@ -411,6 +434,7 @@ def run_campaign(
                     cell_key=f"{idx}:{cell.label()}",
                     pattern=cell.pattern,
                     schedule=cell.schedule,
+                    backend=backend,
                 )
             else:
                 estimate = simulate_fail_probability(

@@ -37,6 +37,7 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace
 from ..perf import PerfCounters, Stopwatch
 from ..rs import BatchRSCodec, RSCode, RSDecodingError
+from ..rs.backends import create_backend
 from ..runtime import ChunkSupervisor, RuntimeConfig, seed_key
 from ..stats import AdaptiveStopper, BerSnapshot, StreamingEstimator
 from ..stats.intervals import wilson_interval  # noqa: F401  (moved; re-exported)
@@ -301,17 +302,20 @@ def chunk_sizes(trials: int, chunk_size: int) -> List[int]:
     return [chunk_size] * full + ([rest] if rest else [])
 
 
-def _cached_batch_codec(n: int, k: int, m: int, fcr: int) -> BatchRSCodec:
-    # One codec per (n, k, m, fcr) per process; worker processes rebuild
-    # their own copy on first use (tables come from the lru-cached field).
-    key = (n, k, m, fcr)
+def _cached_batch_codec(
+    n: int, k: int, m: int, fcr: int, backend: str = "numpy"
+) -> BatchRSCodec:
+    # One codec per (n, k, m, fcr, backend) per process; worker processes
+    # rebuild their own copy on first use (tables come from the
+    # lru-cached field, plane codegen from the gf_tables cache).
+    key = (n, k, m, fcr, backend)
     codec = _CODEC_CACHE.get(key)
     if codec is None:
-        codec = _CODEC_CACHE[key] = BatchRSCodec(n, k, m=m, fcr=fcr)
+        codec = _CODEC_CACHE[key] = create_backend(backend, n, k, m=m, fcr=fcr)
     return codec
 
 
-_CODEC_CACHE: Dict[Tuple[int, int, int, int], BatchRSCodec] = {}
+_CODEC_CACHE: Dict[Tuple[int, int, int, int, str], BatchRSCodec] = {}
 
 
 def _draw_event_table(
@@ -433,8 +437,12 @@ def _run_injection_chunk(args: tuple) -> Dict[str, object]:
         seed_seq,
         pattern_spec,
         schedule_spec,
+        *rest,
     ) = args
-    codec = _cached_batch_codec(n, k, m, fcr)
+    # The backend rides at the end of the args tuple so pre-registry
+    # 14-tuples (journals, tests, lease boards) stay replayable.
+    backend = rest[0] if rest else "numpy"
+    codec = _cached_batch_codec(n, k, m, fcr, backend)
     code = codec.scalar
     counters = PerfCounters()
     codec.counters = counters
@@ -677,6 +685,7 @@ def _run_scalar_chunk(args: tuple) -> Dict[str, object]:
         seed_seq,
         pattern_spec,
         schedule_spec,
+        *_rest,  # backend hint; irrelevant to the scalar reference path
     ) = args
     code = _cached_batch_codec(n, k, m, fcr).scalar
     t_busy = time.perf_counter()
@@ -745,13 +754,18 @@ def simulate_fail_probability_batched(
     cell_key: str = "0",
     pattern: PatternLike = None,
     schedule: ScheduleLike = None,
+    backend: str = "numpy",
 ) -> FailureEstimate:
     """Batched Monte-Carlo failure probability through the batch codec.
 
     Same physics as :func:`simulate_fail_probability`, executed in
     vectorized chunks (see :func:`_run_injection_chunk`).  The estimate
     is a deterministic function of ``(seed, trials, chunk_size)`` and all
-    physical parameters — and of nothing else:
+    physical parameters — and of nothing else.  In particular,
+    ``backend`` selects which registered RS engine
+    (:mod:`repro.rs.backends`: ``scalar`` / ``numpy`` / ``compiled``)
+    executes the encode/syndrome kernels; all backends are bit-identical,
+    so it is a pure execution hint like ``workers``:
 
     * each chunk draws from its own spawned :class:`numpy.random.SeedSequence`
       (:func:`spawn_chunk_seeds`), so streams never overlap;
@@ -793,6 +807,10 @@ def simulate_fail_probability_batched(
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    # Fail before any work is dispatched (and loudly: an unavailable
+    # compiled backend raises BackendUnavailableError here, it never
+    # silently substitutes another engine).
+    _cached_batch_codec(code.n, code.k, code.m, code.fcr, backend)
     # Canonicalize pattern/schedule to their spec strings: validated
     # here (ValueError on malformed input, before any work is spawned)
     # and picklable for the worker-process path.
@@ -821,6 +839,7 @@ def simulate_fail_probability_batched(
             chunk_seed,
             pattern_spec,
             schedule_spec,
+            backend,
         )
         for size, chunk_seed in zip(sizes, seeds)
     ]
@@ -889,6 +908,7 @@ def simulate_fail_probability_batched(
         trials=trials,
         chunk_size=chunk_size,
         workers=workers,
+        engine=backend,
         n_chunks=len(sizes),
         chunks_resumed=len(results),
         cell_key=cell_key,

@@ -1,0 +1,14 @@
+"""Run the shared RS-backend conformance suite over every backend.
+
+The suite itself lives in :mod:`tests.backend_conformance` (a library
+module, deliberately outside pytest's ``test_*``/``bench_*`` collection
+patterns) so other drivers — future backends, out-of-tree engines — can
+subclass it too.  Registering a new backend and subclassing the suite
+here is the *entire* cost of proving it honors the contract.
+"""
+
+from tests.backend_conformance import BackendConformanceSuite
+
+
+class TestBackendConformance(BackendConformanceSuite):
+    pass

@@ -1,0 +1,204 @@
+"""Backend registry capability probing and loud numba-absent degradation.
+
+The contract under test: a missing numba is *never* a silent slowdown.
+The registry must list ``compiled`` as unavailable with the probe's
+reason string, ``--engine compiled`` must exit with status 2, and
+``--engine auto`` must fall back to numpy while announcing itself — a
+:class:`ResilienceWarning` once per process plus an
+``engine_auto_fallback`` trace event every resolution.
+
+Numba absence is *simulated* (the probe function is monkeypatched and
+re-probed) so these tests pin the degradation path identically on
+machines with and without numba installed.
+"""
+
+import warnings
+
+import pytest
+
+from repro.cli import main
+from repro.obs.trace import TraceCollector, use_collector
+from repro.rs import BatchRSCodec
+from repro.rs.backends import (
+    BATCH_BACKENDS,
+    ENGINE_CHOICES,
+    BackendUnavailableError,
+    auto_backend,
+    backend_info,
+    canonical_engine,
+    create_backend,
+    list_backends,
+    resolve_engine,
+)
+from repro.rs.backends import kernels as kernels_mod
+from repro.rs.backends.kernels import KERNELS_ENV, kernel_mode, numba_status
+from repro.runtime.supervisor import ResilienceWarning
+
+REASON = "numba not importable: ModuleNotFoundError(\"No module named 'numba'\")"
+
+
+@pytest.fixture
+def without_numba(monkeypatch):
+    """Force the capability probe to report numba as missing."""
+    monkeypatch.delenv(KERNELS_ENV, raising=False)
+    monkeypatch.setattr(kernels_mod, "_probe_numba", lambda: (False, REASON))
+    numba_status(refresh=True)
+    yield
+    monkeypatch.undo()
+    numba_status(refresh=True)  # restore the real probe result
+
+
+@pytest.fixture
+def fresh_fallback_latch(monkeypatch):
+    """Re-arm the once-per-process auto-fallback warning."""
+    from repro.rs import backends as registry
+
+    monkeypatch.setattr(registry, "_auto_fallback_warned", False)
+
+
+class TestCapabilityMatrix:
+    def test_scalar_and_numpy_always_available(self):
+        infos = {info.name: info for info in list_backends()}
+        assert set(infos) == set(BATCH_BACKENDS)
+        for name in ("scalar", "numpy"):
+            assert infos[name].available
+            assert infos[name].reason == "always available"
+            assert infos[name].description
+
+    def test_compiled_unavailable_carries_probe_reason(self, without_numba):
+        info = backend_info("compiled")
+        assert not info.available
+        assert info.reason == REASON  # verbatim, not paraphrased
+
+    def test_compiled_available_when_python_kernels_forced(
+        self, without_numba, monkeypatch
+    ):
+        monkeypatch.setenv(KERNELS_ENV, "python")
+        mode, detail = kernel_mode()
+        assert mode == "python"
+        assert backend_info("compiled").available
+        assert KERNELS_ENV in detail
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown RS backend"):
+            backend_info("fpga")
+        with pytest.raises(ValueError, match="unknown RS backend"):
+            create_backend("fpga", 18, 16)
+
+
+class TestCreateBackend:
+    def test_compiled_unavailable_raises_loudly(self, without_numba):
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            create_backend("compiled", 18, 16)
+        assert excinfo.value.backend == "compiled"
+        assert excinfo.value.reason == REASON
+        assert "unavailable" in str(excinfo.value)
+
+    def test_always_available_backends_construct(self):
+        for name in ("scalar", "numpy", "batch"):
+            codec = create_backend(name, 18, 16)
+            assert isinstance(codec, BatchRSCodec)
+            assert codec.n == 18 and codec.k == 16
+
+    def test_compiled_constructs_with_forced_python_kernels(
+        self, without_numba, monkeypatch
+    ):
+        monkeypatch.setenv(KERNELS_ENV, "python")
+        codec = create_backend("compiled", 18, 16)
+        assert codec.backend_name == "compiled"
+        word = list(range(16))
+        assert codec.decode(codec.encode(word)).data == word
+
+
+class TestEngineResolution:
+    def test_compiled_engine_unavailable_raises(self, without_numba):
+        with pytest.raises(BackendUnavailableError):
+            resolve_engine("compiled")
+
+    def test_auto_falls_back_to_numpy(self, without_numba, fresh_fallback_latch):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ResilienceWarning)
+            assert resolve_engine("auto") == ("batch", "numpy")
+
+    def test_auto_fallback_warns_resilience_once(
+        self, without_numba, fresh_fallback_latch
+    ):
+        with pytest.warns(ResilienceWarning, match="falling back to numpy"):
+            assert auto_backend() == "numpy"
+        # Latch engaged: the second resolution must stay quiet.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResilienceWarning)
+            assert auto_backend() == "numpy"
+
+    def test_auto_fallback_emits_trace_event_every_time(
+        self, without_numba, fresh_fallback_latch
+    ):
+        collector = TraceCollector()
+        with use_collector(collector), warnings.catch_warnings():
+            warnings.simplefilter("ignore", ResilienceWarning)
+            auto_backend()
+            auto_backend()
+        events = collector.events("engine_auto_fallback")
+        assert len(events) == 2
+        for event in events:
+            assert event["attrs"]["requested"] == "auto"
+            assert event["attrs"]["selected"] == "numpy"
+            assert event["attrs"]["reason"] == REASON
+
+    def test_engine_families(self):
+        assert resolve_engine("reference") == ("reference", None)
+        assert resolve_engine("numpy") == ("batch", "numpy")
+        assert resolve_engine("batch") == ("batch", "numpy")
+        assert resolve_engine("scalar") == ("batch", "scalar")
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("gpu")
+
+    def test_canonical_engine_collapses_execution_hints(self):
+        assert canonical_engine("reference") == "scalar"
+        for engine in ("auto", "compiled", "numpy", "scalar", "batch"):
+            assert canonical_engine(engine) == "batch"
+        with pytest.raises(ValueError, match="unknown engine"):
+            canonical_engine("gpu")
+
+    def test_engine_choices_cover_every_resolution(self):
+        for engine in ENGINE_CHOICES:
+            canonical_engine(engine)  # no engine name is unmapped
+
+
+class TestCLIDegradation:
+    CAMPAIGN = ["campaign", "--trials", "20", "--chunk-size", "10"]
+
+    def test_engine_compiled_exits_2_with_reason(self, without_numba, capsys):
+        code = main(self.CAMPAIGN + ["--engine", "compiled"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "compiled" in err and "unavailable" in err
+        assert "repro engines" in err  # points at the capability matrix
+
+    def test_engine_auto_still_runs(
+        self, without_numba, fresh_fallback_latch, capsys
+    ):
+        with pytest.warns(ResilienceWarning):
+            assert main(self.CAMPAIGN + ["--engine", "auto"]) == 0
+        assert "simplex" in capsys.readouterr().out
+
+    def test_engines_subcommand_shows_unavailable_reason(
+        self, without_numba, capsys
+    ):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ResilienceWarning)
+            assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in BATCH_BACKENDS:
+            assert name in out
+        assert "UNAVAILABLE" in out
+        assert REASON in out
+        assert "resolves to: numpy" in out
+
+    def test_engines_subcommand_with_python_kernels(
+        self, without_numba, monkeypatch, capsys
+    ):
+        monkeypatch.setenv(KERNELS_ENV, "python")
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "resolves to: compiled" in out

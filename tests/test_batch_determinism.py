@@ -106,6 +106,69 @@ class TestCampaignBatchEngine:
             run_campaign(self.CELLS, trials=10, engine="gpu")
 
 
+class TestEngineIdentity:
+    """Every engine choice is an execution hint, never a result knob.
+
+    A seeded ensemble run under ``auto``, ``compiled``, ``numpy``, and
+    ``scalar`` must produce bit-identical campaign rows (estimates, BER,
+    outcome splits) *and* bit-identical checkpoint journals — the same
+    chunk results in the same order with the same seeds.  Only wall-time
+    counters may differ.
+    """
+
+    CELLS = [
+        CampaignCell("simplex", 2e-3, 0.0),
+        CampaignCell("duplex", 2e-3, 1e-2),
+    ]
+    ENGINES = ("auto", "compiled", "numpy", "scalar")
+    _TIMING = {"cpu_seconds", "elapsed_seconds", "kernel_seconds"}
+
+    def _journal_fields(self, path):
+        from repro.runtime import scan_journal
+
+        out = []
+        for _line, record in scan_journal(path).chunk_records:
+            result = dict(record["result"])
+            result["counters"] = {
+                key: value
+                for key, value in result["counters"].items()
+                if key not in self._TIMING
+            }
+            out.append((record["chunk"], record["seed"], result))
+        return out
+
+    def _run(self, engine, tmp_path):
+        from tests.backend_conformance import compiled_available
+
+        from repro.runtime import CheckpointJournal, RuntimeConfig
+
+        path = tmp_path / f"{engine}.jsonl"
+        with compiled_available(), CheckpointJournal(path) as journal:
+            rows = run_campaign(
+                self.CELLS,
+                trials=300,
+                base_seed=19,
+                engine=engine,
+                chunk_size=100,
+                runtime=RuntimeConfig(journal=journal),
+            )
+        return rows, self._journal_fields(path)
+
+    def test_all_engines_bit_identical_rows_and_journals(self, tmp_path):
+        reference_rows, reference_journal = self._run("numpy", tmp_path)
+        assert reference_journal  # journaling actually happened
+        for engine in self.ENGINES:
+            if engine == "numpy":
+                continue
+            rows, journal = self._run(engine, tmp_path)
+            for ours, ref in zip(rows, reference_rows):
+                assert ours.estimate == ref.estimate, engine
+                assert (
+                    ours.model_fail_probability == ref.model_fail_probability
+                ), engine
+            assert journal == reference_journal, engine
+
+
 class TestChunkSeeding:
     def test_chunk_sizes_partition_trials(self):
         assert chunk_sizes(1000, 256) == [256, 256, 256, 232]

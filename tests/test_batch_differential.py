@@ -409,3 +409,68 @@ class TestBatchValidation:
     def test_mismatched_scalar_codec_rejected(self):
         with pytest.raises(ValueError, match="does not match"):
             BatchRSCodec(18, 16, m=8, scalar=RSCode(18, 14, m=8))
+
+
+class TestSyndromeOverflowRegression:
+    """Regression: n=255 GF(2^8) batches in a signed narrow dtype.
+
+    A full-length byte codeword handed over as ``int8`` wraps every
+    symbol >= 128 negative.  The syndrome path used to feed those values
+    straight into the log-table gather, where numpy's negative indexing
+    silently produced a *wrong* syndrome — capable of proving a dirty
+    word "clean" and skipping decode entirely.  The entry point now
+    range-checks (raising ``ValueError``), and well-typed full-length
+    batches must agree symbol-for-symbol with the scalar codec.
+    """
+
+    N, K, M = 255, 223, 8
+
+    @pytest.fixture()
+    def pair255(self):
+        scalar = RSCode(self.N, self.K, m=self.M)
+        return scalar, BatchRSCodec(self.N, self.K, m=self.M, scalar=scalar)
+
+    def _high_symbol_batch(self, scalar, rng, rows=4):
+        """Encoded words guaranteed to contain symbols >= 128."""
+        data = rng.integers(128, 256, size=(rows, self.K))
+        codewords = np.array([scalar.encode(row.tolist()) for row in data])
+        assert (codewords >= 128).any(axis=1).all()  # int8 would wrap these
+        return codewords
+
+    def test_signed_int8_batch_rejected_not_silently_wrong(self, pair255):
+        scalar, batch = pair255
+        rng = np.random.default_rng(255)
+        wrapped = self._high_symbol_batch(scalar, rng).astype(np.int8)
+        assert (wrapped < 0).any()  # the hazard is real for this input
+        with pytest.raises(ValueError, match="outside"):
+            batch.syndromes_batch(wrapped)
+        with pytest.raises(ValueError, match="outside"):
+            batch.is_codeword_mask(wrapped)
+        with pytest.raises(ValueError, match="outside"):
+            batch.decode_batch(wrapped)
+
+    def test_uint8_full_length_syndromes_match_scalar(self, pair255):
+        from repro.rs.syndromes import compute_syndromes
+
+        scalar, batch = pair255
+        rng = np.random.default_rng(256)
+        received = self._high_symbol_batch(scalar, rng)
+        # Corrupt one high-value symbol per word so syndromes are nonzero.
+        for row in received:
+            row[int(rng.integers(0, self.N))] ^= 0xFF
+        got = batch.syndromes_batch(received.astype(np.uint8))
+        for i, word in enumerate(received):
+            expected = compute_syndromes(
+                scalar.gf, word.tolist(), scalar.nsym, scalar.fcr
+            )
+            assert got[i].tolist() == expected
+
+    def test_uint8_clean_words_stay_clean_and_decode(self, pair255):
+        scalar, batch = pair255
+        rng = np.random.default_rng(257)
+        codewords = self._high_symbol_batch(scalar, rng).astype(np.uint8)
+        assert batch.is_codeword_mask(codewords).all()
+        report = batch.decode_batch(codewords)
+        assert report.ok.all() and report.clean.all()
+        for i in range(len(codewords)):
+            assert report[i].codeword == codewords[i].astype(int).tolist()

@@ -200,7 +200,7 @@ class TestCampaignCommand:
         assert "480/480 trials" in err  # 8 cells x 60 trials
         assert "eta" in err
 
-    def test_progress_requires_batch_engine(self, capsys):
+    def test_progress_requires_batch_family_engine(self, capsys):
         assert (
             main(
                 [
@@ -208,13 +208,13 @@ class TestCampaignCommand:
                     "--trials",
                     "60",
                     "--engine",
-                    "scalar",
+                    "reference",
                     "--progress",
                 ]
             )
             == 2
         )
-        assert "--engine batch" in capsys.readouterr().err
+        assert "batch-family engine" in capsys.readouterr().err
 
     def test_manifest_records_progress_and_metrics(
         self, tmp_path, capsys, fresh_metrics

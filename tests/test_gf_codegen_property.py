@@ -1,0 +1,186 @@
+"""Property tests for the per-field GF table codegen (`rs.backends.gf_tables`).
+
+The compiled backend's correctness rests on two generated artifacts:
+exp/log gather tables and bit-sliced multiplication planes.  Both are
+checked here against :func:`repro.verify.oracles.gf_mul_reference` — the
+table-free carry-less multiplier that shares no code with the production
+field — exhaustively for GF(2^4) and on a seeded sample for GF(2^8).
+
+The bit-sliced product is linear in each argument *by construction*
+(XOR of one plane per set bit; planes are the constant times fixed basis
+elements).  The linearity tests pin that structure directly, because it
+is the exact property the jitted kernels' branch-free masked-XOR inner
+loop relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gf.field import DEFAULT_PRIMITIVE_POLYNOMIALS
+from repro.rs.backends.gf_tables import (
+    TABLE_DTYPE,
+    bitsliced_mul,
+    field_tables,
+    mul_planes,
+)
+from repro.verify.oracles import gf_mul_reference
+
+SEED = 20050309
+
+
+def _sampled_pairs(m, count, seed=SEED):
+    rng = np.random.default_rng(seed)
+    order = 1 << m
+    return zip(
+        rng.integers(0, order, size=count).tolist(),
+        rng.integers(0, order, size=count).tolist(),
+    )
+
+
+class TestFieldTables:
+    def test_m4_exhaustive_against_reference(self):
+        exp, log = field_tables(4)
+        for a in range(1, 16):
+            for b in range(1, 16):
+                assert exp[log[a] + log[b]] == gf_mul_reference(4, a, b)
+
+    def test_m8_sampled_against_reference(self):
+        exp, log = field_tables(8)
+        for a, b in _sampled_pairs(8, 2000):
+            if a and b:
+                assert exp[log[a] + log[b]] == gf_mul_reference(8, a, b)
+
+    def test_tables_shapes_and_dtype(self):
+        for m in (4, 8):
+            exp, log = field_tables(m)
+            order = 1 << m
+            assert exp.shape == (2 * order,) and exp.dtype == TABLE_DTYPE
+            assert log.shape == (order,) and log.dtype == TABLE_DTYPE
+
+    def test_tables_are_read_only_and_cached(self):
+        exp, log = field_tables(8)
+        assert field_tables(8)[0] is exp  # lru_cache: same object
+        with pytest.raises(ValueError):
+            exp[0] = 1
+        with pytest.raises(ValueError):
+            log[0] = 1
+
+    def test_doubled_exp_table_wraps(self):
+        """The doubled table makes ``log[a] + log[b]`` gather-safe."""
+        exp, _log = field_tables(4)
+        period = (1 << 4) - 1
+        assert np.array_equal(exp[:period], exp[period : 2 * period])
+
+
+class TestMulPlanes:
+    def test_plane_values_match_reference_m4(self):
+        """Exhaustive: planes[j, i] must equal c_j * x^i."""
+        constants = list(range(16))
+        planes = mul_planes(constants, 4)
+        assert planes.shape == (16, 4)
+        for j, c in enumerate(constants):
+            for i in range(4):
+                assert planes[j, i] == gf_mul_reference(4, c, 1 << i)
+
+    def test_plane_values_match_reference_m8_sampled(self):
+        rng = np.random.default_rng(SEED)
+        constants = rng.integers(0, 256, size=64).tolist()
+        planes = mul_planes(constants, 8)
+        for j, c in enumerate(constants):
+            for i in range(8):
+                assert planes[j, i] == gf_mul_reference(8, c, 1 << i)
+
+    def test_planes_linear_in_the_constant(self):
+        """mul_planes(c1 ^ c2) == mul_planes(c1) ^ mul_planes(c2)."""
+        for m in (4, 8):
+            rng = np.random.default_rng(SEED + m)
+            order = 1 << m
+            c1 = rng.integers(0, order, size=32)
+            c2 = rng.integers(0, order, size=32)
+            assert np.array_equal(
+                mul_planes(c1 ^ c2, m),
+                mul_planes(c1, m) ^ mul_planes(c2, m),
+            )
+
+    def test_rejects_out_of_field_constants(self):
+        with pytest.raises(ValueError):
+            mul_planes([16], 4)
+        with pytest.raises(ValueError):
+            mul_planes([-1], 8)
+
+    def test_custom_primitive_polynomial(self):
+        """Codegen honors a non-default modulus for the same field width."""
+        prim = 0x12B  # primitive for GF(2^8), unlike the 0x11D default
+        assert prim != DEFAULT_PRIMITIVE_POLYNOMIALS[8]
+        planes = mul_planes([7], 8, prim)
+        for i in range(8):
+            assert planes[0, i] == gf_mul_reference(8, 7, 1 << i, prim)
+
+
+class TestBitslicedMul:
+    def test_m4_exhaustive_against_reference(self):
+        """Every (a, c) pair in GF(2^4) through the masked-XOR walk."""
+        all_a = np.arange(16)
+        planes = mul_planes(np.arange(16), 4)
+        for c in range(16):
+            got = bitsliced_mul(all_a, planes[c])
+            want = [gf_mul_reference(4, int(a), c) for a in all_a]
+            assert got.tolist() == want
+
+    def test_m8_sampled_against_reference(self):
+        rng = np.random.default_rng(SEED)
+        constants = rng.integers(0, 256, size=48).tolist()
+        planes = mul_planes(constants, 8)
+        a = rng.integers(0, 256, size=256)
+        for j, c in enumerate(constants):
+            got = bitsliced_mul(a, planes[j])
+            want = [gf_mul_reference(8, int(x), c) for x in a]
+            assert got.tolist() == want
+
+    def test_linear_in_the_variable_argument(self):
+        """bitsliced_mul(a ^ b, c) == bitsliced_mul(a, c) ^ bitsliced_mul(b, c)."""
+        for m in (4, 8):
+            rng = np.random.default_rng(SEED + m)
+            order = 1 << m
+            planes = mul_planes(rng.integers(0, order, size=8), m)
+            a = rng.integers(0, order, size=128)
+            b = rng.integers(0, order, size=128)
+            for row in planes:
+                assert np.array_equal(
+                    bitsliced_mul(a ^ b, row),
+                    bitsliced_mul(a, row) ^ bitsliced_mul(b, row),
+                )
+
+    def test_linear_in_the_constant_argument(self):
+        """Products by c1 ^ c2 equal the XOR of products by c1 and c2."""
+        for m in (4, 8):
+            rng = np.random.default_rng(SEED - m)
+            order = 1 << m
+            c1 = int(rng.integers(1, order))
+            c2 = int(rng.integers(1, order))
+            a = rng.integers(0, order, size=256)
+            combined = bitsliced_mul(a, mul_planes([c1 ^ c2], m)[0])
+            split = bitsliced_mul(a, mul_planes([c1], m)[0]) ^ bitsliced_mul(
+                a, mul_planes([c2], m)[0]
+            )
+            assert np.array_equal(combined, split)
+
+    def test_zero_and_one_are_absorbing_and_neutral(self):
+        for m in (4, 8):
+            order = 1 << m
+            a = np.arange(order)
+            assert not bitsliced_mul(a, mul_planes([0], m)[0]).any()
+            assert np.array_equal(
+                bitsliced_mul(a, mul_planes([1], m)[0]), a
+            )
+
+    def test_matches_table_gather_product_m8(self):
+        """Bit-sliced and exp/log-gather multiplies are bit-identical."""
+        exp, log = field_tables(8)
+        rng = np.random.default_rng(SEED)
+        a = rng.integers(1, 256, size=512)
+        c = int(rng.integers(1, 256))
+        gathered = exp[log[a] + log[c]]
+        assert np.array_equal(
+            bitsliced_mul(a, mul_planes([c], 8)[0]), gathered
+        )

@@ -68,12 +68,23 @@ class TestCampaignValidation:
         with pytest.raises(ValueError, match="unknown arrangement 'nplex'"):
             run_campaign(cells, trials=10)
 
-    def test_checkpoint_requires_batch_engine(self, tmp_path):
+    def test_checkpoint_requires_batch_family_engine(self, tmp_path):
         from repro.runtime import CheckpointJournal, RuntimeConfig
 
         runtime = RuntimeConfig(journal=CheckpointJournal(tmp_path / "j.jsonl"))
-        with pytest.raises(ValueError, match="engine='batch'"):
-            run_campaign(CELLS, trials=10, engine="scalar", runtime=runtime)
+        with pytest.raises(ValueError, match="'reference' loop has"):
+            run_campaign(CELLS, trials=10, engine="reference", runtime=runtime)
+
+    def test_scalar_backend_engine_may_journal(self, tmp_path):
+        # "scalar" now names the scalar *batch backend*: chunked, and
+        # therefore journalable like every other batch-family engine.
+        from repro.runtime import CheckpointJournal, RuntimeConfig
+
+        runtime = RuntimeConfig(journal=CheckpointJournal(tmp_path / "j.jsonl"))
+        rows = run_campaign(
+            CELLS, trials=20, chunk_size=10, engine="scalar", runtime=runtime
+        )
+        assert len(rows) == 1
 
 
 class TestCellLabels:

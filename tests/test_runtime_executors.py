@@ -37,7 +37,7 @@ LAM = 2e-3 / 24.0
 #: Result-dict fields that must be identical across executors; the
 #: "counters" entry carries cpu_seconds and is compared separately with
 #: its timing fields masked.
-_TIMING_FIELDS = {"cpu_seconds", "elapsed_seconds"}
+_TIMING_FIELDS = {"cpu_seconds", "elapsed_seconds", "kernel_seconds"}
 
 
 def run(executor=None, workers=1, journal=None, chaos=None, straggler=None,

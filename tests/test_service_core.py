@@ -116,8 +116,8 @@ class TestParseSpec:
             {**SPEC, "k": 18},  # k >= n
             {**SPEC, "m": 17},
             {**SPEC, "engine": "gpu"},
-            {**SPEC, "engine": "scalar", "stopping": {"rel_ci": 0.5}},
-            {**SPEC, "engine": "scalar", "executor": "pool"},
+            {**SPEC, "engine": "reference", "stopping": {"rel_ci": 0.5}},
+            {**SPEC, "engine": "reference", "executor": "pool"},
             {**SPEC, "stopping": {"min_trials": 5}},  # rel_ci required
             {**SPEC, "stopping": {"rel_ci": 0.5, "method": "exact"}},
             {**SPEC, "stopping": {"rel_ci": 0.5, "confidence": 1.5}},
