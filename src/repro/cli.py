@@ -253,15 +253,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument(
         "--executor",
-        choices=("auto", "serial", "pool", "lease"),
+        choices=("auto", "serial", "pool", "lease", "fleet"),
         default="auto",
         help="chunk dispatch backend (batch engine only): 'serial' runs "
         "in-process, 'pool' uses the process pool, 'lease' posts chunks "
         "to an on-disk board next to the checkpoint journal where "
         "long-lived workers lease them (multi-host-shaped, with "
-        "work-stealing and straggler re-dispatch); 'auto' (default) "
-        "picks serial for --workers 1, else pool — estimates are "
-        "bit-identical for every choice",
+        "work-stealing and straggler re-dispatch); 'fleet' drives "
+        "detachable `repro worker` agents over a shared board with "
+        "heartbeat leases and epoch-fenced re-dispatch (cross-host "
+        "capable; spawns local agents unless --board points at an "
+        "externally staffed board); 'auto' (default) picks serial for "
+        "--workers 1, else pool — estimates are bit-identical for "
+        "every choice",
+    )
+    camp.add_argument(
+        "--board",
+        metavar="DIR",
+        help="shared board directory for --executor lease/fleet "
+        "(default: derived from the checkpoint journal path); with "
+        "--executor fleet an explicit board means external `repro "
+        "worker` agents do the computing and none are spawned locally",
+    )
+    camp.add_argument(
+        "--fleet-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat-lease TTL for --executor fleet: a worker whose "
+        "heartbeat goes stale past this is declared dead and its chunk "
+        "re-dispatched under a bumped epoch (default 15)",
     )
     camp.add_argument(
         "--stop-rel-ci",
@@ -405,6 +426,49 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="max concurrent jobs per tenant (default: 1)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="detachable fleet worker agent: claim chunks from a shared "
+        "board, heartbeat a lease, publish results (run one per "
+        "host/core against an NFS or tmpfs board)",
+    )
+    worker.add_argument(
+        "--board",
+        required=True,
+        metavar="DIR",
+        help="shared board directory (same path the coordinator passes "
+        "to `repro campaign --executor fleet --board`)",
+    )
+    worker.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat-lease TTL this worker advertises; must match "
+        "the coordinator's --fleet-ttl (default 15)",
+    )
+    worker.add_argument(
+        "--engine",
+        choices=("auto", "compiled", "numpy", "scalar", "batch"),
+        default="auto",
+        help="RS batch backend this worker computes with (bit-identical "
+        "across choices; 'auto' picks the fastest available)",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="stable identity on the board (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after completing N chunks (test/benchmark aid; "
+        "default: run until drained or STOP)",
     )
 
     design = sub.add_parser(
@@ -739,6 +803,23 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.max_retries < 1:
         print("--max-retries must be >= 1", file=sys.stderr)
         return 2
+    if args.board is not None and args.executor not in ("lease", "fleet"):
+        print(
+            "--board requires --executor lease or fleet (other "
+            "executors have no on-disk board)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fleet_ttl is not None and args.executor != "fleet":
+        print(
+            "--fleet-ttl requires --executor fleet (heartbeat leases "
+            "exist only on the fleet board)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fleet_ttl is not None and args.fleet_ttl <= 0:
+        print("--fleet-ttl must be positive", file=sys.stderr)
+        return 2
     try:
         chaos = chaos_from_arg(args.chaos)
     except ValueError as exc:
@@ -822,6 +903,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    from pathlib import Path
+
     stop = None
     if args.stop_rel_ci is not None:
         stop = StoppingRule(
@@ -840,10 +923,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         chaos=chaos,
         journal=journal,
         executor=None if args.executor == "auto" else args.executor,
-        # The lease board is the multi-host-shaped backend, so it gets
-        # straggler speculation by default; serial/pool chunks share one
-        # machine and a slow chunk there is just a slow machine.
-        straggler=StragglerPolicy() if args.executor == "lease" else None,
+        board_dir=Path(args.board) if args.board else None,
+        worker_ttl=args.fleet_ttl,
+        # The board-backed executors are the multi-host-shaped backends,
+        # so they get straggler speculation by default; serial/pool
+        # chunks share one machine and a slow chunk there is just a
+        # slow machine.
+        straggler=(
+            StragglerPolicy() if args.executor in ("lease", "fleet") else None
+        ),
         stop=stop,
         on_snapshot=on_snapshot if args.progress else None,
         progress=tracker,
@@ -988,6 +1076,8 @@ def cmd_doctor(args: argparse.Namespace) -> int:
         return 2
     report = audit_path(target)
     if args.repair:
+        from .runtime import repair_board
+
         repairs = []
         for journal in report["journals"]:
             needs = (
@@ -996,12 +1086,56 @@ def cmd_doctor(args: argparse.Namespace) -> int:
             )
             if needs:
                 repairs.append(repair_journal(journal["path"]))
+        for board in report.get("boards", []):
+            if not board["healthy"]:
+                repairs.append(repair_board(board["path"]))
         # Re-audit so the report reflects the healed state, and keep the
         # action log alongside it.
         report = audit_path(target)
         report["repairs"] = repairs
     print(_json.dumps(report, indent=2, sort_keys=True))
     return 0 if report["healthy"] else 1
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .rs.backends import BackendUnavailableError, resolve_engine
+    from .runtime.fleet import DEFAULT_WORKER_TTL, worker_main
+
+    board = Path(args.board)
+    if not board.is_dir():
+        print(f"worker: {board}: no such board directory", file=sys.stderr)
+        return 2
+    if args.ttl is not None and args.ttl <= 0:
+        print("--ttl must be positive", file=sys.stderr)
+        return 2
+    if args.max_chunks is not None and args.max_chunks < 0:
+        print("--max-chunks must be >= 0", file=sys.stderr)
+        return 2
+    backend = None
+    if args.engine != "auto":
+        try:
+            family, backend = resolve_engine(args.engine)
+        except BackendUnavailableError as exc:
+            print(f"{exc} (see 'repro engines')", file=sys.stderr)
+            return 2
+        if family != "batch":
+            print(
+                "worker: --engine must name a batch-family backend "
+                "(chunks are batch payloads)",
+                file=sys.stderr,
+            )
+            return 2
+    done = worker_main(
+        board,
+        worker_id=args.worker_id,
+        ttl=DEFAULT_WORKER_TTL if args.ttl is None else args.ttl,
+        backend=backend,
+        max_chunks=args.max_chunks,
+    )
+    print(f"worker: drained after {done} chunk(s)", file=sys.stderr)
+    return 0
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -1166,6 +1300,7 @@ _COMMANDS = {
     "validate": cmd_validate,
     "verify": cmd_verify,
     "doctor": cmd_doctor,
+    "worker": cmd_worker,
     "scrub-design": cmd_scrub_design,
     "serve": cmd_serve,
 }

@@ -15,8 +15,12 @@ Public surface:
   and serial degradation.
 * :class:`Executor` and friends (:mod:`repro.runtime.executors`) — the
   pluggable execution backends the coordinator drives: serial
-  in-process, ``ProcessPoolExecutor`` pool, and the multi-host-shaped
-  :class:`LeaseExecutor` board guarded by the integrity layer's lock.
+  in-process, ``ProcessPoolExecutor`` pool, the multi-host-shaped
+  :class:`LeaseExecutor` board guarded by the integrity layer's lock,
+  and the cross-host :class:`~repro.runtime.fleet.FleetExecutor`.
+* :mod:`repro.runtime.fleet` — detachable ``repro worker`` agents with
+  heartbeat leases, epoch-fenced re-dispatch, zombie-result rejection,
+  and the ``repro doctor`` board audit/repair helpers.
 * :class:`ChaosSpec` / :func:`parse_chaos_spec` — deterministic
   crash/hang/poison/slow injection to prove the above under test.
 * :class:`RuntimeConfig` — the bundle threaded through
@@ -31,6 +35,7 @@ Public surface:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Optional
 
 from ..obs.progress import ProgressEvent, ProgressTracker
@@ -74,8 +79,17 @@ from .executors import (
     StragglerPolicy,
     make_executor,
 )
+from .fleet import (
+    DEFAULT_WORKER_TTL,
+    FleetExecutor,
+    audit_board,
+    default_worker_id,
+    repair_board,
+    worker_main,
+)
 from .manifest import build_manifest, git_describe, write_manifest
 from .supervisor import (
+    CHUNK_KERNEL_METRIC,
     CHUNK_LATENCY_METRIC,
     ChunkFailedError,
     ChunkSupervisor,
@@ -99,9 +113,16 @@ class RuntimeConfig:
     chaos: Optional[ChaosSpec] = None
     journal: Optional[CheckpointJournal] = None
 
-    #: Executor backend name (``serial`` | ``pool`` | ``lease``); ``None``
-    #: selects the historical default (serial for one worker, else pool).
+    #: Executor backend name (``serial`` | ``pool`` | ``lease`` |
+    #: ``fleet``); ``None`` selects the historical default (serial for
+    #: one worker, else pool).
     executor: Optional[str] = None
+    #: Shared board directory for ``lease``/``fleet`` executors; ``None``
+    #: derives a journal-adjacent (or private temporary) board.
+    board_dir: Optional[Path] = None
+    #: Heartbeat-lease TTL for the ``fleet`` executor, seconds; ``None``
+    #: uses :data:`~repro.runtime.fleet.DEFAULT_WORKER_TTL`.
+    worker_ttl: Optional[float] = None
     #: Straggler re-dispatch policy (``None`` disables speculation).
     straggler: Optional[StragglerPolicy] = None
     #: Adaptive early-stopping rule (``--stop-rel-ci``); ``None`` runs the
@@ -157,8 +178,15 @@ __all__ = [
     "SerialExecutor",
     "StragglerPolicy",
     "make_executor",
+    "DEFAULT_WORKER_TTL",
+    "FleetExecutor",
+    "audit_board",
+    "default_worker_id",
+    "repair_board",
+    "worker_main",
     "BerSnapshot",
     "StoppingRule",
+    "CHUNK_KERNEL_METRIC",
     "CHUNK_LATENCY_METRIC",
     "ChunkFailedError",
     "ChunkSupervisor",

@@ -45,7 +45,7 @@ import json
 import os
 import warnings
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .integrity import (
     CHAIN_SEED,
@@ -358,6 +358,30 @@ class CheckpointJournal:
         if record.get("seed") != seed_identity:
             return None
         return record.get("result")
+
+    def chunk_kernel_seconds(self) -> List[Dict[str, Any]]:
+        """Per-chunk decode-kernel telemetry, sorted by ``(cell, chunk)``.
+
+        Each entry is ``{"cell", "chunk", "kernel_seconds"}`` pulled from
+        the journaled chunk's merged perf counters — the service layer's
+        per-chunk engine-telemetry source (``GET /v1/jobs/{id}``).
+        """
+        out: List[Dict[str, Any]] = []
+        for (cell, chunk), record in sorted(self._chunks.items()):
+            result = record.get("result")
+            counters = (
+                result.get("counters") if isinstance(result, dict) else None
+            )
+            try:
+                kernel_s = float(
+                    (counters or {}).get("kernel_seconds", 0.0)
+                )
+            except (TypeError, ValueError):
+                kernel_s = 0.0
+            out.append(
+                {"cell": cell, "chunk": chunk, "kernel_seconds": kernel_s}
+            )
+        return out
 
     def record_chunk(
         self,

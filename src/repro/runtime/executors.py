@@ -45,10 +45,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from ..ioutil import fsync_dir
 from .integrity import JournalLock
 
 #: Executor names accepted by :func:`make_executor` (and ``--executor``).
-EXECUTOR_NAMES = ("serial", "pool", "lease")
+EXECUTOR_NAMES = ("serial", "pool", "lease", "fleet")
 
 
 def _supervised_call(payload: tuple) -> Dict[str, Any]:
@@ -343,6 +344,12 @@ def _lease_worker_main(board: str) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_path, os.path.join(done, token + _DONE_SUFFIX))
+        # Make the rename durable *before* releasing the lease: the
+        # lease is the only evidence the chunk was claimed, so a host
+        # crash after the lease is gone but before the done/ directory
+        # entry hits stable storage would silently lose a completed
+        # result (no orphan to detect, no done-file to deliver).
+        fsync_dir(done)
         try:
             os.remove(lease_path)
         except OSError:  # pragma: no cover - coordinator raced a cleanup
@@ -563,14 +570,31 @@ def make_executor(
     name: str,
     workers: int = 1,
     board_dir: Union[str, Path, None] = None,
+    ttl: Optional[float] = None,
+    spawn_workers: Optional[int] = None,
 ) -> Executor:
-    """Build an executor by CLI name (``serial`` | ``pool`` | ``lease``)."""
+    """Build an executor by CLI name (``serial|pool|lease|fleet``).
+
+    ``ttl`` and ``spawn_workers`` apply to the fleet backend only:
+    ``ttl`` is the heartbeat-lease TTL and ``spawn_workers`` the number
+    of local agent subprocesses to start (``None`` = ``workers``; pass
+    ``0`` when external ``repro worker`` agents serve the board).
+    """
     if name == "serial":
         return SerialExecutor()
     if name == "pool":
         return PoolExecutor(workers)
     if name == "lease":
         return LeaseExecutor(workers, board_dir=board_dir)
+    if name == "fleet":
+        from .fleet import DEFAULT_WORKER_TTL, FleetExecutor
+
+        return FleetExecutor(
+            workers,
+            board_dir=board_dir,
+            ttl=DEFAULT_WORKER_TTL if ttl is None else ttl,
+            spawn_workers=spawn_workers,
+        )
     raise ValueError(
         f"unknown executor {name!r}: expected one of {EXECUTOR_NAMES}"
     )

@@ -601,30 +601,47 @@ def repair_journal(path: Union[str, Path]) -> Dict[str, Any]:
 
 
 def audit_path(path: Union[str, Path]) -> Dict[str, Any]:
-    """Audit a journal file or a whole state directory.
+    """Audit a journal file, a board directory, or a state directory.
 
-    Directories are searched (non-recursively) for ``*.jsonl`` journals
-    and run-manifest ``*.json`` files; sidecars (``.quarantine``,
-    ``.lock``) are reported with their journal.
+    Directories are searched (non-recursively) for ``*.jsonl`` journals,
+    run-manifest ``*.json`` files, and lease/fleet *board* directories
+    (``todo/leases/done`` layout — the directory itself if board-shaped,
+    else any board-shaped subdirectory); sidecars (``.quarantine``,
+    ``.lock``) are reported with their journal, boards under a
+    ``boards`` key.
     """
+    # Deferred: fleet imports executors which imports this module.
+    from .fleet import _looks_like_board, audit_board
+
     path = Path(path)
     report: Dict[str, Any] = {
         "schema": DOCTOR_SCHEMA,
         "path": str(path),
         "journals": [],
         "manifests": [],
+        "boards": [],
     }
     if path.is_dir():
-        for candidate in sorted(path.iterdir()):
-            if candidate.suffix == ".jsonl":
-                report["journals"].append(audit_journal(candidate))
-            elif _looks_like_manifest(candidate):
-                report["manifests"].append(audit_manifest(candidate))
+        if _looks_like_board(path):
+            report["boards"].append(audit_board(path))
+        else:
+            for candidate in sorted(path.iterdir()):
+                if candidate.suffix == ".jsonl":
+                    report["journals"].append(audit_journal(candidate))
+                elif _looks_like_manifest(candidate):
+                    report["manifests"].append(audit_manifest(candidate))
+                elif candidate.is_dir() and _looks_like_board(candidate):
+                    report["boards"].append(audit_board(candidate))
     else:
         report["journals"].append(audit_journal(path))
-    report["healthy"] = all(
-        j["classification"] in ("healthy", "empty") for j in report["journals"]
-    ) and all(m.get("ok", False) for m in report["manifests"])
+    report["healthy"] = (
+        all(
+            j["classification"] in ("healthy", "empty")
+            for j in report["journals"]
+        )
+        and all(m.get("ok", False) for m in report["manifests"])
+        and all(b["healthy"] for b in report["boards"])
+    )
     return report
 
 

@@ -73,6 +73,11 @@ from .executors import (
 #: (coordinator-observed: submit/start to completion, queueing included).
 CHUNK_LATENCY_METRIC = "repro.mc.chunk_seconds"
 
+#: Per-chunk decode-kernel CPU time (from each chunk's merged perf
+#: counters) — the engine-telemetry histogram surfaced by the service
+#: layer's ``/metrics``.
+CHUNK_KERNEL_METRIC = "repro.mc.chunk_kernel_seconds"
+
 
 class ResilienceWarning(UserWarning):
     """Structured warning for retries, fallbacks, and degradation."""
@@ -139,6 +144,8 @@ class ChunkSupervisor:
         executor: Union[Executor, str, None] = None,
         straggler: Optional[StragglerPolicy] = None,
         board_dir=None,
+        worker_ttl: Optional[float] = None,
+        fleet_spawn: Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -154,6 +161,8 @@ class ChunkSupervisor:
         self.executor = executor
         self.straggler = straggler
         self.board_dir = board_dir
+        self.worker_ttl = worker_ttl
+        self.fleet_spawn = fleet_spawn
         self.events: List[SupervisorEvent] = []
 
     # -- event plumbing ----------------------------------------------------
@@ -181,6 +190,17 @@ class ChunkSupervisor:
         obs_metrics.get_registry().histogram(CHUNK_LATENCY_METRIC).observe(
             latency_s
         )
+        if isinstance(result, dict):
+            counters = result.get("counters")
+            if isinstance(counters, dict):
+                try:
+                    kernel_s = float(counters.get("kernel_seconds", 0.0))
+                except (TypeError, ValueError):
+                    kernel_s = 0.0
+                if kernel_s > 0.0:
+                    obs_metrics.get_registry().histogram(
+                        CHUNK_KERNEL_METRIC
+                    ).observe(kernel_s)
         trials = 0
         if isinstance(result, dict):
             try:
@@ -241,6 +261,8 @@ class ChunkSupervisor:
                 spec,
                 workers=min(self.workers, n_jobs),
                 board_dir=self.board_dir,
+                ttl=self.worker_ttl,
+                spawn_workers=self.fleet_spawn,
             )
         return spec
 

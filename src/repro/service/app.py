@@ -37,6 +37,10 @@ from .scheduler import CampaignScheduler
 #: Request hygiene limits: a public endpoint reads untrusted bytes.
 MAX_HEADER_BYTES = 64 * 1024
 MAX_BODY_BYTES = 1024 * 1024
+#: How much of a rejected (oversized) body we are willing to read and
+#: discard so the client can finish sending and see the 413 instead of
+#: dying on EPIPE.  Larger bodies are simply disconnected.
+MAX_DRAIN_BYTES = 8 * 1024 * 1024
 
 #: How often a stream endpoint re-checks for new snapshots.
 STREAM_POLL_SECONDS = 0.05
@@ -159,12 +163,24 @@ class ServiceApp:
         if length < 0:
             raise _BadRequest(400, f"bad Content-Length {length}")
         if length > MAX_BODY_BYTES:
+            await self._drain(reader, length)
             raise _BadRequest(
                 413, f"body too large ({length} > {MAX_BODY_BYTES})"
             )
         if length == 0:
             return b""
         return await reader.readexactly(length)
+
+    async def _drain(self, reader: asyncio.StreamReader, length: int) -> None:
+        budget = min(length, MAX_DRAIN_BYTES)
+        try:
+            while budget > 0:
+                chunk = await reader.read(min(65536, budget))
+                if not chunk:
+                    return
+                budget -= len(chunk)
+        except (ConnectionError, OSError):
+            return
 
     async def _send_json(
         self, writer: asyncio.StreamWriter, status: int, payload: Any

@@ -407,6 +407,14 @@ class Job:
     snapshots: List[Dict[str, Any]] = field(default_factory=list)
     #: Per-job trace records (when the job held the trace slot).
     trace_records: Optional[List[Dict[str, Any]]] = None
+    #: Backend the run actually resolved to (``compiled``/``numpy``/...),
+    #: an execution fact outside the cache key — every batch backend is
+    #: bit-identical, so jobs differing only here share one cache entry.
+    engine_resolved: Optional[str] = None
+    #: Per-chunk decode-kernel telemetry
+    #: (``{"cell", "chunk", "kernel_seconds"}`` rows from the chunk
+    #: journal), filled when the run completes.
+    kernel_seconds: List[Dict[str, Any]] = field(default_factory=list)
 
     def status_dict(self) -> Dict[str, Any]:
         """The poll-endpoint view of this job."""
@@ -422,6 +430,9 @@ class Job:
             "scenario": self.spec.scenario,
             "trials": self.spec.trials,
             "cells": len(self.spec.cells),
+            "engine": self.spec.engine,
+            "engine_resolved": self.engine_resolved,
+            "kernel_seconds": list(self.kernel_seconds),
         }
 
 

@@ -12,7 +12,7 @@ The scheduler owns the service's compute story:
 * **executor tier** — each job runs through
   :func:`repro.simulator.campaign.run_campaign` with a
   :class:`~repro.runtime.RuntimeConfig` selecting the PR 6 backend
-  (serial / pool / lease) the spec asked for;
+  (serial / pool / lease / fleet) the spec asked for;
 * **restart resume** — batch jobs journal their chunks to a per-digest
   checkpoint journal under the state dir; after a crash the queue
   replays the job as ``queued`` and the re-run replays completed chunks
@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..obs import metrics as obs_metrics
 from ..obs import trace
 from ..perf import PerfCounters
+from ..rs.backends import resolve_engine
 from ..runtime import CheckpointJournal, RuntimeConfig
 from ..simulator.campaign import campaign_summary, run_campaign
 from .cache import ResultCache
@@ -43,18 +44,21 @@ from .queue import JobQueue
 class SubmitOutcome:
     """What a submission resolved to: a fresh, coalesced, or cached job."""
 
-    __slots__ = ("job", "cached", "coalesced")
+    __slots__ = ("job", "cached", "coalesced", "state")
 
     def __init__(self, job: Job, cached: bool, coalesced: bool):
         self.job = job
         self.cached = cached
         self.coalesced = coalesced
+        # Snapshotted under the queue lock: a worker thread may flip the
+        # job to "running" before the caller serializes this outcome.
+        self.state = job.state
 
     def as_dict(self) -> Dict[str, Any]:
         return {
             "job_id": self.job.id,
             "fingerprint_digest": self.job.digest,
-            "state": self.job.state,
+            "state": self.state,
             "cached": self.cached,
             "coalesced": self.coalesced,
         }
@@ -254,7 +258,14 @@ class CampaignScheduler:
         if traced:
             collector = trace.TraceCollector()
         try:
-            if spec.engine == "batch":
+            # Resolve the engine up front so the poll view reports which
+            # backend will actually compute; an unavailable pinned
+            # backend raises here and fails the job loudly.
+            family, backend = resolve_engine(spec.engine)
+            job.engine_resolved = (
+                backend if family == "batch" else "reference"
+            )
+            if family == "batch":
                 journal = CheckpointJournal(
                     self._chunk_journal_path(job.digest)
                 )
@@ -296,6 +307,8 @@ class CampaignScheduler:
             # polls "done" must be able to fetch /trace immediately.
             if collector is not None:
                 job.trace_records = collector.records()
+            if journal is not None:
+                job.kernel_seconds = journal.chunk_kernel_seconds()
             result = {
                 "schema": 1,
                 "rows": rows_payload(rows),

@@ -914,9 +914,16 @@ def simulate_fail_probability_batched(
         cell_key=cell_key,
     ), Stopwatch(own_counters):
         if jobs:
-            board_dir = (
-                Path(str(journal.path) + ".board")
-                if (cfg.executor == "lease" and journal is not None)
+            board_dir = cfg.board_dir
+            if board_dir is None and journal is not None and (
+                cfg.executor in ("lease", "fleet")
+            ):
+                board_dir = Path(str(journal.path) + ".board")
+            # An explicit board means external `repro worker` agents do
+            # the computing; without one the fleet spawns local agents.
+            fleet_spawn = (
+                0
+                if (cfg.executor == "fleet" and cfg.board_dir is not None)
                 else None
             )
             supervisor = ChunkSupervisor(
@@ -930,6 +937,8 @@ def simulate_fail_probability_batched(
                 executor=cfg.executor,
                 straggler=cfg.straggler,
                 board_dir=board_dir,
+                worker_ttl=cfg.worker_ttl,
+                fleet_spawn=fleet_spawn,
             )
 
             def record(index: int, result: Dict[str, object]) -> None:

@@ -110,6 +110,55 @@ class TestAudit:
         assert report["healthy"] is False
 
 
+def _make_board(tmp_path, name="run.board"):
+    board = tmp_path / name
+    for sub in ("todo", "leases", "done", "workers"):
+        (board / sub).mkdir(parents=True)
+    return board
+
+
+class TestBoardAudit:
+    def test_damaged_board_exits_one_then_repairs_clean(
+        self, tmp_path, capsys
+    ):
+        import os
+        import time
+
+        board = _make_board(tmp_path)
+        hb = board / "workers" / "deadhost.hb"
+        hb.write_text("{}")
+        old = time.time() - 3600.0
+        os.utime(hb, (old, old))
+        (board / "leases" / "00000001.e0000.task.deadhost").write_bytes(b"x")
+        (board / "done" / "00000000.e0000.tmp.w1").write_bytes(b"torn")
+        (board / "STOP").write_text("")
+
+        code, report = doctor(capsys, str(board))
+        assert code == 1
+        audit = report["boards"][0]
+        assert audit["healthy"] is False
+        assert audit["orphaned_leases"] and audit["torn_tmp"]
+        assert audit["stop_flag"] is True
+
+        code, report = doctor(capsys, str(board), "--repair")
+        assert code == 0
+        assert report["boards"][0]["healthy"] is True
+        assert report["repairs"][0]["actions"]
+        # the orphaned chunk is re-enqueued under a bumped (fencing)
+        # epoch, never double-counted
+        assert (board / "todo" / "00000001.e0001.task").exists()
+        assert not (board / "STOP").exists()
+
+    def test_state_directory_audit_includes_boards(self, tmp_path, capsys):
+        record_journal(tmp_path / "ckpt.jsonl")
+        _make_board(tmp_path, name="ckpt.jsonl.board")
+        code, report = doctor(capsys, str(tmp_path))
+        assert code == 0
+        assert len(report["journals"]) == 1
+        assert [b["kind"] for b in report["boards"]] == ["board"]
+        assert report["boards"][0]["healthy"] is True
+
+
 class TestRepair:
     @pytest.mark.parametrize("mode", ["flip", "truncate"])
     def test_repair_then_resume_bit_identical(self, tmp_path, capsys, mode):

@@ -247,6 +247,80 @@ def test_make_executor_rejects_unknown_name():
         make_executor("threads")
 
 
+# --------------------------------------------------------------------------
+# lease publish durability (done/ dir fsync before lease release)
+# --------------------------------------------------------------------------
+
+
+def _lease_board(tmp_path):
+    board = tmp_path / "board"
+    for sub in ("todo", "leases", "done"):
+        (board / sub).mkdir(parents=True)
+    return board
+
+
+def _echo_result(args):
+    return {"value": args[0]}
+
+
+def _post_lease_task(board, token=0):
+    import pickle
+
+    with open(board / "todo" / f"{token:08d}.task", "wb") as fh:
+        pickle.dump((_echo_result, token, 0, None, (7,)), fh)
+
+
+def test_lease_publish_fsyncs_done_dir_before_lease_release(
+    tmp_path, monkeypatch
+):
+    """The done/ directory entry must be durable *before* the lease (the
+    only evidence the chunk was claimed) is removed."""
+    from repro.runtime import executors
+
+    board = _lease_board(tmp_path)
+    _post_lease_task(board)
+    real_fsync_dir = executors.fsync_dir
+    observed = []
+
+    def recording(path):
+        observed.append(
+            (
+                (board / "done" / "00000000.done").exists(),
+                any((board / "leases").iterdir()),
+            )
+        )
+        (board / "STOP").touch()  # let the worker loop exit after this task
+        return real_fsync_dir(path)
+
+    monkeypatch.setattr(executors, "fsync_dir", recording)
+    executors._lease_worker_main(str(board))
+    # exactly one publish: at fsync time the rename had landed and the
+    # lease had not yet been released
+    assert observed == [(True, True)]
+    assert (board / "done" / "00000000.done").exists()
+    assert not any((board / "leases").iterdir())
+
+
+def test_lease_publish_crash_window_never_loses_both(tmp_path, monkeypatch):
+    """Regression: a crash between publishing the done-file and removing
+    the lease must leave BOTH behind — before the fix, the lease could
+    be gone while the done-file's directory entry was still volatile,
+    silently losing a completed chunk."""
+    from repro.runtime import executors
+
+    board = _lease_board(tmp_path)
+    _post_lease_task(board)
+
+    def crash(path):
+        raise RuntimeError("injected host crash during done/ fsync")
+
+    monkeypatch.setattr(executors, "fsync_dir", crash)
+    with pytest.raises(RuntimeError, match="injected host crash"):
+        executors._lease_worker_main(str(board))
+    assert (board / "done" / "00000000.done").exists()
+    assert list((board / "leases").iterdir())  # claim evidence retained
+
+
 def test_lease_board_defaults_to_private_tempdir():
     executor = make_executor("lease", workers=1)
     try:

@@ -57,6 +57,19 @@ class TestParseSpec:
         )
         assert base.digest() == hinted.digest()
 
+    def test_fleet_executor_hint_accepted_and_digest_invariant(self):
+        _, base = parse_spec(SPEC)
+        _, fleet = parse_spec({**SPEC, "executor": "fleet"})
+        assert fleet.executor == "fleet"
+        assert fleet.digest() == base.digest()
+
+    def test_engine_choice_does_not_change_digest(self):
+        # engine is an execution hint (every batch backend is
+        # bit-identical), so the cache key must be engine-invariant
+        _, base = parse_spec(SPEC)
+        _, pinned = parse_spec({**SPEC, "engine": "numpy"})
+        assert pinned.digest() == base.digest()
+
     def test_identity_fields_change_digest(self):
         _, base = parse_spec(SPEC)
         for delta in (
@@ -341,6 +354,29 @@ class TestScheduler:
             second_entry = sched.result_entry(second.job)
             assert second_entry["result"] == first_entry["result"]
             assert second_entry["body_sha256"] == first_entry["body_sha256"]
+        finally:
+            sched.stop()
+
+    def test_job_reports_engine_and_per_chunk_kernel_seconds(self, tmp_path):
+        from repro.obs.metrics import get_registry
+        from repro.runtime.supervisor import CHUNK_KERNEL_METRIC
+
+        sched = make_scheduler(tmp_path).start()
+        try:
+            out = sched.submit(SPEC)
+            assert sched.wait(out.job.id, timeout=120) == "done"
+            status = out.job.status_dict()
+            assert status["engine"] == "batch"
+            assert status["engine_resolved"] == "numpy"  # legacy alias
+            rows = status["kernel_seconds"]
+            # 40 trials / 16 per chunk -> 3 chunks for the single cell
+            assert [r["chunk"] for r in rows] == [0, 1, 2]
+            assert all(r["kernel_seconds"] >= 0.0 for r in rows)
+            # /metrics: every chunk with kernel time observed exactly once
+            busy = sum(1 for r in rows if r["kernel_seconds"] > 0.0)
+            snapshot = get_registry().snapshot()
+            if busy:
+                assert snapshot[CHUNK_KERNEL_METRIC]["count"] == busy
         finally:
             sched.stop()
 
